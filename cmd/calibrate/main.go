@@ -1,0 +1,69 @@
+// Command calibrate reruns the paper's Section 4.2 cutoff measurement on
+// the current machine: the square crossover sweep (Figure 2 / Table 2) and
+// the three rectangular sweeps with two dimensions held large (Table 3),
+// for one or all DGEMM kernels. The output is the parameter set to feed to
+// strassen.SetDefaultParams (or to hardcode as this machine's defaults).
+//
+// Usage:
+//
+//	calibrate                        # calibrate all kernels
+//	calibrate -kernel blocked -v     # one kernel, with the ratio curve
+//	calibrate -sq-hi 512 -fixed 1024 # wider sweeps (slower, finer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blas"
+	"repro/internal/cutoff"
+	"repro/internal/strassen"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "", "kernel to calibrate (blocked|vector|naive); empty = all")
+		sqLo    = flag.Int("sq-lo", 16, "square sweep: low order")
+		sqHi    = flag.Int("sq-hi", 256, "square sweep: high order")
+		sqStep  = flag.Int("sq-step", 8, "square sweep: step")
+		rectLo  = flag.Int("rect-lo", 8, "rectangular sweep: low value")
+		rectHi  = flag.Int("rect-hi", 128, "rectangular sweep: high value")
+		rectSt  = flag.Int("rect-step", 4, "rectangular sweep: step")
+		fixed   = flag.Int("fixed", 512, "rectangular sweep: the two fixed (large) dimensions")
+		seed    = flag.Int64("seed", 1, "RNG seed for the test matrices")
+		verbose = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
+	)
+	flag.Parse()
+
+	names := blas.KernelNames()
+	if *kernel != "" {
+		if blas.KernelByName(*kernel) == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q; known: %v\n", *kernel, blas.KernelNames())
+			os.Exit(2)
+		}
+		names = []string{*kernel}
+	}
+
+	for _, name := range names {
+		kern := blas.KernelByName(name)
+		fmt.Printf("kernel %s:\n", name)
+		tau, pts := cutoff.SquareCutoff(kern, *sqLo, *sqHi, *sqStep, *seed)
+		if *verbose {
+			for _, p := range pts {
+				marker := ""
+				if p.Ratio > 1 {
+					marker = "  <- Strassen wins"
+				}
+				fmt.Printf("  m=%4d  DGEMM/DGEFMM(1 level) = %.4f%s\n", p.Dim, p.Ratio, marker)
+			}
+		}
+		p := cutoff.RectParams(kern, *rectLo, *rectHi, *rectSt, *fixed, *seed+1)
+		p.Tau = tau
+		fmt.Printf("  measured: τ=%d τm=%d τk=%d τn=%d (fixed dims %d)\n", p.Tau, p.TauM, p.TauK, p.TauN, *fixed)
+		fmt.Printf("  apply with: strassen.SetDefaultParams(%q, strassen.Params{Tau: %d, TauM: %d, TauK: %d, TauN: %d})\n",
+			name, p.Tau, p.TauM, p.TauK, p.TauN)
+		cur := strassen.DefaultParams(name)
+		fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", cur.Tau, cur.TauM, cur.TauK, cur.TauN)
+	}
+}

@@ -1,0 +1,101 @@
+// Command dgefmm-bench regenerates the tables and figures of the paper's
+// evaluation (Section 4). Each experiment prints the same rows/series the
+// paper reports, plus the paper's own numbers for comparison.
+//
+// Usage:
+//
+//	dgefmm-bench                     # run everything at default scale
+//	dgefmm-bench -exp table5,fig2    # run selected experiments
+//	dgefmm-bench -quick              # small sizes (smoke run)
+//	dgefmm-bench -exp table6 -n 512  # eigensolver at a chosen order
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4
+// fig5 fig6 ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		mFlag   = flag.Int("m", 0, "matrix order override for table1")
+		nFlag   = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
+		samples = flag.Int("samples", 0, "sample-count override for table4/fig6")
+		kernel  = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{Quick: *quick}
+	w := os.Stdout
+
+	all := map[string]func(){
+		"table1":    func() { experiments.Table1(w, *mFlag, sc) },
+		"fig2":      func() { experiments.Figure2(w, *kernel, 0, 0, 0, sc) },
+		"table2":    func() { experiments.Table2(w, sc) },
+		"table3":    func() { experiments.Table3(w, sc) },
+		"table4":    func() { experiments.Table4(w, *samples, sc) },
+		"table5":    func() { experiments.Table5(w, 0, sc) },
+		"fig3":      func() { experiments.Figure3(w, sc) },
+		"fig4":      func() { experiments.Figure4(w, sc) },
+		"fig5":      func() { experiments.Figure5(w, sc) },
+		"fig6":      func() { experiments.Figure6(w, *samples, sc) },
+		"table6":    func() { experiments.Table6(w, *nFlag, sc) },
+		"model":     func() { experiments.Model(w, sc) },
+		"stability": func() { experiments.Stability(w, 0, 0, sc) },
+		"ablations": func() {
+			experiments.AblationKernels(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationSchedules(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationOddHandling(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationPeeling(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationVariant(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationCutoffs(w, sc)
+			fmt.Fprintln(w)
+			experiments.AblationParallel(w, sc)
+		},
+	}
+	order := []string{"table1", "fig2", "table2", "table3", "table4", "table5",
+		"fig3", "fig4", "fig5", "fig6", "table6", "model", "stability", "ablations"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := all[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", name, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	for i, name := range selected {
+		run, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "internal error: experiment %q listed but not registered\n", name)
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		start := time.Now()
+		run()
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,162 @@
+// Command matmul is the end-user face of the library: it multiplies two
+// matrices (from whitespace-text files, or randomly generated) with DGEFMM
+// and reports timing and a recursion trace. It is what "replacing DGEMM
+// with our routine" looks like as a tool.
+//
+// Usage:
+//
+//	matmul -a a.txt -b b.txt -out c.txt          # C = A·B from files
+//	matmul -random 1200 -engine both             # compare engines
+//	matmul -random 999 -trace                    # see peeling in action
+//	matmul -a a.txt -b b.txt -ta                 # C = Aᵀ·B
+//
+// Engines: dgefmm (default), dgemm, both (times the two and checks
+// agreement). Kernels: blocked (default), vector, naive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+func main() {
+	var (
+		aPath   = flag.String("a", "", "left operand file (text rows)")
+		bPath   = flag.String("b", "", "right operand file")
+		outPath = flag.String("out", "", "output file (omit to skip writing)")
+		random  = flag.Int("random", 0, "generate random square operands of this order instead of reading files")
+		seed    = flag.Int64("seed", 1, "seed for -random")
+		engine  = flag.String("engine", "dgefmm", "dgefmm | dgemm | both")
+		kernel  = flag.String("kernel", "blocked", "blocked | vector | naive")
+		ta      = flag.Bool("ta", false, "use Aᵀ")
+		tb      = flag.Bool("tb", false, "use Bᵀ")
+		alpha   = flag.Float64("alpha", 1, "alpha scalar")
+		trace   = flag.Bool("trace", false, "print a recursion trace summary")
+		par     = flag.Int("parallel", 0, "run up to this many of the 7 products concurrently")
+	)
+	flag.Parse()
+
+	kern := blas.KernelByName(*kernel)
+	if kern == nil {
+		fatalf("unknown kernel %q", *kernel)
+	}
+
+	var a, b *matrix.Dense
+	switch {
+	case *random > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		a = matrix.NewRandom(*random, *random, rng)
+		b = matrix.NewRandom(*random, *random, rng)
+	case *aPath != "" && *bPath != "":
+		a = mustRead(*aPath)
+		b = mustRead(*bPath)
+	default:
+		fatalf("provide -a and -b files, or -random N")
+	}
+
+	m, k := a.Rows, a.Cols
+	if *ta {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if *tb {
+		kb, n = n, kb
+	}
+	if kb != k {
+		fatalf("inner dimensions mismatch: op(A) is %dx%d, op(B) is %dx%d", m, k, kb, n)
+	}
+	transA, transB := blas.NoTrans, blas.NoTrans
+	if *ta {
+		transA = blas.Trans
+	}
+	if *tb {
+		transB = blas.Trans
+	}
+
+	cfg := strassen.DefaultConfig(kern)
+	cfg.Parallel = *par
+	var tracer *strassen.CountTracer
+	if *trace {
+		tracer = strassen.NewCountTracer()
+		cfg.Tracer = tracer
+	}
+
+	runDgefmm := func() (*matrix.Dense, time.Duration) {
+		c := matrix.NewDense(m, n)
+		start := time.Now()
+		strassen.DGEFMM(cfg, transA, transB, m, n, k, *alpha,
+			a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+		return c, time.Since(start)
+	}
+	runDgemm := func() (*matrix.Dense, time.Duration) {
+		c := matrix.NewDense(m, n)
+		start := time.Now()
+		blas.DgemmKernel(kern, transA, transB, m, n, k, *alpha,
+			a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+		return c, time.Since(start)
+	}
+
+	var result *matrix.Dense
+	switch *engine {
+	case "dgefmm":
+		c, d := runDgefmm()
+		fmt.Printf("DGEFMM: %dx%d·%dx%d in %.1f ms (%.0f MFLOPS)\n", m, k, k, n,
+			d.Seconds()*1e3, 2*float64(m)*float64(k)*float64(n)/d.Seconds()/1e6)
+		result = c
+	case "dgemm":
+		c, d := runDgemm()
+		fmt.Printf("DGEMM:  %dx%d·%dx%d in %.1f ms (%.0f MFLOPS)\n", m, k, k, n,
+			d.Seconds()*1e3, 2*float64(m)*float64(k)*float64(n)/d.Seconds()/1e6)
+		result = c
+	case "both":
+		c1, d1 := runDgemm()
+		c2, d2 := runDgefmm()
+		fmt.Printf("DGEMM:  %.1f ms\nDGEFMM: %.1f ms (%.2fx)\n",
+			d1.Seconds()*1e3, d2.Seconds()*1e3, d1.Seconds()/d2.Seconds())
+		diff := matrix.MaxAbsDiff(c1, c2)
+		fmt.Printf("max |Δ| between engines: %.2e\n", diff)
+		result = c2
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	if tracer != nil {
+		fmt.Printf("trace: %s\n", tracer)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("create %s: %v", *outPath, err)
+		}
+		defer f.Close()
+		if err := matrix.WriteText(f, result); err != nil {
+			fatalf("write %s: %v", *outPath, err)
+		}
+		fmt.Printf("wrote %dx%d result to %s\n", result.Rows, result.Cols, *outPath)
+	}
+}
+
+func mustRead(path string) *matrix.Dense {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	m, err := matrix.ReadText(f)
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return m
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

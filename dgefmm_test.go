@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/strassen"
+)
+
+func TestPublicDGEFMMMatchesDGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{64, 64, 64}, {65, 33, 97}, {10, 200, 30}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := NewRandomMatrix(m, k, rng)
+		b := NewRandomMatrix(k, n, rng)
+		c1 := NewRandomMatrix(m, n, rng)
+		c2 := c1.Clone()
+		DGEMM(NoTrans, NoTrans, m, n, k, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0.5, c1.Data, c1.Stride)
+		cfg := DefaultConfig(KernelByName("naive"))
+		cfg.Criterion = SimpleCriterion{Tau: 16}
+		DGEFMM(cfg, NoTrans, NoTrans, m, n, k, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0.5, c2.Data, c2.Stride)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if d := math.Abs(c1.At(i, j) - c2.At(i, j)); d > 1e-10 {
+					t.Fatalf("dims=%v (%d,%d): |Δ|=%g", dims, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPublicMultiplyConvenience(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewRandomMatrix(20, 30, rng)
+	b := NewRandomMatrix(30, 10, rng)
+	c := NewMatrix(20, 10)
+	Multiply(nil, c, NoTrans, NoTrans, 2, a, b, 0)
+	// Check one entry against a dot product.
+	var want float64
+	for l := 0; l < 30; l++ {
+		want += a.At(3, l) * b.At(l, 7)
+	}
+	if d := math.Abs(c.At(3, 7) - 2*want); d > 1e-12 {
+		t.Fatalf("entry mismatch: %g", d)
+	}
+}
+
+func TestPublicBaselinesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := 40
+	a := NewRandomMatrix(m, m, rng)
+	b := NewRandomMatrix(m, m, rng)
+	ref := NewMatrix(m, m)
+	DGEMM(NoTrans, NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, ref.Data, ref.Stride)
+
+	c := NewMatrix(m, m)
+	DGEMMS(NoTrans, NoTrans, m, m, m, a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride)
+	if !c.EqualApprox(ref, 1e-10) {
+		t.Fatal("DGEMMS disagrees")
+	}
+	c.Zero()
+	SGEMMS(NoTrans, NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if !c.EqualApprox(ref, 1e-10) {
+		t.Fatal("SGEMMS disagrees")
+	}
+	c.Zero()
+	DGEMMW(NoTrans, NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if !c.EqualApprox(ref, 1e-10) {
+		t.Fatal("DGEMMW disagrees")
+	}
+}
+
+func TestPublicEigenSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewRandomSymmetric(40, rng)
+	res, err := SolveSymmetric(a, &EigenOptions{BaseSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 40 || res.Vectors.Rows != 40 {
+		t.Fatal("result shape")
+	}
+	for i := 1; i < len(res.Values); i++ {
+		if res.Values[i] < res.Values[i-1] {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}
+
+func TestPublicMemoryTrackerPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewMemoryTracker()
+	cfg := DefaultConfig(KernelByName("naive"))
+	cfg.Criterion = SimpleCriterion{Tau: 8}
+	cfg.Tracker = tr
+	m := 64
+	a := NewRandomMatrix(m, m, rng)
+	b := NewRandomMatrix(m, m, rng)
+	c := NewMatrix(m, m)
+	DGEFMM(cfg, NoTrans, NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if tr.Peak() == 0 {
+		t.Fatal("tracker saw no allocations")
+	}
+	if tr.Peak() > int64(2*m*m/3) {
+		t.Fatalf("peak %d exceeds the paper's 2m²/3 bound", tr.Peak())
+	}
+}
+
+func TestSetDefaultParamsAffectsDefaultConfig(t *testing.T) {
+	old := strassen.DefaultParams("vector")
+	defer SetDefaultParams("vector", old)
+	SetDefaultParams("vector", Params{Tau: 123, TauM: 1, TauK: 2, TauN: 3})
+	cfg := DefaultConfig(KernelByName("vector"))
+	h, ok := cfg.Criterion.(HybridCriterion)
+	if !ok {
+		t.Fatalf("default criterion is %T, want Hybrid", cfg.Criterion)
+	}
+	if h.Tau != 123 {
+		t.Fatalf("params not propagated: %+v", h)
+	}
+}
+
+func TestKernelByNameUnknown(t *testing.T) {
+	if KernelByName("no-such-kernel") != nil {
+		t.Fatal("unknown kernel should be nil")
+	}
+	for _, name := range []string{"blocked", "vector", "naive"} {
+		if KernelByName(name) == nil {
+			t.Fatalf("kernel %q missing", name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Linear solver: Strassen-accelerated LU factorization.
+//
+// The paper's reference [3] (Bailey, Lee, Simon 1990) used Strassen's
+// algorithm to accelerate dense linear solves: a blocked LU factorization
+// spends nearly all its flops in the trailing-matrix update
+// A22 ← A22 − L21·U12, which is a rectangular matrix multiplication.
+// Plugging DGEFMM into that update accelerates the whole solve.
+//
+// Run with: go run ./examples/linsolve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n = 700
+	rng := rand.New(rand.NewSource(5))
+
+	// A well-conditioned random system A·x = b with known solution.
+	a := repro.NewRandomMatrix(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+	}
+	xTrue := repro.NewRandomMatrix(n, 3, rng)
+	b := repro.NewMatrix(n, 3)
+	repro.DGEMM(repro.NoTrans, repro.NoTrans, n, 3, n, 1,
+		a.Data, a.Stride, xTrue.Data, xTrue.Stride, 0, b.Data, b.Stride)
+
+	solve := func(name string, opts *repro.LUOptions) {
+		lu, err := repro.FactorLU(a, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		x, err := lu.Solve(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var worst float64
+		for j := 0; j < 3; j++ {
+			for i := 0; i < n; i++ {
+				if d := x.At(i, j) - xTrue.At(i, j); d > worst || -d > worst {
+					if d < 0 {
+						d = -d
+					}
+					worst = d
+				}
+			}
+		}
+		fmt.Printf("%-22s total %7.0f ms   MM %7.0f ms (%d updates)   max |x−x*| = %.2e\n",
+			name,
+			lu.Stats.Total.Seconds()*1e3,
+			lu.Stats.MMTime.Seconds()*1e3, lu.Stats.MMCount,
+			worst)
+	}
+
+	fmt.Printf("blocked LU with partial pivoting, order %d, block 128\n\n", n)
+	solve("updates via DGEMM", &repro.LUOptions{BlockSize: 128})
+	solve("updates via DGEFMM", &repro.LUOptions{BlockSize: 128, Mul: repro.StrassenEigenMultiplier{}})
+	fmt.Println("\nboth produce the same factorization; the trailing updates are where")
+	fmt.Println("Strassen's algorithm accelerates a dense solve (Bailey et al. 1990).")
+}

@@ -1,0 +1,53 @@
+// Memory accounting: reproducing the paper's Table 1 claims live.
+//
+// The paper's second headline contribution is workspace reduction: DGEFMM
+// needs 2m²/3 extra words when β = 0 (STRASSEN1, which uses C itself as
+// scratch) and m² in general (STRASSEN2, three temporaries enabled by
+// recursive multiply-accumulate) — "a 40 to more than 70 percent reduction"
+// over the other Strassen codes of the era.
+//
+// This example plugs the accounting allocator into each schedule and prints
+// measured peak workspace next to the paper's bounds.
+//
+// Run with: go run ./examples/memory
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const m = 512
+	rng := rand.New(rand.NewSource(11))
+	a := repro.NewRandomMatrix(m, m, rng)
+	b := repro.NewRandomMatrix(m, m, rng)
+
+	fmt.Printf("workspace high-water marks for a %d×%d multiply (m² = %d words)\n\n", m, m, m*m)
+	fmt.Printf("%-34s %-12s %14s %10s\n", "configuration", "paper bound", "measured words", "× m²")
+
+	measure := func(name, bound string, beta float64) {
+		tr := repro.NewMemoryTracker()
+		cfg := repro.DefaultConfig(repro.KernelByName("naive"))
+		cfg.Criterion = repro.SimpleCriterion{Tau: 16} // recurse deep: worst case
+		cfg.Tracker = tr
+		c := repro.NewRandomMatrix(m, m, rng)
+		repro.DGEFMM(cfg, repro.NoTrans, repro.NoTrans, m, m, m, 1,
+			a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		fmt.Printf("%-34s %-12s %14d %10.3f\n", name, bound, tr.Peak(), float64(tr.Peak())/float64(m*m))
+		if tr.Live() != 0 {
+			fmt.Println("  WARNING: workspace leak!")
+		}
+	}
+
+	measure("DGEFMM, β = 0 (STRASSEN1)", "2m²/3", 0)
+	measure("DGEFMM, β ≠ 0 (STRASSEN2)", "m²", 0.5)
+
+	fmt.Println("\nfor comparison, the other codes of the paper's Table 1 (bounds):")
+	fmt.Println("  CRAY SGEMMS       7m²/3 ≈ 2.333 m²")
+	fmt.Println("  IBM ESSL DGEMMS   1.40 m²   (β ≠ 0 not supported at all)")
+	fmt.Println("  DGEMMW            2m²/3 (β=0), 5m²/3 (β≠0)")
+	fmt.Println("\nDGEFMM's β≠0 footprint of m² is the 40–57 % reduction the paper reports.")
+}

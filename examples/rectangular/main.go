@@ -1,0 +1,58 @@
+// Rectangular matrices and cutoff criteria.
+//
+// The paper's key tuning contribution is the hybrid cutoff criterion (15):
+// the widely-used simple criterion (11) stops recursion as soon as any
+// dimension drops to the square cutoff τ, which forgoes profitable
+// recursion on long-thin problems (the paper's example: m=160, n=957,
+// k=1957 on the RS/6000, where an extra level saves 8.6 %).
+//
+// This example times a thin-by-large multiply under the paper's criteria
+// and shows the hybrid criterion applying the extra recursion.
+//
+// Run with: go run ./examples/rectangular
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// A thin-by-large problem in the spirit of the paper's (160, 957, 1957)
+	// anecdote, scaled to this library's calibrated cutoffs.
+	params := repro.DefaultParamsFor("blocked")
+	m := params.Tau * 3 / 4 // below the square cutoff...
+	k := params.Tau * 5     // ...but the other dimensions are large
+	n := params.Tau * 4
+
+	fmt.Printf("thin-by-large multiply: (%d × %d) · (%d × %d), square cutoff τ=%d\n\n", m, k, k, n, params.Tau)
+
+	a := repro.NewRandomMatrix(m, k, rng)
+	b := repro.NewRandomMatrix(k, n, rng)
+
+	run := func(name string, crit repro.Criterion) *repro.Matrix {
+		cfg := repro.DefaultConfig(nil)
+		cfg.Criterion = crit
+		c := repro.NewMatrix(m, n)
+		start := time.Now()
+		repro.Multiply(cfg, c, repro.NoTrans, repro.NoTrans, 1, a, b, 0)
+		fmt.Printf("  %-28s %8.1f ms   recursion at top level: %v\n",
+			name, time.Since(start).Seconds()*1e3, crit.Recurse(m, k, n))
+		return c
+	}
+
+	c1 := run("simple criterion (11)", repro.SimpleCriterion{Tau: params.Tau})
+	c2 := run("Higham scaled criterion (12)", repro.ScaledCriterion{Tau: params.Tau})
+	c3 := run("hybrid criterion (15)", params.Hybrid())
+
+	if !c1.EqualApprox(c2, 1e-8) || !c1.EqualApprox(c3, 1e-8) {
+		fmt.Println("  WARNING: results disagree!")
+		return
+	}
+	fmt.Println("\nall criteria produce the same product; only the recursion decisions differ.")
+	fmt.Println("the hybrid criterion recurses on thin-by-large shapes the simple criterion rejects.")
+}

@@ -1,0 +1,181 @@
+// Package baselines reimplements the three Strassen codes the paper
+// compares DGEFMM against in Section 4.3, reproducing each one's defining
+// algorithmic decisions so the comparison probes the same design choices the
+// paper's figures probe:
+//
+//   - DGEMMS (IBM ESSL style, Figure 3): multiply-only interface
+//     C = op(A)·op(B); the α/β scaling and update must be done by the
+//     caller, which is exactly what makes it lose ground to DGEFMM in the
+//     general (α, β) case.
+//   - SGEMMS (CRAY style, Figure 4): Bailey's approach built on Strassen's
+//     *original* construction (18 adds per level) rather than Winograd's.
+//   - DGEMMW (Douglas et al., Figures 5–6): Winograd variant with the
+//     simple cutoff criterion (11) and *dynamic padding* for odd sizes.
+//
+// Each baseline runs on the same BLAS kernels as DGEFMM so that differences
+// measure algorithm structure, not kernel tuning.
+//
+// Substitution note (see DESIGN.md): the originals are closed vendor code;
+// these reimplementations reproduce the documented interface and algorithm
+// structure, not the vendors' machine-specific tuning. Workspace for the
+// padding-based DGEMMW stand-in uses explicit padded copies, so its measured
+// workspace exceeds the published 2m²/3 bound; Table 1 therefore reports
+// both the published formulas and our measurements.
+package baselines
+
+import (
+	"repro/internal/blas"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// DgemmsConfig configures the ESSL-style baseline.
+type DgemmsConfig struct {
+	// Kernel used below the cutoff; nil selects blas.DefaultKernel.
+	Kernel blas.Kernel
+	// Tau is the square cutoff; 0 selects the kernel's calibrated default.
+	Tau int
+	// Tracker accounts temporary workspace when non-nil.
+	Tracker *memtrack.Tracker
+}
+
+func (c *DgemmsConfig) strassenConfig() *strassen.Config {
+	kern := c.Kernel
+	if kern == nil {
+		kern = blas.DefaultKernel
+	}
+	tau := c.Tau
+	if tau == 0 {
+		tau = strassen.DefaultParams(kern.Name()).Tau
+	}
+	return &strassen.Config{
+		Kernel:    kern,
+		Criterion: strassen.Simple{Tau: tau},
+		Schedule:  strassen.ScheduleStrassen1, // pure multiply: β is always 0
+		Odd:       strassen.OddPeel,
+		Tracker:   c.Tracker,
+	}
+}
+
+// DGEMMS computes C = op(A)·op(B) — multiplication only, like IBM ESSL's
+// DGEMMS. "Unlike all other Strassen implementations we have seen, IBM's
+// DGEMMS only performs the multiplication portion of DGEMM"; callers needing
+// α and β must arrange the update themselves (see DgemmsGeneral).
+func DGEMMS(cfg *DgemmsConfig, transA, transB blas.Transpose, m, n, k int,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if cfg == nil {
+		cfg = &DgemmsConfig{}
+	}
+	strassen.DGEFMM(cfg.strassenConfig(), transA, transB, m, n, k, 1, a, lda, b, ldb, 0, c, ldc)
+}
+
+// DgemmsGeneral emulates how the paper's timing harness used DGEMMS for the
+// general case: "an extra loop for the scaling and update of C" around the
+// multiply-only call. The product goes to a caller-visible workspace w
+// (m×n, tight), then C ← alpha*w + beta*C elementwise. This extra pass —
+// and its extra m×n workspace — is exactly the cost DGEFMM's native α/β
+// support avoids.
+func DgemmsGeneral(cfg *DgemmsConfig, transA, transB blas.Transpose, m, n, k int,
+	alpha float64, a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if cfg == nil {
+		cfg = &DgemmsConfig{}
+	}
+	var w []float64
+	if cfg.Tracker != nil {
+		w = cfg.Tracker.Alloc(m * n)
+		defer cfg.Tracker.Free(w)
+	} else {
+		w = make([]float64, m*n)
+	}
+	ldw := m
+	if ldw < 1 {
+		ldw = 1
+	}
+	DGEMMS(cfg, transA, transB, m, n, k, a, lda, b, ldb, w, ldw)
+	for j := 0; j < n; j++ {
+		wc := w[j*ldw : j*ldw+m]
+		cc := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cc {
+				cc[i] = alpha * wc[i]
+			}
+		} else {
+			for i := range cc {
+				cc[i] = alpha*wc[i] + beta*cc[i]
+			}
+		}
+	}
+}
+
+// SgemmsConfig configures the CRAY-style baseline.
+type SgemmsConfig struct {
+	Kernel  blas.Kernel
+	Tau     int
+	Tracker *memtrack.Tracker
+}
+
+// SGEMMS computes C ← alpha*op(A)*op(B) + beta*C with a Strassen code in the
+// style of the CRAY scientific library's SGEMMS (Bailey): Strassen's
+// original construction (7 multiplies, 18 adds per level) with a simple
+// square-derived cutoff, handling odd dimensions by padding.
+func SGEMMS(cfg *SgemmsConfig, transA, transB blas.Transpose, m, n, k int,
+	alpha float64, a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if cfg == nil {
+		cfg = &SgemmsConfig{}
+	}
+	kern := cfg.Kernel
+	if kern == nil {
+		kern = blas.DefaultKernel
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = strassen.DefaultParams(kern.Name()).Tau
+	}
+	sc := &strassen.Config{
+		Kernel:    kern,
+		Criterion: strassen.Simple{Tau: tau},
+		Schedule:  strassen.ScheduleOriginal,
+		Odd:       strassen.OddPadDynamic,
+		Tracker:   cfg.Tracker,
+	}
+	strassen.DGEFMM(sc, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DgemmwConfig configures the Douglas et al. style baseline.
+type DgemmwConfig struct {
+	Kernel  blas.Kernel
+	Tau     int
+	Tracker *memtrack.Tracker
+}
+
+// DGEMMW computes C ← alpha*op(A)*op(B) + beta*C in the style of Douglas,
+// Heroux, Slishman and Smith's GEMMW: Winograd's variant, the simple cutoff
+// criterion (11) ("m ≤ τ or k ≤ τ or n ≤ τ" stops recursion — the criterion
+// the paper shows forgoes profitable recursion on thin-by-large problems),
+// and dynamic padding for odd dimensions (the approach the paper's dynamic
+// peeling is measured against in Figures 5 and 6).
+func DGEMMW(cfg *DgemmwConfig, transA, transB blas.Transpose, m, n, k int,
+	alpha float64, a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if cfg == nil {
+		cfg = &DgemmwConfig{}
+	}
+	kern := cfg.Kernel
+	if kern == nil {
+		kern = blas.DefaultKernel
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = strassen.DefaultParams(kern.Name()).Tau
+	}
+	sc := &strassen.Config{
+		Kernel:    kern,
+		Criterion: strassen.Simple{Tau: tau},
+		Schedule:  strassen.ScheduleStrassen1, // GEMMW's scheme: C as scratch for β=0,
+		Odd:       strassen.OddPadDynamic,     // an extra m×n buffer otherwise.
+		Tracker:   cfg.Tracker,
+	}
+	strassen.DGEFMM(sc, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSecondsPositiveAndSane(t *testing.T) {
+	d := Seconds(func() { time.Sleep(2 * time.Millisecond) })
+	if d < 0.001 || d > 0.5 {
+		t.Fatalf("Seconds returned %v, want ≈ 2ms", d)
+	}
+}
+
+func TestSecondsOnce(t *testing.T) {
+	d := SecondsOnce(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 0.004 || d > 0.5 {
+		t.Fatalf("SecondsOnce = %v", d)
+	}
+}
+
+func TestBestOfNotWorseThanSingle(t *testing.T) {
+	f := func() { time.Sleep(time.Millisecond) }
+	best := BestOf(3, f)
+	if best <= 0 {
+		t.Fatal("BestOf must be positive")
+	}
+}
+
+func TestGemmFlops(t *testing.T) {
+	if GemmFlops(10, 20, 30) != 12000 {
+		t.Fatal("GemmFlops wrong")
+	}
+}
+
+func TestSummarizeKnownData(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles: %+v", s)
+	}
+	if s.N != 5 {
+		t.Fatal("N")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Q1 != 7 || s.Median != 7 || s.Q3 != 7 || s.Mean != 7 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.Q1 != 2.5 || s.Median != 5 || s.Q3 != 7.5 {
+		t.Fatalf("interpolation: %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{0.9, 1.0, 1.1})
+	str := s.String()
+	if !strings.Contains(str, "0.9") || !strings.Contains(str, ";") {
+		t.Fatalf("format: %q", str)
+	}
+}
+
+func TestRandomProblemsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := Problem{10, 20, 30}, Problem{15, 25, 35}
+	ps := RandomProblems(rng, 200, lo, hi)
+	if len(ps) != 200 {
+		t.Fatal("count")
+	}
+	for _, p := range ps {
+		if p.M < 10 || p.M > 15 || p.K < 20 || p.K > 25 || p.N < 30 || p.N > 35 {
+			t.Fatalf("out of range: %+v", p)
+		}
+	}
+}
+
+func TestFilterProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := FilterProblems(rng, 50, Problem{1, 1, 1}, Problem{100, 100, 100},
+		func(p Problem) bool { return p.M%2 == 0 })
+	if len(ps) != 50 {
+		t.Fatalf("got %d problems", len(ps))
+	}
+	for _, p := range ps {
+		if p.M%2 != 0 {
+			t.Fatal("filter violated")
+		}
+	}
+}
+
+func TestFilterProblemsImpossiblePredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := FilterProblems(rng, 5, Problem{1, 1, 1}, Problem{4, 4, 4},
+		func(p Problem) bool { return false })
+	if len(ps) != 0 {
+		t.Fatal("impossible predicate should yield nothing (after budget)")
+	}
+}
+
+func TestProblemVol(t *testing.T) {
+	p := Problem{M: 2, K: 3, N: 4}
+	if p.Vol() != 48 {
+		t.Fatalf("Vol = %v", p.Vol())
+	}
+	if math.Abs(math.Log10(p.Vol())-1.6812) > 1e-3 {
+		t.Fatal("log10 volume sanity")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "ratio")
+	tb.AddRow(128, 0.95)
+	tb.AddRow(2048, 1.0625)
+	out := tb.String()
+	if !strings.Contains(out, "size") || !strings.Contains(out, "2048") || !strings.Contains(out, "0.95") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}

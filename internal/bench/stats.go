@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the statistics the paper reports for each criteria
+// comparison in Table 4: "the range, average, and quartiles, values that
+// mark the quarter, half (or median), and three-quarter points in the data".
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Q1, Median, Q3 float64
+	Mean           float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("bench: Summarize of empty data")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// quantile returns the p-quantile of sorted data by linear interpolation
+// (the common "type 7" definition).
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats the summary in the layout of the paper's Table 4 rows:
+// range, quartiles, average.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f–%.4f  %.4f;%.4f;%.4f  %.4f",
+		s.Min, s.Max, s.Q1, s.Median, s.Q3, s.Mean)
+}

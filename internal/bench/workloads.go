@@ -1,0 +1,51 @@
+package bench
+
+import "math/rand"
+
+// Problem is one (m, k, n) multiplication instance: op(A) is m×k, op(B) is
+// k×n.
+type Problem struct {
+	M, K, N int
+}
+
+// RandomProblems draws count problems with each dimension uniform in
+// [lo, hi], the generation scheme of the paper's Table 4 and Figure 6
+// experiments ("randomly selecting the input dimensions m, k, and n").
+func RandomProblems(rng *rand.Rand, count int, lo, hi Problem) []Problem {
+	ps := make([]Problem, count)
+	for i := range ps {
+		ps[i] = Problem{
+			M: lo.M + rng.Intn(hi.M-lo.M+1),
+			K: lo.K + rng.Intn(hi.K-lo.K+1),
+			N: lo.N + rng.Intn(hi.N-lo.N+1),
+		}
+	}
+	return ps
+}
+
+// FilterProblems draws problems satisfying keep until count are found (or
+// the attempt budget is exhausted). The paper uses this to build the
+// Table 4 sample: "we randomly selected the input dimensions ... and then
+// tested for those on which the two criteria would make opposite
+// determinations".
+func FilterProblems(rng *rand.Rand, count int, lo, hi Problem, keep func(Problem) bool) []Problem {
+	var ps []Problem
+	const maxAttempts = 1 << 20
+	for attempts := 0; len(ps) < count && attempts < maxAttempts; attempts++ {
+		p := Problem{
+			M: lo.M + rng.Intn(hi.M-lo.M+1),
+			K: lo.K + rng.Intn(hi.K-lo.K+1),
+			N: lo.N + rng.Intn(hi.N-lo.N+1),
+		}
+		if keep(p) {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// Vol returns 2mkn, the standard-algorithm flop volume of the problem (the
+// x-axis of the paper's Figure 6 is Log10(2mnk)).
+func (p Problem) Vol() float64 {
+	return 2 * float64(p.M) * float64(p.K) * float64(p.N)
+}

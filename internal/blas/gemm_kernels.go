@@ -1,0 +1,159 @@
+package blas
+
+// Kernel is a DGEMM inner engine: it accumulates C ← C + alpha·op(A)·op(B)
+// on column-major storage. Dgemm handles parameter validation and the beta
+// scaling before invoking the kernel, so kernels only implement the
+// multiply-accumulate core.
+//
+// The three implementations stand in for the paper's three machines (see
+// DESIGN.md §2): the relative cost of the kernel versus the O(n²) add and
+// fixup work is what makes the Strassen cutoff machine-dependent, so varying
+// the kernel reproduces the paper's machine-to-machine variation in
+// Tables 2 and 3.
+type Kernel interface {
+	// Name identifies the kernel in reports ("naive", "vector", "blocked").
+	Name() string
+	// MulAdd computes C ← C + alpha*op(A)*op(B), where op(A) is m×k and
+	// op(B) is k×n. alpha is nonzero.
+	MulAdd(transA, transB Transpose, m, n, k int, alpha float64,
+		a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
+}
+
+// NaiveKernel is a straightforward untuned triple loop (dot-product inner
+// loop). It models an untuned microprocessor BLAS: low absolute flop rate, so
+// the O(n²) Strassen overheads are comparatively cheap and the cutoff is low.
+type NaiveKernel struct{}
+
+// Name implements Kernel.
+func (NaiveKernel) Name() string { return "naive" }
+
+// MulAdd implements Kernel.
+func (NaiveKernel) MulAdd(transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	ta, tb := transA.IsTrans(), transB.IsTrans()
+	for j := 0; j < n; j++ {
+		cc := c[j*ldc : j*ldc+m]
+		for i := 0; i < m; i++ {
+			var s float64
+			switch {
+			case !ta && !tb:
+				bc := b[j*ldb : j*ldb+k]
+				for l := 0; l < k; l++ {
+					s += a[i+l*lda] * bc[l]
+				}
+			case ta && !tb:
+				ac := a[i*lda : i*lda+k]
+				bc := b[j*ldb : j*ldb+k]
+				for l := 0; l < k; l++ {
+					s += ac[l] * bc[l]
+				}
+			case !ta && tb:
+				for l := 0; l < k; l++ {
+					s += a[i+l*lda] * b[j+l*ldb]
+				}
+			default: // ta && tb
+				ac := a[i*lda : i*lda+k]
+				for l := 0; l < k; l++ {
+					s += ac[l] * b[j+l*ldb]
+				}
+			}
+			cc[i] += alpha * s
+		}
+	}
+}
+
+// VectorKernel is a column-oriented, AXPY-based kernel in the style of code
+// tuned for a vector machine (long unit-stride vector operations on whole
+// columns). It models the CRAY C90's SGEMM: very fast on long columns, which
+// pushes the crossover with Strassen to small-to-moderate sizes because the
+// Strassen adds are also vectorizable.
+type VectorKernel struct{}
+
+// Name implements Kernel.
+func (VectorKernel) Name() string { return "vector" }
+
+// MulAdd implements Kernel.
+func (VectorKernel) MulAdd(transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	ta, tb := transA.IsTrans(), transB.IsTrans()
+	switch {
+	case !ta && !tb:
+		// C[:,j] += alpha*B[l,j] * A[:,l] — pure column AXPYs.
+		for j := 0; j < n; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			bc := b[j*ldb : j*ldb+k]
+			for l := 0; l < k; l++ {
+				t := alpha * bc[l]
+				if t == 0 {
+					continue
+				}
+				ac := a[l*lda : l*lda+m]
+				for i := range cc {
+					cc[i] += t * ac[i]
+				}
+			}
+		}
+	case ta && !tb:
+		// C[i,j] += alpha*dot(A[:,i], B[:,j]) — column dot products.
+		for j := 0; j < n; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			bc := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda : i*lda+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ac[l] * bc[l]
+				}
+				cc[i] += alpha * s
+			}
+		}
+	case !ta && tb:
+		// C[:,j] += alpha*B[j,l] * A[:,l].
+		for j := 0; j < n; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * b[j+l*ldb]
+				if t == 0 {
+					continue
+				}
+				ac := a[l*lda : l*lda+m]
+				for i := range cc {
+					cc[i] += t * ac[i]
+				}
+			}
+		}
+	default: // ta && tb
+		for j := 0; j < n; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda : i*lda+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ac[l] * b[j+l*ldb]
+				}
+				cc[i] += alpha * s
+			}
+		}
+	}
+}
+
+// DefaultKernel is the kernel used by Dgemm when none is specified
+// explicitly. The blocked kernel is the best general choice on a cache-based
+// CPU, matching the paper's use of the vendor-tuned DGEMM as the baseline.
+var DefaultKernel Kernel = &BlockedKernel{}
+
+// kernels registry for name-based selection (used by cmd tools and benches).
+var kernels = map[string]Kernel{
+	"naive":   NaiveKernel{},
+	"vector":  VectorKernel{},
+	"blocked": &BlockedKernel{},
+}
+
+// KernelByName returns a registered kernel, or nil if the name is unknown.
+// Known names: "naive", "vector", "blocked".
+func KernelByName(name string) Kernel {
+	return kernels[name]
+}
+
+// KernelNames lists the registered kernel names in a fixed report order.
+func KernelNames() []string { return []string{"blocked", "vector", "naive"} }

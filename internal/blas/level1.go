@@ -1,0 +1,208 @@
+package blas
+
+import "math"
+
+// Level 1 BLAS: vector-vector kernels. These back the Level 2/3 routines and
+// the "vector machine" DGEMM kernel, and DGER/DGEMV's inner loops.
+
+// Ddot returns sum_i x[i]*y[i] over n strided elements.
+func Ddot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	if n < 0 {
+		xerbla("DDOT", 1, "n < 0")
+	}
+	if n == 0 {
+		return 0
+	}
+	checkVecSize("DDOT", "x", x, n, incX)
+	checkVecSize("DDOT", "y", y, n, incY)
+	if incX == 1 && incY == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * y[i]
+		}
+		return s
+	}
+	ix, iy := startIdx(n, incX), startIdx(n, incY)
+	var s float64
+	for i := 0; i < n; i++ {
+		s += x[ix] * y[iy]
+		ix += incX
+		iy += incY
+	}
+	return s
+}
+
+// Daxpy computes y ← alpha*x + y over n strided elements.
+func Daxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n < 0 {
+		xerbla("DAXPY", 1, "n < 0")
+	}
+	if n == 0 || alpha == 0 {
+		return
+	}
+	checkVecSize("DAXPY", "x", x, n, incX)
+	checkVecSize("DAXPY", "y", y, n, incY)
+	if incX == 1 && incY == 1 {
+		x = x[:n]
+		y = y[:n]
+		for i := range x {
+			y[i] += alpha * x[i]
+		}
+		return
+	}
+	ix, iy := startIdx(n, incX), startIdx(n, incY)
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dscal computes x ← alpha*x over n strided elements.
+func Dscal(n int, alpha float64, x []float64, incX int) {
+	if n < 0 {
+		xerbla("DSCAL", 1, "n < 0")
+	}
+	if n == 0 || alpha == 1 {
+		return
+	}
+	if incX <= 0 {
+		xerbla("DSCAL", 4, "incX <= 0")
+	}
+	checkVecSize("DSCAL", "x", x, n, incX)
+	if incX == 1 {
+		x = x[:n]
+		for i := range x {
+			x[i] *= alpha
+		}
+		return
+	}
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		x[ix] *= alpha
+	}
+}
+
+// Dcopy copies x into y over n strided elements.
+func Dcopy(n int, x []float64, incX int, y []float64, incY int) {
+	if n < 0 {
+		xerbla("DCOPY", 1, "n < 0")
+	}
+	if n == 0 {
+		return
+	}
+	checkVecSize("DCOPY", "x", x, n, incX)
+	checkVecSize("DCOPY", "y", y, n, incY)
+	if incX == 1 && incY == 1 {
+		copy(y[:n], x[:n])
+		return
+	}
+	ix, iy := startIdx(n, incX), startIdx(n, incY)
+	for i := 0; i < n; i++ {
+		y[iy] = x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dswap exchanges x and y over n strided elements.
+func Dswap(n int, x []float64, incX int, y []float64, incY int) {
+	if n < 0 {
+		xerbla("DSWAP", 1, "n < 0")
+	}
+	if n == 0 {
+		return
+	}
+	checkVecSize("DSWAP", "x", x, n, incX)
+	checkVecSize("DSWAP", "y", y, n, incY)
+	ix, iy := startIdx(n, incX), startIdx(n, incY)
+	for i := 0; i < n; i++ {
+		x[ix], y[iy] = y[iy], x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dnrm2 returns the Euclidean norm of x, guarding against overflow and
+// underflow by the standard scaled-sum-of-squares recurrence.
+func Dnrm2(n int, x []float64, incX int) float64 {
+	if n < 0 {
+		xerbla("DNRM2", 1, "n < 0")
+	}
+	if n == 0 {
+		return 0
+	}
+	if incX <= 0 {
+		xerbla("DNRM2", 3, "incX <= 0")
+	}
+	checkVecSize("DNRM2", "x", x, n, incX)
+	if n == 1 {
+		return math.Abs(x[0])
+	}
+	scale, ssq := 0.0, 1.0
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		v := x[ix]
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dasum returns sum_i |x[i]| over n strided elements.
+func Dasum(n int, x []float64, incX int) float64 {
+	if n < 0 {
+		xerbla("DASUM", 1, "n < 0")
+	}
+	if n == 0 {
+		return 0
+	}
+	if incX <= 0 {
+		xerbla("DASUM", 3, "incX <= 0")
+	}
+	checkVecSize("DASUM", "x", x, n, incX)
+	var s float64
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		s += math.Abs(x[ix])
+	}
+	return s
+}
+
+// Idamax returns the index (0-based) of the first element of maximum absolute
+// value, or -1 when n == 0.
+func Idamax(n int, x []float64, incX int) int {
+	if n < 0 {
+		xerbla("IDAMAX", 1, "n < 0")
+	}
+	if n == 0 {
+		return -1
+	}
+	if incX <= 0 {
+		xerbla("IDAMAX", 3, "incX <= 0")
+	}
+	checkVecSize("IDAMAX", "x", x, n, incX)
+	best, bestVal := 0, math.Abs(x[0])
+	for i, ix := 1, incX; i < n; i, ix = i+1, ix+incX {
+		if a := math.Abs(x[ix]); a > bestVal {
+			best, bestVal = i, a
+		}
+	}
+	return best
+}
+
+// startIdx returns the FORTRAN-convention starting offset for a stride:
+// negative increments walk the vector backwards from the far end.
+func startIdx(n, inc int) int {
+	if inc >= 0 {
+		return 0
+	}
+	return -(n - 1) * inc
+}

@@ -1,0 +1,181 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDdot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 1, y, 1); got != 32 {
+		t.Fatalf("Ddot = %v, want 32", got)
+	}
+	if got := Ddot(0, nil, 1, nil, 1); got != 0 {
+		t.Fatalf("empty dot = %v", got)
+	}
+}
+
+func TestDdotStrided(t *testing.T) {
+	x := []float64{1, 99, 2, 99, 3}
+	y := []float64{4, 0, 5, 0, 6}
+	if got := Ddot(3, x, 2, y, 2); got != 32 {
+		t.Fatalf("strided Ddot = %v, want 32", got)
+	}
+}
+
+func TestDdotNegativeStride(t *testing.T) {
+	// FORTRAN convention: negative inc walks backwards from the far end.
+	x := []float64{3, 2, 1} // traversed as 1, 2, 3
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, -1, y, 1); got != 1*4+2*5+3*6 {
+		t.Fatalf("neg stride Ddot = %v", got)
+	}
+}
+
+func TestDaxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Daxpy(3, 2, x, 1, y, 1)
+	want := []float64{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Daxpy: %v", y)
+		}
+	}
+	// alpha = 0 is a no-op
+	Daxpy(3, 0, x, 1, y, 1)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatal("alpha=0 should not modify y")
+		}
+	}
+}
+
+func TestDaxpyStrided(t *testing.T) {
+	x := []float64{1, 0, 2}
+	y := []float64{1, 1, 1, 1, 1}
+	Daxpy(2, 3, x, 2, y, 3) // y[0] += 3*1, y[3] += 3*2
+	if y[0] != 4 || y[3] != 7 || y[1] != 1 || y[2] != 1 || y[4] != 1 {
+		t.Fatalf("strided Daxpy: %v", y)
+	}
+}
+
+func TestDscal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	Dscal(2, 10, x, 2)
+	if x[0] != 10 || x[1] != 2 || x[2] != 30 || x[3] != 4 {
+		t.Fatalf("Dscal strided: %v", x)
+	}
+	Dscal(4, 0, x, 1)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("Dscal 0 should zero")
+		}
+	}
+}
+
+func TestDcopyDswap(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	Dcopy(3, x, 1, y, 1)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("Dcopy")
+		}
+	}
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	Dswap(2, a, 1, b, 1)
+	if a[0] != 3 || a[1] != 4 || b[0] != 1 || b[1] != 2 {
+		t.Fatal("Dswap")
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	if got := Dnrm2(2, []float64{3, 4}, 1); got != 5 {
+		t.Fatalf("Dnrm2 = %v", got)
+	}
+	// Overflow guard: would overflow with naive sum of squares.
+	if got := Dnrm2(2, []float64{1e200, 1e200}, 1); math.IsInf(got, 0) {
+		t.Fatal("Dnrm2 overflowed")
+	}
+	// Underflow guard.
+	got := Dnrm2(2, []float64{1e-200, 1e-200}, 1)
+	want := 1e-200 * math.Sqrt2
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("Dnrm2 underflow: %v", got)
+	}
+	if Dnrm2(0, nil, 1) != 0 {
+		t.Fatal("empty norm")
+	}
+}
+
+func TestDasum(t *testing.T) {
+	if got := Dasum(3, []float64{1, -2, 3}, 1); got != 6 {
+		t.Fatalf("Dasum = %v", got)
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	if got := Idamax(4, []float64{1, -5, 3, 5}, 1); got != 1 {
+		t.Fatalf("Idamax = %d, want 1 (first max)", got)
+	}
+	if got := Idamax(0, nil, 1); got != -1 {
+		t.Fatal("empty Idamax should be -1")
+	}
+}
+
+func TestLevel1Panics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Ddot n<0":       func() { Ddot(-1, nil, 1, nil, 1) },
+		"Ddot short x":   func() { Ddot(3, []float64{1}, 1, []float64{1, 2, 3}, 1) },
+		"Daxpy short y":  func() { Daxpy(3, 1, []float64{1, 2, 3}, 1, []float64{1}, 1) },
+		"Dscal inc<=0":   func() { Dscal(2, 1.5, []float64{1, 2}, 0) },
+		"Dnrm2 inc<=0":   func() { Dnrm2(2, []float64{1, 2}, -1) },
+		"Idamax inc<=0":  func() { Idamax(2, []float64{1, 2}, 0) },
+		"Dcopy zero inc": func() { Dcopy(2, []float64{1, 2}, 0, []float64{1, 2}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDaxpyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		alpha := 2*rng.Float64() - 1
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = y[i] + alpha*x[i]
+		}
+		Daxpy(n, alpha, x, 1, y, 1)
+		for i := range y {
+			if !almostEq(y[i], want[i], 1e-15) {
+				t.Fatalf("trial %d: mismatch", trial)
+			}
+		}
+	}
+}

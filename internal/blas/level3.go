@@ -1,0 +1,362 @@
+package blas
+
+// Level 3 BLAS. Dgemm is the routine DGEFMM replaces; the remaining routines
+// support the eigensolver substrate (QR updates, symmetric algebra).
+
+// Dgemm computes C ← alpha*op(A)*op(B) + beta*C using DefaultKernel.
+// op(A) is m×k, op(B) is k×n, C is m×n; all column-major with leading
+// dimensions lda, ldb, ldc.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	DgemmKernel(DefaultKernel, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DgemmKernel is Dgemm with an explicit kernel choice. A nil kernel selects
+// DefaultKernel. Note that *BlockedKernel keeps internal packing buffers, so
+// a single kernel value must not be used from multiple goroutines at once.
+func DgemmKernel(kern Kernel, transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if !transA.valid() {
+		xerbla("DGEMM", 1, "bad transA")
+	}
+	if !transB.valid() {
+		xerbla("DGEMM", 2, "bad transB")
+	}
+	if m < 0 {
+		xerbla("DGEMM", 3, "m < 0")
+	}
+	if n < 0 {
+		xerbla("DGEMM", 4, "n < 0")
+	}
+	if k < 0 {
+		xerbla("DGEMM", 5, "k < 0")
+	}
+	rowsA, colsA := m, k
+	if transA.IsTrans() {
+		rowsA, colsA = k, m
+	}
+	rowsB, colsB := k, n
+	if transB.IsTrans() {
+		rowsB, colsB = n, k
+	}
+	checkLD("DGEMM", 8, "a", lda, rowsA)
+	checkLD("DGEMM", 10, "b", ldb, rowsB)
+	checkLD("DGEMM", 13, "c", ldc, m)
+	if m == 0 || n == 0 {
+		return
+	}
+	checkMatSize("DGEMM", "a", a, rowsA, colsA, lda)
+	checkMatSize("DGEMM", "b", b, rowsB, colsB, ldb)
+	checkMatSize("DGEMM", "c", c, m, n, ldc)
+
+	// C ← beta*C.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if kern == nil {
+		kern = DefaultKernel
+	}
+	kern.MulAdd(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// Dsymm computes C ← alpha*A*B + beta*C (side Left) or
+// C ← alpha*B*A + beta*C (side Right), where A is symmetric with only the
+// uplo triangle referenced; C is m×n.
+func Dsymm(side Side, uplo Uplo, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if !side.valid() {
+		xerbla("DSYMM", 1, "bad side")
+	}
+	if !uplo.valid() {
+		xerbla("DSYMM", 2, "bad uplo")
+	}
+	if m < 0 {
+		xerbla("DSYMM", 3, "m < 0")
+	}
+	if n < 0 {
+		xerbla("DSYMM", 4, "n < 0")
+	}
+	na := n
+	if side.isLeft() {
+		na = m
+	}
+	checkLD("DSYMM", 7, "a", lda, na)
+	checkLD("DSYMM", 9, "b", ldb, m)
+	checkLD("DSYMM", 12, "c", ldc, m)
+	if m == 0 || n == 0 {
+		return
+	}
+	checkMatSize("DSYMM", "a", a, na, na, lda)
+	checkMatSize("DSYMM", "b", b, m, n, ldb)
+	checkMatSize("DSYMM", "c", c, m, n, ldc)
+
+	upper := uplo.isUpper()
+	sym := func(i, j int) float64 {
+		if i == j || (i < j) == upper {
+			return a[i+j*lda]
+		}
+		return a[j+i*lda]
+	}
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+		if alpha == 0 {
+			continue
+		}
+		if side.isLeft() {
+			for l := 0; l < m; l++ {
+				t := alpha * b[l+j*ldb]
+				if t == 0 {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					col[i] += t * sym(i, l)
+				}
+			}
+		} else {
+			for l := 0; l < n; l++ {
+				t := alpha * sym(l, j)
+				if t == 0 {
+					continue
+				}
+				bc := b[l*ldb : l*ldb+m]
+				for i := range col {
+					col[i] += t * bc[i]
+				}
+			}
+		}
+	}
+}
+
+// Dsyrk computes the symmetric rank-k update
+// C ← alpha*op(A)*op(A)ᵀ + beta*C where op(A) is n×k; only the uplo triangle
+// of C is referenced and updated.
+func Dsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64,
+	a []float64, lda int, beta float64, c []float64, ldc int) {
+	if !uplo.valid() {
+		xerbla("DSYRK", 1, "bad uplo")
+	}
+	if !trans.valid() {
+		xerbla("DSYRK", 2, "bad trans")
+	}
+	if n < 0 {
+		xerbla("DSYRK", 3, "n < 0")
+	}
+	if k < 0 {
+		xerbla("DSYRK", 4, "k < 0")
+	}
+	rowsA, colsA := n, k
+	if trans.IsTrans() {
+		rowsA, colsA = k, n
+	}
+	checkLD("DSYRK", 7, "a", lda, rowsA)
+	checkLD("DSYRK", 10, "c", ldc, n)
+	if n == 0 {
+		return
+	}
+	checkMatSize("DSYRK", "a", a, rowsA, colsA, lda)
+	checkMatSize("DSYRK", "c", c, n, n, ldc)
+
+	upper := uplo.isUpper()
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if !upper {
+			lo, hi = j, n
+		}
+		col := c[j*ldc:]
+		if beta == 0 {
+			for i := lo; i < hi; i++ {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := lo; i < hi; i++ {
+				col[i] *= beta
+			}
+		}
+		if alpha == 0 || k == 0 {
+			continue
+		}
+		if !trans.IsTrans() {
+			// C(i,j) += alpha * sum_l A(i,l)*A(j,l)
+			for l := 0; l < k; l++ {
+				t := alpha * a[j+l*lda]
+				if t == 0 {
+					continue
+				}
+				ac := a[l*lda:]
+				for i := lo; i < hi; i++ {
+					col[i] += t * ac[i]
+				}
+			}
+		} else {
+			// C(i,j) += alpha * dot(A(:,i), A(:,j))
+			aj := a[j*lda : j*lda+k]
+			for i := lo; i < hi; i++ {
+				ai := a[i*lda : i*lda+k]
+				var s float64
+				for l := range aj {
+					s += ai[l] * aj[l]
+				}
+				col[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Dtrmm computes B ← alpha*op(A)*B (side Left) or B ← alpha*B*op(A)
+// (side Right) for triangular A; B is m×n and is overwritten.
+func Dtrmm(side Side, uplo Uplo, transA Transpose, diag Diag, m, n int,
+	alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if !side.valid() {
+		xerbla("DTRMM", 1, "bad side")
+	}
+	if !uplo.valid() {
+		xerbla("DTRMM", 2, "bad uplo")
+	}
+	if !transA.valid() {
+		xerbla("DTRMM", 3, "bad transA")
+	}
+	if !diag.valid() {
+		xerbla("DTRMM", 4, "bad diag")
+	}
+	if m < 0 {
+		xerbla("DTRMM", 5, "m < 0")
+	}
+	if n < 0 {
+		xerbla("DTRMM", 6, "n < 0")
+	}
+	na := n
+	if side.isLeft() {
+		na = m
+	}
+	checkLD("DTRMM", 9, "a", lda, na)
+	checkLD("DTRMM", 11, "b", ldb, m)
+	if m == 0 || n == 0 {
+		return
+	}
+	checkMatSize("DTRMM", "a", a, na, na, lda)
+	checkMatSize("DTRMM", "b", b, m, n, ldb)
+
+	if alpha == 0 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+		return
+	}
+	if side.isLeft() {
+		// Column by column: B(:,j) ← alpha*op(A)*B(:,j) via Dtrmv.
+		for j := 0; j < n; j++ {
+			Dtrmv(uplo, transA, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+			if alpha != 1 {
+				Dscal(m, alpha, b[j*ldb:j*ldb+m], 1)
+			}
+		}
+		return
+	}
+	// Right side: row by row, B(i,:) ← alpha*B(i,:)*op(A), i.e.
+	// B(i,:)ᵀ ← alpha*op(A)ᵀ*B(i,:)ᵀ.
+	flip := NoTrans
+	if !transA.IsTrans() {
+		flip = Trans
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		Dtrmv(uplo, flip, diag, n, a, lda, row, 1)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = alpha * row[j]
+		}
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B
+// (side Right) for X, overwriting B with X; A is triangular, B is m×n.
+func Dtrsm(side Side, uplo Uplo, transA Transpose, diag Diag, m, n int,
+	alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if !side.valid() {
+		xerbla("DTRSM", 1, "bad side")
+	}
+	if !uplo.valid() {
+		xerbla("DTRSM", 2, "bad uplo")
+	}
+	if !transA.valid() {
+		xerbla("DTRSM", 3, "bad transA")
+	}
+	if !diag.valid() {
+		xerbla("DTRSM", 4, "bad diag")
+	}
+	if m < 0 {
+		xerbla("DTRSM", 5, "m < 0")
+	}
+	if n < 0 {
+		xerbla("DTRSM", 6, "n < 0")
+	}
+	na := n
+	if side.isLeft() {
+		na = m
+	}
+	checkLD("DTRSM", 9, "a", lda, na)
+	checkLD("DTRSM", 11, "b", ldb, m)
+	if m == 0 || n == 0 {
+		return
+	}
+	checkMatSize("DTRSM", "a", a, na, na, lda)
+	checkMatSize("DTRSM", "b", b, m, n, ldb)
+
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			Dscal(m, alpha, b[j*ldb:j*ldb+m], 1)
+		}
+	}
+	if side.isLeft() {
+		for j := 0; j < n; j++ {
+			Dtrsv(uplo, transA, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	// Right side: X*op(A) = B ⇒ op(A)ᵀ*Xᵀ = Bᵀ, solve row by row.
+	flip := NoTrans
+	if !transA.IsTrans() {
+		flip = Trans
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		Dtrsv(uplo, flip, diag, n, a, lda, row, 1)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refGemm is a straightforward reference for C = alpha*op(A)*op(B) + beta*C.
+func refGemm(transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) []float64 {
+	out := append([]float64(nil), c...)
+	at := func(i, l int) float64 {
+		if transA.IsTrans() {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	bt := func(l, j int) float64 {
+		if transB.IsTrans() {
+			return b[j+l*ldb]
+		}
+		return b[l+j*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			out[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+	return out
+}
+
+func allTrans() []Transpose { return []Transpose{NoTrans, Trans} }
+
+func TestDgemmAllKernelsAllTransposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, kname := range KernelNames() {
+		kern := KernelByName(kname)
+		if kern == nil {
+			t.Fatalf("kernel %q missing", kname)
+		}
+		for trial := 0; trial < 60; trial++ {
+			m, n, k := rng.Intn(14)+1, rng.Intn(14)+1, rng.Intn(14)+1
+			for _, ta := range allTrans() {
+				for _, tb := range allTrans() {
+					rowsA, colsA := m, k
+					if ta.IsTrans() {
+						rowsA, colsA = k, m
+					}
+					rowsB, colsB := k, n
+					if tb.IsTrans() {
+						rowsB, colsB = n, k
+					}
+					lda := rowsA + rng.Intn(3)
+					ldb := rowsB + rng.Intn(3)
+					ldc := m + rng.Intn(3)
+					a := randMat(rng, rowsA, colsA, lda)
+					b := randMat(rng, rowsB, colsB, ldb)
+					c := randMat(rng, m, n, ldc)
+					alpha := 2*rng.Float64() - 1
+					beta := 2*rng.Float64() - 1
+					switch trial % 4 {
+					case 0:
+						beta = 0
+					case 1:
+						alpha, beta = 1, 0
+					}
+					want := refGemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+					DgemmKernel(kern, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+					for j := 0; j < n; j++ {
+						for i := 0; i < m; i++ {
+							if !almostEq(c[i+j*ldc], want[i+j*ldc], 1e-12) {
+								t.Fatalf("%s ta=%c tb=%c m=%d n=%d k=%d: C(%d,%d)=%v want %v",
+									kname, ta, tb, m, n, k, i, j, c[i+j*ldc], want[i+j*ldc])
+							}
+						}
+					}
+					// Sentinels beyond row m untouched.
+					for j := 0; j < n; j++ {
+						for i := m; i < ldc; i++ {
+							if c[i+j*ldc] != 999 {
+								t.Fatalf("%s wrote outside C", kname)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmBlockedLargeAgainstNaive(t *testing.T) {
+	// Exercise the packing edges: sizes straddling the MC/KC/NC block
+	// boundaries and the MR/NR micro-tile remainders.
+	rng := rand.New(rand.NewSource(32))
+	kern := &BlockedKernel{MC: 8, KC: 8, NC: 8} // tiny blocks → many edges
+	for _, dims := range [][3]int{{9, 9, 9}, {17, 5, 13}, {8, 8, 8}, {1, 20, 1}, {23, 1, 7}, {16, 16, 17}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		for _, ta := range allTrans() {
+			for _, tb := range allTrans() {
+				rowsA, colsA := m, k
+				if ta.IsTrans() {
+					rowsA, colsA = k, m
+				}
+				rowsB, colsB := k, n
+				if tb.IsTrans() {
+					rowsB, colsB = n, k
+				}
+				a := randMat(rng, rowsA, colsA, rowsA)
+				b := randMat(rng, rowsB, colsB, rowsB)
+				c := randMat(rng, m, n, m)
+				want := refGemm(ta, tb, m, n, k, 1.5, a, rowsA, b, rowsB, 0.5, c, m)
+				DgemmKernel(kern, ta, tb, m, n, k, 1.5, a, rowsA, b, rowsB, 0.5, c, m)
+				for i := range c {
+					if !almostEq(c[i], want[i], 1e-12) {
+						t.Fatalf("blocked small-block dims=%v ta=%c tb=%c mismatch", dims, ta, tb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmDegenerate(t *testing.T) {
+	c := []float64{1, 2, 3, 4}
+	// k == 0: C ← beta*C. (lda must still be ≥ m, as in the reference BLAS.)
+	Dgemm(NoTrans, NoTrans, 2, 2, 0, 5, nil, 2, nil, 1, 2, c, 2)
+	for i, want := range []float64{2, 4, 6, 8} {
+		if c[i] != want {
+			t.Fatalf("k=0: %v", c)
+		}
+	}
+	// alpha == 0: same.
+	Dgemm(NoTrans, NoTrans, 2, 2, 3, 0, make([]float64, 6), 2, make([]float64, 6), 3, 0.5, c, 2)
+	for i, want := range []float64{1, 2, 3, 4} {
+		if c[i] != want {
+			t.Fatalf("alpha=0: %v", c)
+		}
+	}
+	// m == 0 / n == 0: no-ops that must not touch memory (leading dimensions
+	// are still validated, as in the reference BLAS).
+	Dgemm(NoTrans, NoTrans, 0, 2, 2, 1, nil, 1, make([]float64, 4), 2, 0, nil, 1)
+	Dgemm(NoTrans, NoTrans, 2, 0, 2, 1, make([]float64, 4), 2, nil, 2, 0, make([]float64, 4), 2)
+}
+
+func TestDgemmPanics(t *testing.T) {
+	a := make([]float64, 4)
+	for name, f := range map[string]func(){
+		"bad transA": func() { Dgemm('Q', NoTrans, 1, 1, 1, 1, a, 1, a, 1, 0, a, 1) },
+		"m<0":        func() { Dgemm(NoTrans, NoTrans, -1, 1, 1, 1, a, 1, a, 1, 0, a, 1) },
+		"lda small":  func() { Dgemm(NoTrans, NoTrans, 3, 1, 1, 1, a, 2, a, 1, 0, a, 3) },
+		"a short":    func() { Dgemm(NoTrans, NoTrans, 2, 2, 2, 1, a[:3], 2, a, 2, 0, a, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDsymmAgainstDgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		m, n := rng.Intn(8)+1, rng.Intn(8)+1
+		for _, side := range []Side{Left, Right} {
+			na := n
+			if side == Left {
+				na = m
+			}
+			lda := na + rng.Intn(2)
+			full := make([]float64, lda*na)
+			for j := 0; j < na; j++ {
+				for i := 0; i <= j; i++ {
+					v := 2*rng.Float64() - 1
+					full[i+j*lda] = v
+					full[j+i*lda] = v
+				}
+			}
+			b := randMat(rng, m, n, m)
+			c := randMat(rng, m, n, m)
+			alpha, beta := 1.25, -0.5
+			var want []float64
+			if side == Left {
+				want = refGemm(NoTrans, NoTrans, m, n, m, alpha, full, lda, b, m, beta, c, m)
+			} else {
+				want = refGemmRight(m, n, alpha, b, m, full, lda, beta, c, m)
+			}
+			for _, uplo := range []Uplo{Upper, Lower} {
+				cc := append([]float64(nil), c...)
+				Dsymm(side, uplo, m, n, alpha, full, lda, b, m, beta, cc, m)
+				for i := range cc {
+					if !almostEq(cc[i], want[i], 1e-12) {
+						t.Fatalf("Dsymm side=%c uplo=%c mismatch", side, uplo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// refGemmRight computes C = alpha*B*A + beta*C where B is m×n, A is n×n.
+func refGemmRight(m, n int, alpha float64, b []float64, ldb int, a []float64, lda int, beta float64, c []float64, ldc int) []float64 {
+	out := append([]float64(nil), c...)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += b[i+l*ldb] * a[l+j*lda]
+			}
+			out[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+	return out
+}
+
+func TestDsyrkAgainstDgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		n, k := rng.Intn(8)+1, rng.Intn(8)+1
+		for _, trans := range allTrans() {
+			rowsA, colsA := n, k
+			if trans.IsTrans() {
+				rowsA, colsA = k, n
+			}
+			lda := rowsA + rng.Intn(2)
+			a := randMat(rng, rowsA, colsA, lda)
+			cFull := randMat(rng, n, n, n)
+			// Symmetrize C so the triangles agree.
+			for j := 0; j < n; j++ {
+				for i := 0; i < j; i++ {
+					cFull[j+i*n] = cFull[i+j*n]
+				}
+			}
+			alpha, beta := 0.75, 1.5
+			tb := Trans
+			if trans.IsTrans() {
+				tb = NoTrans
+			}
+			want := refGemm(trans, tb, n, n, k, alpha, a, lda, a, lda, beta, cFull, n)
+			for _, uplo := range []Uplo{Upper, Lower} {
+				cc := append([]float64(nil), cFull...)
+				Dsyrk(uplo, trans, n, k, alpha, a, lda, beta, cc, n)
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						inTri := i == j || ((i < j) == (uplo == Upper))
+						if inTri {
+							if !almostEq(cc[i+j*n], want[i+j*n], 1e-12) {
+								t.Fatalf("Dsyrk uplo=%c trans=%c mismatch", uplo, trans)
+							}
+						} else if cc[i+j*n] != cFull[i+j*n] {
+							t.Fatalf("Dsyrk touched opposite triangle")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrmmDtrsmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 30; trial++ {
+		m, n := rng.Intn(6)+1, rng.Intn(6)+1
+		for _, side := range []Side{Left, Right} {
+			na := n
+			if side == Left {
+				na = m
+			}
+			lda := na + 1
+			a := randMat(rng, na, na, lda)
+			for i := 0; i < na; i++ {
+				a[i+i*lda] = 2 + rng.Float64()
+			}
+			for _, uplo := range []Uplo{Upper, Lower} {
+				for _, trans := range allTrans() {
+					for _, diag := range []Diag{NonUnit, Unit} {
+						b := randMat(rng, m, n, m)
+						orig := append([]float64(nil), b...)
+						Dtrmm(side, uplo, trans, diag, m, n, 2, a, lda, b, m)
+						Dtrsm(side, uplo, trans, diag, m, n, 0.5, a, lda, b, m)
+						for i := range b {
+							if !almostEq(b[i], orig[i], 1e-9) {
+								t.Fatalf("trmm/trsm roundtrip side=%c uplo=%c trans=%c diag=%c", side, uplo, trans, diag)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrmmLeftAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	m, n := 5, 4
+	lda := m
+	a := randMat(rng, m, m, lda)
+	for _, uplo := range []Uplo{Upper, Lower} {
+		full := make([]float64, m*m)
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				if i == j || (i < j) == (uplo == Upper) {
+					full[i+j*m] = a[i+j*lda]
+				}
+			}
+		}
+		b := randMat(rng, m, n, m)
+		want := refGemm(NoTrans, NoTrans, m, n, m, 1, full, m, b, m, 0, make([]float64, m*n), m)
+		Dtrmm(Left, uplo, NoTrans, NonUnit, m, n, 1, a, lda, b, m)
+		for i := range b {
+			if !almostEq(b[i], want[i], 1e-12) {
+				t.Fatalf("Dtrmm dense check uplo=%c", uplo)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Negative increments follow the FORTRAN convention: the vector is walked
+// backwards from its far end. These tests pin that behavior for the Level 1
+// and Level 2 routines that accept signed increments.
+
+func TestDgemvNegativeIncX(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m, n := 5, 4
+	a := randMat(rng, m, n, m)
+	xf := randVec(rng, n) // forward
+	xr := make([]float64, n)
+	for i := range xf {
+		xr[n-1-i] = xf[i] // reversed storage
+	}
+	y1 := make([]float64, m)
+	y2 := make([]float64, m)
+	Dgemv(NoTrans, m, n, 1.5, a, m, xf, 1, 0, y1, 1)
+	Dgemv(NoTrans, m, n, 1.5, a, m, xr, -1, 0, y2, 1)
+	for i := range y1 {
+		if !almostEq(y1[i], y2[i], 1e-14) {
+			t.Fatalf("y[%d]: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestDgemvNegativeIncY(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, n := 6, 3
+	a := randMat(rng, m, n, m)
+	x := randVec(rng, n)
+	y1 := randVec(rng, m)
+	y2 := make([]float64, m)
+	for i := range y1 {
+		y2[m-1-i] = y1[i]
+	}
+	Dgemv(NoTrans, m, n, 2, a, m, x, 1, 0.5, y1, 1)
+	Dgemv(NoTrans, m, n, 2, a, m, x, 1, 0.5, y2, -1)
+	for i := range y1 {
+		if !almostEq(y1[i], y2[m-1-i], 1e-14) {
+			t.Fatalf("y[%d] mismatch under reversed storage", i)
+		}
+	}
+}
+
+func TestDgerNegativeIncrements(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m, n := 4, 5
+	x := randVec(rng, m)
+	y := randVec(rng, n)
+	xr := make([]float64, m)
+	for i := range x {
+		xr[m-1-i] = x[i]
+	}
+	yr := make([]float64, n)
+	for i := range y {
+		yr[n-1-i] = y[i]
+	}
+	a1 := randMat(rng, m, n, m)
+	a2 := append([]float64(nil), a1...)
+	Dger(m, n, 1.25, x, 1, y, 1, a1, m)
+	Dger(m, n, 1.25, xr, -1, yr, -1, a2, m)
+	for i := range a1 {
+		if !almostEq(a1[i], a2[i], 1e-14) {
+			t.Fatalf("a[%d]: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestDaxpyBothNegative(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	// Both reversed: pairs (x[2],y[2]) ... so same as forward.
+	want := []float64{10 + 2*1, 20 + 2*2, 30 + 2*3}
+	Daxpy(3, 2, x, -1, y, -1)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDcopyMixedSigns(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	// Forward x into backward y: y[2]=x[0], y[1]=x[1], y[0]=x[2].
+	Dcopy(3, x, 1, y, -1)
+	if y[0] != 3 || y[1] != 2 || y[2] != 1 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestDswapNegative(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{9, 8}
+	Dswap(2, x, -1, y, 1)
+	// x traversed backwards: pairs (x[1],y[0]), (x[0],y[1]).
+	if x[1] != 9 || x[0] != 8 || y[0] != 2 || y[1] != 1 {
+		t.Fatalf("x=%v y=%v", x, y)
+	}
+}

@@ -1,0 +1,174 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over the algebraic identities the BLAS must satisfy,
+// driven by testing/quick for shape/seed generation.
+
+type gemmShape struct {
+	M, N, K uint8
+	Seed    int64
+}
+
+func (s gemmShape) dims() (m, n, k int) {
+	return int(s.M%16) + 1, int(s.N%16) + 1, int(s.K%16) + 1
+}
+
+// kernelsAgree: all registered kernels compute the same product.
+func TestQuickKernelsAgree(t *testing.T) {
+	f := func(s gemmShape) bool {
+		m, n, k := s.dims()
+		rng := rand.New(rand.NewSource(s.Seed))
+		a := randMat(rng, m, k, m)
+		b := randMat(rng, k, n, k)
+		c0 := randMat(rng, m, n, m)
+		var results [][]float64
+		for _, name := range KernelNames() {
+			c := append([]float64(nil), c0...)
+			DgemmKernel(KernelByName(name), NoTrans, NoTrans, m, n, k, 1.3, a, m, b, k, 0.7, c, m)
+			results = append(results, c)
+		}
+		for i := 1; i < len(results); i++ {
+			for j := range results[0] {
+				if !almostEq(results[0][j], results[i][j], 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Linearity: A(x+y) = Ax + Ay for Dgemv.
+func TestQuickGemvLinearity(t *testing.T) {
+	f := func(s gemmShape) bool {
+		m, n, _ := s.dims()
+		rng := rand.New(rand.NewSource(s.Seed))
+		a := randMat(rng, m, n, m)
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		xy := make([]float64, n)
+		for i := range xy {
+			xy[i] = x[i] + y[i]
+		}
+		r1 := make([]float64, m)
+		r2 := make([]float64, m)
+		r3 := make([]float64, m)
+		Dgemv(NoTrans, m, n, 1, a, m, x, 1, 0, r1, 1)
+		Dgemv(NoTrans, m, n, 1, a, m, y, 1, 0, r2, 1)
+		Dgemv(NoTrans, m, n, 1, a, m, xy, 1, 0, r3, 1)
+		for i := range r3 {
+			if !almostEq(r3[i], r1[i]+r2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Transpose identity: (AB)ᵀ = BᵀAᵀ via Dgemm.
+func TestQuickGemmTransposeIdentity(t *testing.T) {
+	f := func(s gemmShape) bool {
+		m, n, k := s.dims()
+		rng := rand.New(rand.NewSource(s.Seed))
+		a := randMat(rng, m, k, m)
+		b := randMat(rng, k, n, k)
+		ab := make([]float64, m*n)
+		Dgemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
+		// Compute Cᵀ = BᵀAᵀ directly: Cᵀ is n×m.
+		ct := make([]float64, n*m)
+		Dgemm(Trans, Trans, n, m, k, 1, b, k, a, m, 0, ct, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if !almostEq(ab[i+j*m], ct[j+i*n], 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling: Dgemm with alpha scales linearly.
+func TestQuickGemmAlphaLinearity(t *testing.T) {
+	f := func(s gemmShape, alphaRaw int8) bool {
+		m, n, k := s.dims()
+		alpha := float64(alphaRaw) / 16
+		rng := rand.New(rand.NewSource(s.Seed))
+		a := randMat(rng, m, k, m)
+		b := randMat(rng, k, n, k)
+		c1 := make([]float64, m*n)
+		c2 := make([]float64, m*n)
+		Dgemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c1, m)
+		Dgemm(NoTrans, NoTrans, m, n, k, alpha, a, m, b, k, 0, c2, m)
+		for i := range c1 {
+			if !almostEq(alpha*c1[i], c2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dger is Dgemm with k=1.
+func TestQuickGerEqualsRankOneGemm(t *testing.T) {
+	f := func(s gemmShape) bool {
+		m, n, _ := s.dims()
+		rng := rand.New(rand.NewSource(s.Seed))
+		x := randVec(rng, m)
+		y := randVec(rng, n)
+		c1 := randMat(rng, m, n, m)
+		c2 := append([]float64(nil), c1...)
+		Dger(m, n, 1.7, x, 1, y, 1, c1, m)
+		Dgemm(NoTrans, NoTrans, m, n, 1, 1.7, x, m, y, 1, 1, c2, m)
+		for i := range c1 {
+			if !almostEq(c1[i], c2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dsyrk equals the symmetric part of the corresponding Dgemm.
+func TestQuickSyrkEqualsGemm(t *testing.T) {
+	f := func(s gemmShape) bool {
+		n, _, k := s.dims()
+		rng := rand.New(rand.NewSource(s.Seed))
+		a := randMat(rng, n, k, n)
+		cg := make([]float64, n*n)
+		Dgemm(NoTrans, Trans, n, n, k, 1, a, n, a, n, 0, cg, n)
+		cs := make([]float64, n*n)
+		Dsyrk(Lower, NoTrans, n, k, 1, a, n, 0, cs, n)
+		for j := 0; j < n; j++ {
+			for i := j; i < n; i++ {
+				if !almostEq(cs[i+j*n], cg[i+j*n], 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

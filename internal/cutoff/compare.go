@@ -1,0 +1,70 @@
+package cutoff
+
+import (
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// Comparison is one Table 4 experiment: DGEFMM timed under two cutoff
+// criteria on random problems where the criteria make opposite top-level
+// recursion decisions. Ratios below 1 mean criterion A (the paper's new
+// hybrid condition) is faster.
+type Comparison struct {
+	// Ratios holds time(A)/time(B) per problem.
+	Ratios []float64
+	// Problems holds the sampled disagreement problems.
+	Problems []bench.Problem
+	// Summary is the range/quartiles/average statistics of Ratios.
+	Summary bench.Summary
+}
+
+// Disagree reports whether two criteria make opposite decisions about
+// applying recursion at the top level of problem p — the paper's selection
+// rule: "we ... tested for those on which the two criteria would make
+// opposite determinations on whether to apply recursion at the top level".
+func Disagree(a, b strassen.Criterion, p bench.Problem) bool {
+	return a.Recurse(p.M, p.K, p.N) != b.Recurse(p.M, p.K, p.N)
+}
+
+// CompareCriteria times DGEFMM under criteria a and b on sampleSize random
+// disagreement problems drawn from [lo, hi] and returns the ratio
+// statistics. α=1 and β=0, as in Table 4. An extra keep filter can restrict
+// the sample (e.g. the "two dims large" rows); pass nil for no filter.
+func CompareCriteria(kern blas.Kernel, a, b strassen.Criterion, sampleSize int,
+	lo, hi bench.Problem, keep func(bench.Problem) bool, seed int64) Comparison {
+	rng := rand.New(rand.NewSource(seed))
+	probs := bench.FilterProblems(rng, sampleSize, lo, hi, func(p bench.Problem) bool {
+		if keep != nil && !keep(p) {
+			return false
+		}
+		return Disagree(a, b, p)
+	})
+	// Trackers make the timed loops reuse workspace (see oneLevelConfig).
+	cfgA := &strassen.Config{Kernel: kern, Criterion: a, Odd: strassen.OddPeel, Tracker: memtrack.New()}
+	cfgB := &strassen.Config{Kernel: kern, Criterion: b, Odd: strassen.OddPeel, Tracker: memtrack.New()}
+	ratios := make([]float64, 0, len(probs))
+	for _, p := range probs {
+		am := matrix.NewRandom(p.M, p.K, rng)
+		bm := matrix.NewRandom(p.K, p.N, rng)
+		cm := matrix.NewDense(p.M, p.N)
+		tA := bench.BestOf(2, func() {
+			strassen.DGEFMM(cfgA, blas.NoTrans, blas.NoTrans, p.M, p.N, p.K, 1,
+				am.Data, am.Stride, bm.Data, bm.Stride, 0, cm.Data, cm.Stride)
+		})
+		tB := bench.BestOf(2, func() {
+			strassen.DGEFMM(cfgB, blas.NoTrans, blas.NoTrans, p.M, p.N, p.K, 1,
+				am.Data, am.Stride, bm.Data, bm.Stride, 0, cm.Data, cm.Stride)
+		})
+		ratios = append(ratios, tA/tB)
+	}
+	c := Comparison{Ratios: ratios, Problems: probs}
+	if len(ratios) > 0 {
+		c.Summary = bench.Summarize(ratios)
+	}
+	return c
+}

@@ -1,0 +1,184 @@
+package cutoff
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/blas"
+	"repro/internal/strassen"
+)
+
+// Calibration unit tests run with the naive kernel on small sizes so they
+// stay fast; the full-size sweeps live in cmd/calibrate and the benchmarks.
+
+func TestChooseCrossover(t *testing.T) {
+	pts := []RatioPoint{
+		{120, 0.95}, {140, 0.98}, {160, 1.01}, {180, 0.99}, {200, 1.02}, {220, 1.05},
+	}
+	// After median smoothing the curve is {0.95,0.98,0.99,1.01,1.02,1.05}:
+	// the stable-win region starts at dim 160 (75 % of the rest win) and the
+	// last smoothed loss is also at 160 → τ = 160.
+	if got := ChooseCrossover(pts); got != 160 {
+		t.Fatalf("ChooseCrossover = %d, want 160", got)
+	}
+	// τ sits inside the paper-style crossover range (first win .. stable).
+	if got := ChooseCrossover(pts); got < 140 || got > 200 {
+		t.Fatalf("τ=%d outside the crossover range", got)
+	}
+}
+
+func TestChooseCrossoverIgnoresLateOutliers(t *testing.T) {
+	// A single deep loss far above the crossover (stride-aliasing noise)
+	// must not drag τ upward.
+	pts := []RatioPoint{
+		{32, 0.9}, {64, 1.2}, {96, 1.18}, {128, 1.1}, {160, 1.3},
+		{192, 1.02}, {224, 1.25}, {256, 1.01}, {288, 1.46}, {320, 0.88},
+	}
+	got := ChooseCrossover(pts)
+	if got > 64 {
+		t.Fatalf("τ=%d inflated by the late outlier; want ≤ 64", got)
+	}
+}
+
+func TestChooseCrossoverAlwaysWins(t *testing.T) {
+	pts := []RatioPoint{{64, 1.1}, {96, 1.2}}
+	if got := ChooseCrossover(pts); got != 63 {
+		t.Fatalf("always-wins crossover = %d, want 63", got)
+	}
+}
+
+func TestChooseCrossoverNeverWins(t *testing.T) {
+	pts := []RatioPoint{{64, 0.8}, {96, 0.9}}
+	if got := ChooseCrossover(pts); got != 96 {
+		t.Fatalf("never-wins crossover = %d, want 96", got)
+	}
+}
+
+func TestChooseCrossoverEmpty(t *testing.T) {
+	if ChooseCrossover(nil) != 0 {
+		t.Fatal("empty curve should give 0")
+	}
+}
+
+func TestSquareRatioCurveShape(t *testing.T) {
+	pts := SquareRatioCurve(blas.NaiveKernel{}, []int{24, 48}, 1, 0, 7)
+	if len(pts) != 2 || pts[0].Dim != 24 || pts[1].Dim != 48 {
+		t.Fatalf("curve malformed: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Ratio <= 0 {
+			t.Fatalf("nonpositive ratio: %+v", p)
+		}
+	}
+}
+
+func TestSquareCutoffEndToEnd(t *testing.T) {
+	// With the naive kernel, one Strassen level should win for most orders
+	// well before m = 112. Individual points wobble with wall-clock noise
+	// (this host shows occasional 20 %+ jitter), so assert the aggregate —
+	// the chosen cutoff lands inside the sweep and a majority of the upper
+	// half of the curve favors Strassen — and allow one reseeded retry
+	// before declaring failure.
+	attempt := func(seed int64) (ok bool, tau int, wins, upper int) {
+		tau, pts := SquareCutoff(blas.NaiveKernel{}, 16, 112, 16, seed)
+		if len(pts) != 7 {
+			t.Fatalf("want 7 points, got %d", len(pts))
+		}
+		up := pts[len(pts)/2:]
+		for _, p := range up {
+			if p.Ratio > 1 {
+				wins++
+			}
+		}
+		return tau < 112 && wins*2 >= len(up), tau, wins, len(up)
+	}
+	ok, tau, wins, upper := attempt(11)
+	if !ok {
+		t.Logf("first attempt noisy (τ=%d, %d/%d upper wins); retrying", tau, wins, upper)
+		ok, tau, wins, upper = attempt(12)
+	}
+	if !ok {
+		t.Errorf("no stable crossover in 2 attempts: τ=%d, %d/%d upper-half wins", tau, wins, upper)
+	}
+}
+
+func TestRectRatioCurveSweepsCorrectDim(t *testing.T) {
+	pts := RectRatioCurve(blas.NaiveKernel{}, DimK, []int{16, 32}, 64, 3)
+	if len(pts) != 2 || pts[0].Dim != 16 {
+		t.Fatalf("rect curve malformed: %+v", pts)
+	}
+}
+
+func TestDimString(t *testing.T) {
+	if DimM.String() != "m" || DimK.String() != "k" || DimN.String() != "n" {
+		t.Fatal("Dim names")
+	}
+}
+
+func TestRectParamsProducesPositiveParams(t *testing.T) {
+	p := RectParams(blas.NaiveKernel{}, 8, 40, 8, 96, 5)
+	if p.TauM <= 0 || p.TauK <= 0 || p.TauN <= 0 {
+		t.Fatalf("params not measured: %+v", p)
+	}
+	// All crossovers must lie within the swept range (7..40: lo-1 possible).
+	for _, v := range []int{p.TauM, p.TauK, p.TauN} {
+		if v < 7 || v > 40 {
+			t.Fatalf("crossover %d outside sweep: %+v", v, p)
+		}
+	}
+}
+
+func TestDisagree(t *testing.T) {
+	simple := strassen.Simple{Tau: 64}
+	hybrid := strassen.Hybrid{Tau: 64, TauM: 20, TauK: 20, TauN: 20}
+	// (40, 500, 500): simple stops (m ≤ 64); hybrid recurses via (13):
+	// lhs = 40·500·500 = 1e7; rhs = 20·25e4·3 = 1.5e7? Compute:
+	// τm·nk = 20·250000 = 5e6, τk·mn = 20·20000 = 4e5, τn·mk = 4e5 → 5.8e6 < 1e7 → recurse.
+	p := bench.Problem{M: 40, K: 500, N: 500}
+	if !Disagree(simple, hybrid, p) {
+		t.Fatal("criteria should disagree on thin-by-large problem")
+	}
+	if Disagree(simple, simple, p) {
+		t.Fatal("criterion cannot disagree with itself")
+	}
+}
+
+func TestCompareCriteriaSmall(t *testing.T) {
+	// A tiny end-to-end Table 4 run: naive kernel, small dims, few samples.
+	kern := blas.NaiveKernel{}
+	hybrid := strassen.Hybrid{Tau: 32, TauM: 12, TauK: 12, TauN: 12}
+	simple := strassen.Simple{Tau: 32}
+	cmp := CompareCriteria(kern, hybrid, simple, 4,
+		bench.Problem{M: 8, K: 8, N: 8}, bench.Problem{M: 96, K: 96, N: 96}, nil, 13)
+	if len(cmp.Ratios) != 4 {
+		t.Fatalf("want 4 ratios, got %d", len(cmp.Ratios))
+	}
+	for _, r := range cmp.Ratios {
+		if r <= 0 {
+			t.Fatal("nonpositive ratio")
+		}
+	}
+	if cmp.Summary.N != 4 {
+		t.Fatal("summary not computed")
+	}
+}
+
+func TestCompareCriteriaNoDisagreement(t *testing.T) {
+	kern := blas.NaiveKernel{}
+	same := strassen.Simple{Tau: 32}
+	cmp := CompareCriteria(kern, same, same, 3,
+		bench.Problem{M: 8, K: 8, N: 8}, bench.Problem{M: 16, K: 16, N: 16}, nil, 17)
+	if len(cmp.Ratios) != 0 {
+		t.Fatal("identical criteria can never disagree")
+	}
+}
+
+func TestCalibrateSmokeTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	p := Calibrate(blas.NaiveKernel{}, 16, 64, 16, 8, 32, 8, 80, 23)
+	if p.Tau <= 0 || p.TauM <= 0 {
+		t.Fatalf("calibration incomplete: %+v", p)
+	}
+}

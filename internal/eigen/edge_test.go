@@ -1,0 +1,112 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestSolveZeroMatrix(t *testing.T) {
+	// Width-zero Gershgorin interval: the solver must shortcut to the
+	// diagonal answer without iterating.
+	res, err := Solve(matrix.NewDense(50, 50), &Options{BaseSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalue %v", v)
+		}
+	}
+	if o := orthogonality(res.Vectors); o > 1e-14 {
+		t.Fatalf("vectors not orthonormal: %g", o)
+	}
+}
+
+func TestSolveScalarMultipleOfIdentity(t *testing.T) {
+	n := 40
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, -2.5)
+	}
+	res, err := Solve(a, &Options{BaseSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if math.Abs(v+2.5) > 1e-12 {
+			t.Fatalf("eigenvalue %v, want -2.5", v)
+		}
+	}
+}
+
+func TestSolveTinyMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for n := 1; n <= 4; n++ {
+		a := matrix.NewRandomSymmetric(n, rng)
+		res, err := Solve(a, &Options{BaseSize: 2})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := residual(a, res.Values, res.Vectors); r > 1e-10 {
+			t.Fatalf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestSolveNegativeSpectrum(t *testing.T) {
+	// All eigenvalues negative: the split-point search must work on the
+	// left of zero as well.
+	rng := rand.New(rand.NewSource(92))
+	want := []float64{-9, -7.5, -6, -4.4, -3.3, -2.2, -1.5, -1}
+	a := knownSpectrumMatrix(want, rng)
+	res, err := Solve(a, &Options{BaseSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Values[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, res.Values[i], want[i])
+		}
+	}
+}
+
+func TestSolveWideSpread(t *testing.T) {
+	// Eigenvalues spanning several orders of magnitude.
+	rng := rand.New(rand.NewSource(93))
+	want := []float64{1e-4, 1e-2, 0.1, 1, 5, 50, 500, 1000}
+	a := knownSpectrumMatrix(want, rng)
+	res, err := Solve(a, &Options{BaseSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Values[i]-want[i]) > 1e-6*(1+want[i]) {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, res.Values[i], want[i])
+		}
+	}
+}
+
+func TestStatsAccumulateAcrossRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := matrix.NewRandomSymmetric(60, rng)
+	res, err := Solve(a, &Options{BaseSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Splits < 1 {
+		t.Error("expected at least one split")
+	}
+	if s.JacobiBlocks < 2 {
+		t.Error("expected multiple Jacobi base cases")
+	}
+	if s.PolyIters < s.Splits {
+		t.Error("each split needs at least one polynomial iteration")
+	}
+	if s.MMCount < 2*s.PolyIters {
+		t.Error("each polynomial iteration costs two multiplications")
+	}
+}

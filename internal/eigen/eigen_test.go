@@ -1,0 +1,370 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// residual returns ‖A·V − V·diag(λ)‖_max, the eigenpair residual.
+func residual(a *matrix.Dense, values []float64, vectors *matrix.Dense) float64 {
+	n := a.Rows
+	av := matrix.NewDense(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a.Data, a.Stride, vectors.Data, vectors.Stride, 0, av.Data, av.Stride)
+	var worst float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d := math.Abs(av.At(i, j) - values[j]*vectors.At(i, j))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// orthogonality returns ‖VᵀV − I‖_max.
+func orthogonality(v *matrix.Dense) float64 {
+	n := v.Cols
+	g := matrix.NewDense(n, n)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, n, v.Rows, 1, v.Data, v.Stride, v.Data, v.Stride, 0, g.Data, g.Stride)
+	var worst float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(g.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// knownSpectrumMatrix builds A = Q·diag(values)·Qᵀ with a random orthogonal
+// Q (from QR of a random matrix), so the spectrum is known exactly.
+func knownSpectrumMatrix(values []float64, rng *rand.Rand) *matrix.Dense {
+	n := len(values)
+	m := matrix.NewRandom(n, n, rng)
+	q, _, _ := QRColumnPivot(m)
+	a := matrix.NewDense(n, n)
+	// A = Q·D·Qᵀ
+	qd := matrix.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			qd.Set(i, j, q.At(i, j)*values[j])
+		}
+	}
+	blas.Dgemm(blas.NoTrans, blas.Trans, n, n, n, 1, qd.Data, qd.Stride, q.Data, q.Stride, 0, a.Data, a.Stride)
+	// Clean up roundoff asymmetry.
+	symmetrize(a)
+	return a
+}
+
+func TestJacobiSmallKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := matrix.FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := Jacobi(a, 30, 1e-14)
+	sort.Float64s(vals)
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("Jacobi eigenvalues: %v", vals)
+	}
+	if r := residual(a, valsInColumnOrder(a, vals, vecs), vecs); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+	if o := orthogonality(vecs); o > 1e-12 {
+		t.Fatalf("orthogonality %g", o)
+	}
+}
+
+// valsInColumnOrder re-derives per-column eigenvalues via Rayleigh
+// quotients, since Jacobi's return order matches its vector columns but the
+// test sorted a copy.
+func valsInColumnOrder(a *matrix.Dense, _ []float64, vecs *matrix.Dense) []float64 {
+	n := a.Rows
+	out := make([]float64, n)
+	av := matrix.NewDense(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a.Data, a.Stride, vecs.Data, vecs.Stride, 0, av.Data, av.Stride)
+	for j := 0; j < n; j++ {
+		var num, den float64
+		for i := 0; i < n; i++ {
+			num += vecs.At(i, j) * av.At(i, j)
+			den += vecs.At(i, j) * vecs.At(i, j)
+		}
+		out[j] = num / den
+	}
+	return out
+}
+
+func TestJacobiRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 5, 16, 24} {
+		a := matrix.NewRandomSymmetric(n, rng)
+		vals, vecs := Jacobi(a, 40, 1e-14)
+		if len(vals) != n {
+			t.Fatalf("n=%d: got %d values", n, len(vals))
+		}
+		if r := residual(a, vals, vecs); r > 1e-9*float64(n) {
+			t.Fatalf("n=%d: residual %g", n, r)
+		}
+		if o := orthogonality(vecs); o > 1e-11*float64(n+1) {
+			t.Fatalf("n=%d: orthogonality %g", n, o)
+		}
+	}
+}
+
+func TestJacobiDiagonalInput(t *testing.T) {
+	a := matrix.FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}})
+	vals, vecs := Jacobi(a, 10, 1e-14)
+	sort.Float64s(vals)
+	want := []float64{-1, 3, 7}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-14 {
+			t.Fatalf("vals %v", vals)
+		}
+	}
+	if o := orthogonality(vecs); o > 1e-14 {
+		t.Fatal("vectors of a diagonal matrix should stay orthonormal")
+	}
+}
+
+func TestQRColumnPivotOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, n := range []int{1, 3, 8, 20} {
+		a := matrix.NewRandom(n, n, rng)
+		q, rdiag, perm := QRColumnPivot(a)
+		if o := orthogonality(q); o > 1e-12*float64(n+1) {
+			t.Fatalf("n=%d: Q not orthogonal: %g", n, o)
+		}
+		if len(rdiag) != n || len(perm) != n {
+			t.Fatal("output sizes")
+		}
+		// perm must be a permutation.
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatal("perm not a permutation")
+			}
+			seen[p] = true
+		}
+		// |rdiag| must be non-increasing (pivoting property).
+		for i := 1; i < n; i++ {
+			if math.Abs(rdiag[i]) > math.Abs(rdiag[i-1])+1e-10 {
+				t.Fatalf("rdiag not decreasing: %v", rdiag)
+			}
+		}
+	}
+}
+
+func TestQRColumnPivotReconstruction(t *testing.T) {
+	// Verify A·Π = Q·R by rebuilding R = Qᵀ·A·Π and checking it is upper
+	// triangular with the returned diagonal.
+	rng := rand.New(rand.NewSource(73))
+	n := 7
+	a := matrix.NewRandom(n, n, rng)
+	q, rdiag, perm := QRColumnPivot(a)
+	ap := matrix.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		ap.Slice(0, j, n, 1).CopyFrom(a.Slice(0, perm[j], n, 1))
+	}
+	r := matrix.NewDense(n, n)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, q.Data, q.Stride, ap.Data, ap.Stride, 0, r.Data, r.Stride)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			if math.Abs(r.At(i, j)) > 1e-12 {
+				t.Fatalf("R not upper triangular at (%d,%d): %g", i, j, r.At(i, j))
+			}
+		}
+		if math.Abs(r.At(j, j)-rdiag[j]) > 1e-12 {
+			t.Fatalf("rdiag mismatch at %d: %g vs %g", j, r.At(j, j), rdiag[j])
+		}
+	}
+}
+
+func TestQRRankRevealing(t *testing.T) {
+	// Rank-2 projector: QR must expose rank 2.
+	rng := rand.New(rand.NewSource(74))
+	n := 8
+	u := matrix.NewRandom(n, 2, rng)
+	q, _, _ := QRColumnPivot(padTo(u, n))
+	// Build P = q1·q1ᵀ (projector onto 2-dim space).
+	q1 := q.Slice(0, 0, n, 2)
+	p := matrix.NewDense(n, n)
+	blas.Dgemm(blas.NoTrans, blas.Trans, n, n, 2, 1, q1.Data, q1.Stride, q1.Data, q1.Stride, 0, p.Data, p.Stride)
+	_, rdiag, _ := QRColumnPivot(p)
+	if r := NumericalRank(rdiag, 1e-8); r != 2 {
+		t.Fatalf("projector rank = %d, want 2 (rdiag %v)", r, rdiag)
+	}
+}
+
+func padTo(u *matrix.Dense, n int) *matrix.Dense {
+	out := matrix.NewDense(n, n)
+	out.Slice(0, 0, u.Rows, u.Cols).CopyFrom(u)
+	return out
+}
+
+func TestNumericalRankEdge(t *testing.T) {
+	if NumericalRank(nil, 1e-8) != 0 {
+		t.Fatal("empty rank")
+	}
+	if NumericalRank([]float64{5, 1e-12}, 1e-8) != 1 {
+		t.Fatal("tiny trailing diag should not count")
+	}
+}
+
+func TestSolveKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	want := []float64{-4, -1.5, -0.2, 0.3, 1.1, 2.5, 3.7, 5, 6.25, 8}
+	a := knownSpectrumMatrix(want, rng)
+	res, err := Solve(a, &Options{BaseSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Values[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigenvalue %d: got %v want %v (all: %v)", i, res.Values[i], want[i], res.Values)
+		}
+	}
+	if r := residual(a, res.Values, res.Vectors); r > 1e-7 {
+		t.Fatalf("residual %g", r)
+	}
+	if o := orthogonality(res.Vectors); o > 1e-8 {
+		t.Fatalf("orthogonality %g", o)
+	}
+	if res.Stats.Splits == 0 {
+		t.Error("expected at least one ISDA split for n=10, base 4")
+	}
+	if res.Stats.MMCount == 0 || res.Stats.MMTime <= 0 {
+		t.Error("MM statistics not collected")
+	}
+}
+
+func TestSolveRandomAgainstJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for _, n := range []int{33, 48, 65} {
+		a := matrix.NewRandomSymmetric(n, rng)
+		res, err := Solve(a, &Options{BaseSize: 16})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		jv, _ := Jacobi(a, 60, 1e-14)
+		sort.Float64s(jv)
+		for i := range jv {
+			if math.Abs(res.Values[i]-jv[i]) > 1e-7*(1+math.Abs(jv[i])) {
+				t.Fatalf("n=%d eigenvalue %d: ISDA %v vs Jacobi %v", n, i, res.Values[i], jv[i])
+			}
+		}
+		if r := residual(a, res.Values, res.Vectors); r > 1e-6 {
+			t.Fatalf("n=%d residual %g", n, r)
+		}
+	}
+}
+
+func TestSolveWithStrassenMultiplierMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 48
+	a := matrix.NewRandomSymmetric(n, rng)
+	gm, err := Solve(a, &Options{BaseSize: 12, Mul: GemmMultiplier{Kernel: blas.NaiveKernel{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := Solve(a, &Options{BaseSize: 12, Mul: StrassenMultiplier{
+		Config: &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 8}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gm.Values {
+		if math.Abs(gm.Values[i]-sm.Values[i]) > 1e-7*(1+math.Abs(gm.Values[i])) {
+			t.Fatalf("eigenvalue %d differs: DGEMM %v, DGEFMM %v", i, gm.Values[i], sm.Values[i])
+		}
+	}
+	if r := residual(a, sm.Values, sm.Vectors); r > 1e-6 {
+		t.Fatalf("DGEFMM-based residual %g", r)
+	}
+}
+
+func TestSolveIdentityAndDiagonal(t *testing.T) {
+	id := matrix.Identity(40)
+	res, err := Solve(id, &Options{BaseSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if math.Abs(v-1) > 1e-10 {
+			t.Fatalf("identity eigenvalue %v", v)
+		}
+	}
+	d := matrix.NewDense(40, 40)
+	for i := 0; i < 40; i++ {
+		d.Set(i, i, float64(i))
+	}
+	res, err = Solve(d, &Options{BaseSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Values {
+		if math.Abs(v-float64(i)) > 1e-8 {
+			t.Fatalf("diag eigenvalue %d: %v", i, v)
+		}
+	}
+}
+
+func TestSolveClusteredSpectrum(t *testing.T) {
+	// Two tight clusters force the split-retry logic.
+	rng := rand.New(rand.NewSource(78))
+	vals := make([]float64, 24)
+	for i := range vals {
+		if i < 12 {
+			vals[i] = 1 + 1e-6*float64(i)
+		} else {
+			vals[i] = 5 + 1e-6*float64(i)
+		}
+	}
+	a := knownSpectrumMatrix(vals, rng)
+	res, err := Solve(a, &Options{BaseSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(res.Values[i]-vals[i]) > 1e-6 {
+			t.Fatalf("clustered eigenvalue %d: %v vs %v", i, res.Values[i], vals[i])
+		}
+	}
+}
+
+func TestSolveRejectsNonSymmetric(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := Solve(a, nil); err == nil {
+		t.Fatal("expected symmetry error")
+	}
+	b := matrix.NewDense(2, 3)
+	if _, err := Solve(b, nil); err == nil {
+		t.Fatal("expected squareness error")
+	}
+}
+
+func TestSolveDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	a := matrix.NewRandomSymmetric(40, rng)
+	orig := a.Clone()
+	if _, err := Solve(a, &Options{BaseSize: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig) {
+		t.Fatal("Solve modified its input")
+	}
+}
+
+func TestMultiplierNames(t *testing.T) {
+	if (GemmMultiplier{}).Name() != "DGEMM" || (StrassenMultiplier{}).Name() != "DGEFMM" {
+		t.Fatal("multiplier names")
+	}
+}

@@ -1,0 +1,23 @@
+package eigen
+
+import (
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// StrassenMultiplier multiplies with DGEFMM — the paper's Table 6 variant,
+// obtained by "renaming all calls to DGEMM as calls to DGEFMM".
+type StrassenMultiplier struct {
+	// Config for DGEFMM; nil selects the default configuration.
+	Config *strassen.Config
+}
+
+// Name implements Multiplier.
+func (s StrassenMultiplier) Name() string { return "DGEFMM" }
+
+// Mul implements Multiplier.
+func (s StrassenMultiplier) Mul(c *matrix.Dense, alpha float64, a, b *matrix.Dense, beta float64) {
+	strassen.DGEFMM(s.Config, blas.NoTrans, blas.NoTrans, c.Rows, c.Cols, a.Cols,
+		alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}

@@ -1,0 +1,133 @@
+package eigen
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// QRColumnPivot computes the rank-revealing Householder QR factorization
+// with column pivoting, A·Π = Q·R, of a square matrix. It returns the full
+// orthogonal factor Q (n×n), the diagonal of R (whose decay reveals the
+// numerical rank), and the column permutation.
+//
+// ISDA uses it on the converged spectral projector P: because P is an
+// orthogonal projector of rank r, the first r columns of Q form an
+// orthonormal basis of range(P) (the invariant subspace for eigenvalues
+// above the split point) and the remaining columns span the null space —
+// "the range and null space of the converged matrix ... provides the
+// subspaces necessary for dividing the original matrix into two
+// subproblems" (Section 4.4).
+func QRColumnPivot(a *matrix.Dense) (q *matrix.Dense, rdiag []float64, perm []int) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("eigen: QRColumnPivot requires a square matrix")
+	}
+	w := a.Clone()
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Householder vectors are stored below the diagonal of w; betas aside.
+	betas := make([]float64, n)
+	colNorms := make([]float64, n)
+	for j := 0; j < n; j++ {
+		colNorms[j] = blas.Dnrm2(n, w.Data[j*w.Stride:j*w.Stride+n], 1)
+	}
+
+	for j := 0; j < n; j++ {
+		// Pivot: bring the column with the largest remaining norm to j.
+		best := j
+		for l := j + 1; l < n; l++ {
+			if colNorms[l] > colNorms[best] {
+				best = l
+			}
+		}
+		if best != j {
+			blas.Dswap(n, w.Data[j*w.Stride:j*w.Stride+n], 1, w.Data[best*w.Stride:best*w.Stride+n], 1)
+			perm[j], perm[best] = perm[best], perm[j]
+			colNorms[j], colNorms[best] = colNorms[best], colNorms[j]
+		}
+
+		// Householder reflector annihilating w[j+1:, j].
+		col := w.Data[j*w.Stride : j*w.Stride+n]
+		alpha := blas.Dnrm2(n-j, col[j:], 1)
+		if col[j] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			betas[j] = 0
+			continue
+		}
+		v0 := col[j] - alpha
+		col[j] = alpha // R(j,j)
+		// v = [1, col[j+1:]/v0]; beta = -v0/alpha.
+		for i := j + 1; i < n; i++ {
+			col[i] /= v0
+		}
+		betas[j] = -v0 / alpha
+
+		// Apply (I − beta·v·vᵀ) to the trailing columns.
+		for l := j + 1; l < n; l++ {
+			cl := w.Data[l*w.Stride : l*w.Stride+n]
+			s := cl[j]
+			for i := j + 1; i < n; i++ {
+				s += col[i] * cl[i]
+			}
+			s *= betas[j]
+			cl[j] -= s
+			for i := j + 1; i < n; i++ {
+				cl[i] -= s * col[i]
+			}
+		}
+
+		// Downdate remaining column norms (recompute for robustness: this
+		// is O(n²) per step in the worst case but we favor correctness).
+		for l := j + 1; l < n; l++ {
+			colNorms[l] = blas.Dnrm2(n-j-1, w.Data[l*w.Stride+j+1:l*w.Stride+n], 1)
+		}
+	}
+
+	rdiag = make([]float64, n)
+	for j := 0; j < n; j++ {
+		rdiag[j] = w.At(j, j)
+	}
+
+	// Accumulate Q = H0·H1·…·H(n−1) applied to I, backwards.
+	q = matrix.Identity(n)
+	for j := n - 1; j >= 0; j-- {
+		if betas[j] == 0 {
+			continue
+		}
+		v := w.Data[j*w.Stride : j*w.Stride+n] // v[j]=1 implicit, v[j+1:] stored
+		for l := 0; l < n; l++ {
+			cl := q.Data[l*q.Stride : l*q.Stride+n]
+			s := cl[j]
+			for i := j + 1; i < n; i++ {
+				s += v[i] * cl[i]
+			}
+			s *= betas[j]
+			cl[j] -= s
+			for i := j + 1; i < n; i++ {
+				cl[i] -= s * v[i]
+			}
+		}
+	}
+	return q, rdiag, perm
+}
+
+// NumericalRank counts the leading rdiag entries exceeding tol·|rdiag[0]|.
+func NumericalRank(rdiag []float64, tol float64) int {
+	if len(rdiag) == 0 {
+		return 0
+	}
+	cut := tol * math.Abs(rdiag[0])
+	r := 0
+	for _, d := range rdiag {
+		if math.Abs(d) > cut {
+			r++
+		}
+	}
+	return r
+}

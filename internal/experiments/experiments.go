@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). Each function prints rows in the shape the paper
+// reports and returns the measured data for programmatic checks; the
+// cmd/dgefmm-bench binary and the repository-level benchmarks both drive
+// these entry points.
+//
+// Machine mapping (see DESIGN.md): the paper's RS/6000, CRAY C90 and CRAY
+// T3D are represented by the "blocked", "vector" and "naive" DGEMM kernels
+// respectively — the cutoff behaviour the experiments probe depends on the
+// machine only through the relative speed of DGEMM versus the O(n²)
+// Strassen overheads, which is exactly what the kernel choice varies.
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/blas"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// Machine pairs a paper machine with the kernel standing in for it.
+type Machine struct {
+	// Paper is the machine name used in the paper ("RS/6000", "C90", "T3D").
+	Paper string
+	// Kernel is the stand-in DGEMM kernel name.
+	Kernel string
+}
+
+// Machines lists the three machine stand-ins in the paper's order.
+func Machines() []Machine {
+	return []Machine{
+		{Paper: "RS/6000", Kernel: "blocked"},
+		{Paper: "C90", Kernel: "vector"},
+		{Paper: "T3D", Kernel: "naive"},
+	}
+}
+
+// Scale trades experiment fidelity for runtime; the full paper-scale sweeps
+// on a 1996 supercomputer translate to minutes of pure-Go compute, so the
+// default sizes are chosen to finish a full regeneration in a few minutes
+// on one CPU while preserving every qualitative shape.
+type Scale struct {
+	// Quick shrinks sizes further for smoke runs (CI, go test -short).
+	Quick bool
+}
+
+// sq returns v normally and q in quick mode.
+func (s Scale) sq(v, q int) int {
+	if s.Quick {
+		return q
+	}
+	return v
+}
+
+func kernelOf(name string) blas.Kernel {
+	k := blas.KernelByName(name)
+	if k == nil {
+		k = blas.DefaultKernel
+	}
+	return k
+}
+
+// configFor returns the DGEFMM configuration used throughout the
+// experiments for a kernel: the paper's defaults (hybrid criterion with the
+// kernel's calibrated parameters, peeling, auto schedule), plus a workspace
+// tracker so repeated timed calls reuse their temporaries instead of
+// exercising the garbage collector.
+func configFor(kern blas.Kernel) *strassen.Config {
+	cfg := strassen.DefaultConfig(kern)
+	cfg.Tracker = memtrack.New()
+	return cfg
+}
+
+// rngFor gives each experiment its own deterministic stream.
+func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fprintln writes a line, ignoring errors (console reporting).
+func fprintln(w io.Writer, s string) { _, _ = io.WriteString(w, s+"\n") }

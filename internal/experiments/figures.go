@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/bench"
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// RatioSeries is one figure's data: x values (order or log-volume) and the
+// DGEFMM/other time ratio at each.
+type RatioSeries struct {
+	Label  string
+	X      []float64
+	Ratios []float64
+}
+
+// Mean returns the average ratio of the series — the summary number the
+// paper quotes for each figure.
+func (s RatioSeries) Mean() float64 {
+	if len(s.Ratios) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, r := range s.Ratios {
+		sum += r
+	}
+	return sum / float64(len(s.Ratios))
+}
+
+// sweepDims returns the square orders for a figure sweep on a kernel.
+func sweepDims(kernel string, sc Scale) []int {
+	tau := strassen.DefaultParams(kernel).Tau
+	lo := tau + 1
+	hi := sc.sq(tau*8, tau*3)
+	step := maxi(8, (hi-lo)/sc.sq(14, 5))
+	var dims []int
+	for m := lo; m <= hi; m += step {
+		dims = append(dims, m)
+	}
+	return dims
+}
+
+type rival func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int)
+
+// figureSweep measures time(DGEFMM)/time(rival) over square orders.
+func figureSweep(kernel string, dims []int, alpha, beta float64, other rival, seed int64) RatioSeries {
+	kern := kernelOf(kernel)
+	cfg := configFor(kern)
+	rng := rngFor(seed)
+	var xs, rs []float64
+	for _, m := range dims {
+		a := matrix.NewRandom(m, m, rng)
+		b := matrix.NewRandom(m, m, rng)
+		c := matrix.NewRandom(m, m, rng)
+		tF := bench.BestOf(2, func() {
+			strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, alpha,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+		tO := bench.BestOf(2, func() {
+			other(m, m, m, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+		xs = append(xs, float64(m))
+		rs = append(rs, tF/tO)
+	}
+	return RatioSeries{X: xs, Ratios: rs}
+}
+
+func printSeries(w io.Writer, title, xName string, s RatioSeries, paperNote string) {
+	fprintln(w, title)
+	tb := bench.NewTable(xName, "time DGEFMM / time rival")
+	for i := range s.X {
+		tb.AddRow(fmt.Sprintf("%.4g", s.X[i]), fmt.Sprintf("%.4f", s.Ratios[i]))
+	}
+	_, _ = tb.WriteTo(w)
+	fprintln(w, fmt.Sprintf("average ratio: %.4f   (%s)", s.Mean(), paperNote))
+}
+
+// Figure3 reproduces the paper's Figure 3: DGEFMM versus the IBM-style
+// multiply-only DGEMMS on the RS/6000 stand-in (blocked kernel), for both
+// the α=1, β=0 case (where the paper's average was 1.052 — the vendor code
+// slightly ahead) and the general case where the caller of DGEMMS must do
+// the update itself (paper average 1.028 — the gap narrows, supporting
+// DGEFMM's design of handling α, β natively).
+func Figure3(w io.Writer, sc Scale) (simple, general RatioSeries) {
+	kernel := "blocked"
+	dims := sweepDims(kernel, sc)
+	kern := kernelOf(kernel)
+	cfgS := &baselines.DgemmsConfig{Kernel: kern, Tracker: memtrack.New()}
+
+	simple = figureSweep(kernel, dims, 1, 0, func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+		baselines.DGEMMS(cfgS, blas.NoTrans, blas.NoTrans, m, n, k, a, lda, b, ldb, c, ldc)
+	}, 239)
+	simple.Label = "α=1, β=0"
+	general = figureSweep(kernel, dims, 1.0/3, 1.0/4, func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+		baselines.DgemmsGeneral(cfgS, blas.NoTrans, blas.NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	}, 241)
+	general.Label = "general α, β"
+
+	printSeries(w, "Figure 3: DGEFMM / DGEMMS (IBM ESSL style), α=1 β=0, RS/6000 stand-in", "order", simple,
+		"paper average 1.052")
+	printSeries(w, "Figure 3 (general α, β): DGEFMM / DGEMMS+update", "order", general,
+		"paper average 1.028 — the gap narrows for general α, β")
+	return simple, general
+}
+
+// Figure4 reproduces the paper's Figure 4: DGEFMM versus the CRAY-style
+// SGEMMS (Strassen's original variant) on the C90 stand-in (vector
+// kernel). Paper average 1.066 for α=1, β=0 and 1.052 general.
+func Figure4(w io.Writer, sc Scale) (simple, general RatioSeries) {
+	kernel := "vector"
+	dims := sweepDims(kernel, sc)
+	kern := kernelOf(kernel)
+	cfg := &baselines.SgemmsConfig{Kernel: kern, Tracker: memtrack.New()}
+	call := func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+		baselines.SGEMMS(cfg, blas.NoTrans, blas.NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	}
+	simple = figureSweep(kernel, dims, 1, 0, call, 251)
+	simple.Label = "α=1, β=0"
+	general = figureSweep(kernel, dims, 1.0/3, 1.0/4, call, 253)
+	general.Label = "general α, β"
+	printSeries(w, "Figure 4: DGEFMM / SGEMMS (CRAY style), α=1 β=0, C90 stand-in", "order", simple,
+		"paper average 1.066")
+	printSeries(w, "Figure 4 (general α, β)", "order", general, "paper average 1.052")
+	return simple, general
+}
+
+// Figure5 reproduces the paper's Figure 5: DGEFMM versus DGEMMW (Douglas et
+// al. style) on square matrices with general α, β. Paper average 0.991
+// (DGEFMM slightly ahead); with α=1, β=0 the paper saw 1.0089.
+func Figure5(w io.Writer, sc Scale) (general, simple RatioSeries) {
+	kernel := "blocked"
+	dims := sweepDims(kernel, sc)
+	kern := kernelOf(kernel)
+	cfg := &baselines.DgemmwConfig{Kernel: kern, Tracker: memtrack.New()}
+	call := func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+		baselines.DGEMMW(cfg, blas.NoTrans, blas.NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	}
+	general = figureSweep(kernel, dims, 1.0/3, 1.0/4, call, 257)
+	general.Label = "general α, β"
+	simple = figureSweep(kernel, dims, 1, 0, call, 263)
+	simple.Label = "α=1, β=0"
+	printSeries(w, "Figure 5: DGEFMM / DGEMMW (Douglas et al. style), general α β, square", "order", general,
+		"paper average 0.991 — STRASSEN2 wins the general case")
+	printSeries(w, "Figure 5 (α=1, β=0)", "order", simple, "paper average 1.0089")
+	return general, simple
+}
+
+// Figure6 reproduces the paper's Figure 6: DGEFMM versus DGEMMW on
+// randomly-generated rectangular problems, plotted against Log10(2mnk).
+// The random dimensions run from the rectangular parameters (τm, τk, τn)
+// up to the sweep budget, as in the paper ("from m=75, k=125, or n=95 ...
+// to 2050" on the RS/6000). Paper average 0.974 for general α, β.
+func Figure6(w io.Writer, count int, sc Scale) RatioSeries {
+	kernel := "blocked"
+	if count == 0 {
+		count = sc.sq(24, 6)
+	}
+	kern := kernelOf(kernel)
+	params := strassen.DefaultParams(kernel)
+	cfgF := configFor(kern)
+	cfgW := &baselines.DgemmwConfig{Kernel: kern, Tracker: memtrack.New()}
+	rng := rngFor(269)
+	hi := sc.sq(params.Tau*5, params.Tau*2)
+	lo := bench.Problem{M: params.TauM, K: params.TauK, N: params.TauN}
+	probs := bench.RandomProblems(rng, count, lo, bench.Problem{M: hi, K: hi, N: hi})
+
+	var s RatioSeries
+	s.Label = "random rectangular, general α, β"
+	alpha, beta := 1.0/3, 1.0/4
+	for _, p := range probs {
+		a := matrix.NewRandom(p.M, p.K, rng)
+		b := matrix.NewRandom(p.K, p.N, rng)
+		c := matrix.NewRandom(p.M, p.N, rng)
+		tF := bench.Seconds(func() {
+			strassen.DGEFMM(cfgF, blas.NoTrans, blas.NoTrans, p.M, p.N, p.K, alpha,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+		tW := bench.Seconds(func() {
+			baselines.DGEMMW(cfgW, blas.NoTrans, blas.NoTrans, p.M, p.N, p.K, alpha,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+		s.X = append(s.X, math.Log10(p.Vol()))
+		s.Ratios = append(s.Ratios, tF/tW)
+	}
+	printSeries(w, "Figure 6: DGEFMM / DGEMMW on random rectangular problems (x = Log10(2mnk))", "log10(2mnk)", s,
+		"paper average 0.974 — hybrid cutoff+peeling ahead on rectangles")
+	return s
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/bench"
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// Table1Row is one implementation's memory footprint for order-m inputs:
+// the paper's analytic bound (as a multiple of m²) and our measured peak.
+type Table1Row struct {
+	Impl          string
+	Beta          float64
+	PaperFormula  string  // the bound reported in the paper's Table 1
+	PaperM2       float64 // that bound as a multiple of m² (NaN if n/a)
+	MeasuredWords int64
+	MeasuredM2    float64
+}
+
+// Table1 reproduces the paper's Table 1 ("Memory Requirements for Strassen
+// codes on order m matrices") by measuring the peak temporary workspace of
+// every implementation in this repository with the accounting allocator,
+// for both β = 0 and β ≠ 0, and comparing with the paper's formulas.
+func Table1(w io.Writer, m int, sc Scale) []Table1Row {
+	if m == 0 {
+		m = sc.sq(512, 96)
+	}
+	kern := blas.NaiveKernel{} // kernel choice does not affect workspace
+	rng := rngFor(101)
+	crit := strassen.Simple{Tau: 8} // deep recursion: worst-case workspace
+
+	measure := func(run func(tr *memtrack.Tracker, a, b, c *matrix.Dense)) int64 {
+		tr := memtrack.New()
+		a := matrix.NewRandom(m, m, rng)
+		b := matrix.NewRandom(m, m, rng)
+		c := matrix.NewRandom(m, m, rng)
+		run(tr, a, b, c)
+		return tr.Peak()
+	}
+	dgefmmRun := func(sched strassen.Schedule, beta float64) int64 {
+		return measure(func(tr *memtrack.Tracker, a, b, c *matrix.Dense) {
+			cfg := &strassen.Config{Kernel: kern, Criterion: crit, Schedule: sched, Tracker: tr}
+			strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+	}
+
+	var rows []Table1Row
+	add := func(impl string, beta float64, formula string, paperM2 float64, words int64) {
+		rows = append(rows, Table1Row{
+			Impl: impl, Beta: beta, PaperFormula: formula, PaperM2: paperM2,
+			MeasuredWords: words, MeasuredM2: float64(words) / float64(m*m),
+		})
+	}
+
+	// CRAY SGEMMS analogue (Strassen original + padding). Paper: 7m²/3 for
+	// both cases.
+	sgemms := func(beta float64) int64 {
+		return measure(func(tr *memtrack.Tracker, a, b, c *matrix.Dense) {
+			cfg := &baselines.SgemmsConfig{Kernel: kern, Tau: 8, Tracker: tr}
+			baselines.SGEMMS(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+	}
+	add("SGEMMS (CRAY style)", 0, "7m²/3", 7.0/3, sgemms(0))
+	add("SGEMMS (CRAY style)", 1, "7m²/3", 7.0/3, sgemms(1))
+
+	// IBM ESSL DGEMMS analogue: multiply-only (β=0 by construction); the
+	// general case needs the caller's extra m×n update buffer
+	// (DgemmsGeneral). Paper: 1.40m²; β≠0 "not directly supported".
+	dgemms0 := measure(func(tr *memtrack.Tracker, a, b, c *matrix.Dense) {
+		cfg := &baselines.DgemmsConfig{Kernel: kern, Tau: 8, Tracker: tr}
+		baselines.DGEMMS(cfg, blas.NoTrans, blas.NoTrans, m, m, m,
+			a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride)
+	})
+	add("DGEMMS (ESSL style)", 0, "1.40m²", 1.40, dgemms0)
+	dgemms1 := measure(func(tr *memtrack.Tracker, a, b, c *matrix.Dense) {
+		cfg := &baselines.DgemmsConfig{Kernel: kern, Tau: 8, Tracker: tr}
+		baselines.DgemmsGeneral(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+			a.Data, a.Stride, b.Data, b.Stride, 1, c.Data, c.Stride)
+	})
+	add("DGEMMS+update loop", 1, "(not directly supported)", 0, dgemms1)
+
+	// DGEMMW analogue. Paper: 2m²/3 (β=0), 5m²/3 (β≠0). Our stand-in pads
+	// with explicit copies, so its measured footprint exceeds the published
+	// bound on odd sizes; on even sizes (measured here) padding is a no-op.
+	dgemmw := func(beta float64) int64 {
+		return measure(func(tr *memtrack.Tracker, a, b, c *matrix.Dense) {
+			cfg := &baselines.DgemmwConfig{Kernel: kern, Tau: 8, Tracker: tr}
+			baselines.DGEMMW(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+				a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+	}
+	add("DGEMMW (Douglas style)", 0, "2m²/3", 2.0/3, dgemmw(0))
+	add("DGEMMW (Douglas style)", 1, "5m²/3", 5.0/3, dgemmw(1))
+
+	// STRASSEN1 and STRASSEN2 schedules in isolation.
+	add("STRASSEN1", 0, "2m²/3", 2.0/3, dgefmmRun(strassen.ScheduleStrassen1, 0))
+	add("STRASSEN1", 1, "2m²", 2.0, dgefmmRun(strassen.ScheduleStrassen1, 1))
+	add("STRASSEN2", 0, "m²", 1.0, dgefmmRun(strassen.ScheduleStrassen2, 0))
+	add("STRASSEN2", 1, "m²", 1.0, dgefmmRun(strassen.ScheduleStrassen2, 1))
+
+	// DGEFMM: the paper's dispatch (STRASSEN1 for β=0, STRASSEN2 otherwise).
+	add("DGEFMM", 0, "2m²/3", 2.0/3, dgefmmRun(strassen.ScheduleAuto, 0))
+	add("DGEFMM", 1, "m²", 1.0, dgefmmRun(strassen.ScheduleAuto, 1))
+
+	tb := bench.NewTable("implementation", "beta", "paper bound", "paper (m²)", "measured words", "measured (m²)")
+	for _, r := range rows {
+		beta := "= 0"
+		if r.Beta != 0 {
+			beta = "≠ 0"
+		}
+		paperCol := "-"
+		if r.PaperM2 > 0 {
+			paperCol = fmt.Sprintf("%.3f", r.PaperM2)
+		}
+		tb.AddRow(r.Impl, beta, r.PaperFormula, paperCol, r.MeasuredWords, fmt.Sprintf("%.3f", r.MeasuredM2))
+	}
+	fprintln(w, fmt.Sprintf("Table 1: temporary memory for order m=%d matrices (words of float64)", m))
+	_, _ = tb.WriteTo(w)
+	return rows
+}

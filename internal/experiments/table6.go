@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/eigen"
+	"repro/internal/matrix"
+)
+
+// Table6Row is one eigensolver run: total wall time and the portion spent
+// in matrix multiplication, for one multiplication engine.
+type Table6Row struct {
+	Engine    string
+	TotalSec  float64
+	MMSec     float64
+	MMCalls   int
+	MaxValErr float64 // cross-engine eigenvalue agreement (set on the 2nd row)
+}
+
+// Table6 reproduces the paper's Table 6: the ISDA symmetric eigensolver on
+// a randomly-generated matrix, run once with DGEMM and once with DGEFMM as
+// the multiplication engine ("accomplished easily by renaming all calls to
+// DGEMM as calls to DGEFMM"). The paper used order 1000 on the RS/6000 and
+// saw a ≈20 % saving in multiplication time; the order here is scaled to
+// the pure-Go single-CPU budget.
+func Table6(w io.Writer, n int, sc Scale) []Table6Row {
+	if n == 0 {
+		n = sc.sq(512, 96)
+	}
+	kern := kernelOf("blocked")
+	rng := rngFor(271)
+	a := matrix.NewRandomSymmetric(n, rng)
+
+	// Each engine runs twice (full scale) and the faster run is kept: at
+	// reduced order the DGEMM/DGEFMM gap is a few percent, within the
+	// wall-clock noise of a single solver run on a shared host.
+	run := func(mul eigen.Multiplier) (*eigen.Result, float64) {
+		var best *eigen.Result
+		bestTotal := 0.0
+		for r := 0; r < sc.sq(2, 1); r++ {
+			var res *eigen.Result
+			total := bench.SecondsOnce(func() {
+				var err error
+				res, err = eigen.Solve(a, &eigen.Options{Mul: mul, BaseSize: sc.sq(48, 24)})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: eigensolver failed: %v", err))
+				}
+			})
+			if best == nil || total < bestTotal {
+				best, bestTotal = res, total
+			}
+		}
+		return best, bestTotal
+	}
+
+	gemmRes, gemmTotal := run(eigen.GemmMultiplier{Kernel: kern})
+	strassenRes, strTotal := run(eigen.StrassenMultiplier{Config: configFor(kern)})
+
+	var maxErr float64
+	for i := range gemmRes.Values {
+		if d := math.Abs(gemmRes.Values[i] - strassenRes.Values[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+
+	rows := []Table6Row{
+		{Engine: "DGEMM", TotalSec: gemmTotal, MMSec: gemmRes.Stats.MMTime.Seconds(), MMCalls: gemmRes.Stats.MMCount},
+		{Engine: "DGEFMM", TotalSec: strTotal, MMSec: strassenRes.Stats.MMTime.Seconds(), MMCalls: strassenRes.Stats.MMCount, MaxValErr: maxErr},
+	}
+
+	fprintln(w, fmt.Sprintf("Table 6: ISDA eigensolver timings for a random %d×%d symmetric matrix", n, n))
+	tb := bench.NewTable("", "using DGEMM", "using DGEFMM")
+	tb.AddRow("Total time (s)", fmt.Sprintf("%.3f", gemmTotal), fmt.Sprintf("%.3f", strTotal))
+	tb.AddRow("MM time (s)", fmt.Sprintf("%.3f", gemmRes.Stats.MMTime.Seconds()), fmt.Sprintf("%.3f", strassenRes.Stats.MMTime.Seconds()))
+	tb.AddRow("MM calls", gemmRes.Stats.MMCount, strassenRes.Stats.MMCount)
+	_, _ = tb.WriteTo(w)
+	fprintln(w, fmt.Sprintf("MM-time saving: %.1f%% (paper: ≈20%% at order 1000); max eigenvalue disagreement %.2e",
+		100*(1-strassenRes.Stats.MMTime.Seconds()/gemmRes.Stats.MMTime.Seconds()), maxErr))
+	return rows
+}

@@ -1,0 +1,277 @@
+// Package fastlevel3 implements the program of the paper's reference [11]
+// (Higham, "Exploiting fast matrix multiplication within the level 3 BLAS",
+// ACM TOMS 1990): the remaining Level 3 BLAS operations — symmetric
+// multiply/rank-k update and triangular multiply/solve — restructured so
+// that asymptotically all their arithmetic happens inside general matrix
+// multiplication, which is then performed by DGEFMM. Any Strassen speedup
+// therefore transfers to the whole Level 3 BLAS, and through it (as the
+// paper's introduction argues) to LAPACK-style blocked algorithms.
+//
+// Each routine partitions its operand into a small unblocked core plus
+// GEMM-shaped updates:
+//
+//   - Dsyrk: 2×2 block recursion — two half-size SYRKs plus one GEMM.
+//   - Dsymm: the symmetric operand is consumed in square diagonal blocks
+//     (densified) driving GEMM panels.
+//   - Dtrmm/Dtrsm: 2×2 triangular block recursion — two half-size
+//     triangular ops plus one GEMM (the solve uses the multiply-accumulate
+//     C ← C − A·B before the sub-solve).
+//
+// The multiplier is pluggable; the default is DGEFMM with default
+// configuration.
+package fastlevel3
+
+import (
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// Engine performs C ← alpha·op(A)·op(B) + beta·C for the GEMM-shaped parts
+// of the Level 3 routines.
+type Engine interface {
+	// GEMM mirrors blas.Dgemm's semantics on raw column-major storage.
+	GEMM(transA, transB blas.Transpose, m, n, k int, alpha float64,
+		a []float64, lda int, b []float64, ldb int, beta float64,
+		c []float64, ldc int)
+}
+
+// StrassenEngine runs the GEMM parts through DGEFMM.
+type StrassenEngine struct {
+	// Config for DGEFMM; nil selects the defaults.
+	Config *strassen.Config
+}
+
+// GEMM implements Engine.
+func (s StrassenEngine) GEMM(transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	strassen.DGEFMM(s.Config, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// GemmEngine runs the GEMM parts through the standard algorithm (the
+// control arm for the ablation benches).
+type GemmEngine struct {
+	// Kernel below; nil selects blas.DefaultKernel.
+	Kernel blas.Kernel
+}
+
+// GEMM implements Engine.
+func (g GemmEngine) GEMM(transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	blas.DgemmKernel(g.Kernel, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Options configures the fast Level 3 routines.
+type Options struct {
+	// Engine for the GEMM-shaped work; nil selects StrassenEngine with
+	// default configuration.
+	Engine Engine
+	// Base is the block order at or below which the reference (unblocked)
+	// routine finishes; 0 selects 64.
+	Base int
+}
+
+func (o *Options) engine() Engine {
+	if o == nil || o.Engine == nil {
+		return StrassenEngine{}
+	}
+	return o.Engine
+}
+
+func (o *Options) base() int {
+	if o == nil || o.Base <= 0 {
+		return 64
+	}
+	return o.Base
+}
+
+// Dsyrk computes C ← alpha·op(A)·op(A)ᵀ + beta·C for symmetric C (uplo
+// triangle referenced/updated), with op(A) n×k, spending its flops in the
+// engine via the block recursion
+//
+//	[C11 C12; C21 C22] ← [A1·A1ᵀ, A1·A2ᵀ; ·, A2·A2ᵀ]
+//
+// where the off-diagonal block is a plain GEMM of half the size.
+func Dsyrk(opt *Options, uplo blas.Uplo, trans blas.Transpose, n, k int, alpha float64,
+	a []float64, lda int, beta float64, c []float64, ldc int) {
+	if n <= opt.base() {
+		blas.Dsyrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+		return
+	}
+	n1 := n / 2
+	n2 := n - n1
+	upper := uplo == blas.Upper || uplo == 'u'
+	notrans := !trans.IsTrans()
+
+	// Row panels of op(A): A1 = op(A)[0:n1, :], A2 = op(A)[n1:, :].
+	// In storage: notrans → rows of a; trans → columns of a.
+	var a1, a2 []float64
+	if notrans {
+		a1, a2 = a, a[n1:]
+	} else {
+		a1, a2 = a, a[n1*lda:]
+	}
+
+	Dsyrk(opt, uplo, trans, n1, k, alpha, a1, lda, beta, c, ldc)
+	Dsyrk(opt, uplo, trans, n2, k, alpha, a2, lda, beta, c[n1+n1*ldc:], ldc)
+
+	tb := blas.Trans
+	if !notrans {
+		tb = blas.NoTrans
+	}
+	if upper {
+		// C12 ← alpha·A1·A2ᵀ + beta·C12 (n1×n2 GEMM).
+		opt.engine().GEMM(trans, tb, n1, n2, k, alpha, a1, lda, a2, lda, beta, c[n1*ldc:], ldc)
+	} else {
+		// C21 ← alpha·A2·A1ᵀ + beta·C21 (n2×n1 GEMM).
+		opt.engine().GEMM(trans, tb, n2, n1, k, alpha, a2, lda, a1, lda, beta, c[n1:], ldc)
+	}
+}
+
+// Dsymm computes C ← alpha·A·B + beta·C (side Left) or alpha·B·A + beta·C
+// (side Right) for symmetric A, by densifying A once and handing the whole
+// operation to the engine — for symmetric multiply *all* the arithmetic is
+// GEMM-shaped, so this is the Higham construction in its simplest form.
+func Dsymm(opt *Options, side blas.Side, uplo blas.Uplo, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	na := n
+	if side == blas.Left || side == 'l' {
+		na = m
+	}
+	full := densifySym(uplo, na, a, lda)
+	if side == blas.Left || side == 'l' {
+		opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m, n, m, alpha, full.Data, full.Stride, b, ldb, beta, c, ldc)
+	} else {
+		opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m, n, n, alpha, b, ldb, full.Data, full.Stride, beta, c, ldc)
+	}
+}
+
+// densifySym expands the referenced triangle into a full symmetric matrix.
+func densifySym(uplo blas.Uplo, n int, a []float64, lda int) *matrix.Dense {
+	full := matrix.NewDense(n, n)
+	upper := uplo == blas.Upper || uplo == 'u'
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			var v float64
+			if upper {
+				v = a[i+j*lda]
+			} else {
+				v = a[j+i*lda]
+			}
+			full.Set(i, j, v)
+			full.Set(j, i, v)
+		}
+	}
+	return full
+}
+
+// Dtrmm computes B ← alpha·op(A)·B for triangular A on the left (the right
+// side reduces to it by transposition at the caller; the paper's codes only
+// need the left case). The 2×2 recursion for lower-triangular A:
+//
+//	[B1; B2] ← [A11·B1; A21·B1 + A22·B2]
+//
+// whose cross term A21·B1 is a GEMM; upper-triangular and transposed cases
+// permute the update order.
+func Dtrmm(opt *Options, uplo blas.Uplo, transA blas.Transpose, diag blas.Diag,
+	m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if m <= opt.base() {
+		blas.Dtrmm(blas.Left, uplo, transA, diag, m, n, alpha, a, lda, b, ldb)
+		return
+	}
+	m1 := m / 2
+	m2 := m - m1
+	upper := uplo == blas.Upper || uplo == 'u'
+	nota := !transA.IsTrans()
+
+	a11 := a
+	a22 := a[m1+m1*lda:]
+	var off []float64 // the off-diagonal block: A12 (upper) or A21 (lower)
+	if upper {
+		off = a[m1*lda:]
+	} else {
+		off = a[m1:]
+	}
+	b1 := b
+	b2 := b[m1:]
+
+	switch {
+	case upper == nota:
+		// Effective upper: B1 ← op(A11)·B1 + op(off)·B2 — update B1 first.
+		Dtrmm(opt, uplo, transA, diag, m1, n, alpha, a11, lda, b1, ldb)
+		if nota {
+			opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m1, n, m2, alpha, off, lda, b2, ldb, 1, b1, ldb)
+		} else {
+			opt.engine().GEMM(blas.Trans, blas.NoTrans, m1, n, m2, alpha, off, lda, b2, ldb, 1, b1, ldb)
+		}
+		Dtrmm(opt, uplo, transA, diag, m2, n, alpha, a22, lda, b2, ldb)
+	default:
+		// Effective lower: B2 ← op(A22)·B2 + op(off)·B1 — update B2 first.
+		Dtrmm(opt, uplo, transA, diag, m2, n, alpha, a22, lda, b2, ldb)
+		if nota {
+			opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m2, n, m1, alpha, off, lda, b1, ldb, 1, b2, ldb)
+		} else {
+			opt.engine().GEMM(blas.Trans, blas.NoTrans, m2, n, m1, alpha, off, lda, b1, ldb, 1, b2, ldb)
+		}
+		Dtrmm(opt, uplo, transA, diag, m1, n, alpha, a11, lda, b1, ldb)
+	}
+}
+
+// Dtrsm solves op(A)·X = alpha·B in place for triangular A on the left.
+// The 2×2 recursion for effective-lower op(A):
+//
+//	solve A11·X1 = B1;  B2 ← B2 − A21·X1 (GEMM);  solve A22·X2 = B2.
+func Dtrsm(opt *Options, uplo blas.Uplo, transA blas.Transpose, diag blas.Diag,
+	m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if m <= opt.base() {
+		blas.Dtrsm(blas.Left, uplo, transA, diag, m, n, alpha, a, lda, b, ldb)
+		return
+	}
+	m1 := m / 2
+	m2 := m - m1
+	upper := uplo == blas.Upper || uplo == 'u'
+	nota := !transA.IsTrans()
+
+	a11 := a
+	a22 := a[m1+m1*lda:]
+	var off []float64
+	if upper {
+		off = a[m1*lda:]
+	} else {
+		off = a[m1:]
+	}
+	b1 := b
+	b2 := b[m1:]
+
+	switch {
+	case upper == nota:
+		// Effective upper: solve bottom first, then eliminate from the top.
+		Dtrsm(opt, uplo, transA, diag, m2, n, alpha, a22, lda, b2, ldb)
+		// B1 ← alpha·B1 − op(off)·X2.
+		if alpha != 1 {
+			for j := 0; j < n; j++ {
+				blas.Dscal(m1, alpha, b1[j*ldb:], 1)
+			}
+		}
+		if nota {
+			opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m1, n, m2, -1, off, lda, b2, ldb, 1, b1, ldb)
+		} else {
+			opt.engine().GEMM(blas.Trans, blas.NoTrans, m1, n, m2, -1, off, lda, b2, ldb, 1, b1, ldb)
+		}
+		Dtrsm(opt, uplo, transA, diag, m1, n, 1, a11, lda, b1, ldb)
+	default:
+		// Effective lower: solve top first, then eliminate from the bottom.
+		Dtrsm(opt, uplo, transA, diag, m1, n, alpha, a11, lda, b1, ldb)
+		if alpha != 1 {
+			for j := 0; j < n; j++ {
+				blas.Dscal(m2, alpha, b2[j*ldb:], 1)
+			}
+		}
+		if nota {
+			opt.engine().GEMM(blas.NoTrans, blas.NoTrans, m2, n, m1, -1, off, lda, b1, ldb, 1, b2, ldb)
+		} else {
+			opt.engine().GEMM(blas.Trans, blas.NoTrans, m2, n, m1, -1, off, lda, b1, ldb, 1, b2, ldb)
+		}
+		Dtrsm(opt, uplo, transA, diag, m2, n, 1, a22, lda, b2, ldb)
+	}
+}

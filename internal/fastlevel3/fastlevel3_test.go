@@ -1,0 +1,209 @@
+package fastlevel3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/strassen"
+)
+
+// testOpt uses a tiny base and the naive kernel so the GEMM-recursion and
+// the Strassen engine are both exercised even on small test operands.
+func testOpt() *Options {
+	return &Options{
+		Base: 8,
+		Engine: StrassenEngine{Config: &strassen.Config{
+			Kernel:    blas.NaiveKernel{},
+			Criterion: strassen.Simple{Tau: 8},
+		}},
+	}
+}
+
+func randMat(rng *rand.Rand, r, c, ld int) []float64 {
+	a := make([]float64, ld*c)
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			a[i+j*ld] = 2*rng.Float64() - 1
+		}
+	}
+	return a
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestFastDsyrkMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for _, n := range []int{4, 9, 16, 33, 50} {
+		for _, k := range []int{3, 17, 40} {
+			for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+				for _, trans := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+					rowsA, colsA := n, k
+					if trans.IsTrans() {
+						rowsA, colsA = k, n
+					}
+					lda := rowsA + 2
+					a := randMat(rng, rowsA, colsA, lda)
+					c1 := randMat(rng, n, n, n)
+					c2 := append([]float64(nil), c1...)
+					blas.Dsyrk(uplo, trans, n, k, 1.5, a, lda, 0.5, c1, n)
+					Dsyrk(testOpt(), uplo, trans, n, k, 1.5, a, lda, 0.5, c2, n)
+					for i := range c1 {
+						if !almostEq(c1[i], c2[i], 1e-11) {
+							t.Fatalf("Dsyrk n=%d k=%d uplo=%c trans=%c mismatch", n, k, uplo, trans)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFastDsymmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	for _, dims := range [][2]int{{5, 7}, {24, 16}, {40, 33}} {
+		m, n := dims[0], dims[1]
+		for _, side := range []blas.Side{blas.Left, blas.Right} {
+			na := n
+			if side == blas.Left {
+				na = m
+			}
+			lda := na + 1
+			a := randMat(rng, na, na, lda)
+			b := randMat(rng, m, n, m)
+			for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+				c1 := randMat(rng, m, n, m)
+				c2 := append([]float64(nil), c1...)
+				blas.Dsymm(side, uplo, m, n, 2, a, lda, b, m, -0.5, c1, m)
+				Dsymm(testOpt(), side, uplo, m, n, 2, a, lda, b, m, -0.5, c2, m)
+				for i := range c1 {
+					if !almostEq(c1[i], c2[i], 1e-11) {
+						t.Fatalf("Dsymm m=%d n=%d side=%c uplo=%c mismatch", m, n, side, uplo)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFastDtrmmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	for _, m := range []int{4, 17, 33, 48} {
+		n := 11
+		lda := m + 1
+		a := randMat(rng, m, m, lda)
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			for _, trans := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+				for _, diag := range []blas.Diag{blas.NonUnit, blas.Unit} {
+					b1 := randMat(rng, m, n, m)
+					b2 := append([]float64(nil), b1...)
+					blas.Dtrmm(blas.Left, uplo, trans, diag, m, n, 1.5, a, lda, b1, m)
+					Dtrmm(testOpt(), uplo, trans, diag, m, n, 1.5, a, lda, b2, m)
+					for i := range b1 {
+						if !almostEq(b1[i], b2[i], 1e-11) {
+							t.Fatalf("Dtrmm m=%d uplo=%c trans=%c diag=%c mismatch", m, uplo, trans, diag)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFastDtrsmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	for _, m := range []int{4, 17, 33, 48} {
+		n := 9
+		lda := m + 1
+		a := randMat(rng, m, m, lda)
+		for i := 0; i < m; i++ {
+			a[i+i*lda] = 2 + rng.Float64() // well-conditioned
+		}
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			for _, trans := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+				for _, diag := range []blas.Diag{blas.NonUnit, blas.Unit} {
+					b1 := randMat(rng, m, n, m)
+					b2 := append([]float64(nil), b1...)
+					blas.Dtrsm(blas.Left, uplo, trans, diag, m, n, 0.75, a, lda, b1, m)
+					Dtrsm(testOpt(), uplo, trans, diag, m, n, 0.75, a, lda, b2, m)
+					for i := range b1 {
+						if !almostEq(b1[i], b2[i], 1e-9) {
+							t.Fatalf("Dtrsm m=%d uplo=%c trans=%c diag=%c mismatch", m, uplo, trans, diag)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrmmTrsmRoundTripFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	m, n := 40, 6
+	a := randMat(rng, m, m, m)
+	for i := 0; i < m; i++ {
+		a[i+i*m] = 3 + rng.Float64()
+	}
+	b := randMat(rng, m, n, m)
+	orig := append([]float64(nil), b...)
+	opt := testOpt()
+	Dtrmm(opt, blas.Lower, blas.NoTrans, blas.NonUnit, m, n, 2, a, m, b, m)
+	Dtrsm(opt, blas.Lower, blas.NoTrans, blas.NonUnit, m, n, 0.5, a, m, b, m)
+	for i := range b {
+		if !almostEq(b[i], orig[i], 1e-9) {
+			t.Fatal("fast trmm/trsm roundtrip failed")
+		}
+	}
+}
+
+func TestFastLevel3Quick(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64, upperRaw, transRaw bool) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		uplo := blas.Lower
+		if upperRaw {
+			uplo = blas.Upper
+		}
+		trans := blas.NoTrans
+		if transRaw {
+			trans = blas.Trans
+		}
+		rowsA, colsA := n, k
+		if trans.IsTrans() {
+			rowsA, colsA = k, n
+		}
+		a := randMat(rng, rowsA, colsA, rowsA)
+		c1 := randMat(rng, n, n, n)
+		c2 := append([]float64(nil), c1...)
+		blas.Dsyrk(uplo, trans, n, k, 1, a, rowsA, 1, c1, n)
+		Dsyrk(testOpt(), uplo, trans, n, k, 1, a, rowsA, 1, c2, n)
+		for i := range c1 {
+			if !almostEq(c1[i], c2[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	// nil options must work (default Strassen engine, base 64).
+	rng := rand.New(rand.NewSource(706))
+	n, k := 20, 12
+	a := randMat(rng, n, k, n)
+	c1 := make([]float64, n*n)
+	c2 := make([]float64, n*n)
+	blas.Dsyrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, c1, n)
+	Dsyrk(nil, blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, c2, n)
+	for i := range c1 {
+		if !almostEq(c1[i], c2[i], 1e-11) {
+			t.Fatal("nil options Dsyrk mismatch")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// spdMatrix builds a well-conditioned symmetric positive definite matrix
+// A = GᵀG + n·I.
+func spdMatrix(n int, rng *rand.Rand) *matrix.Dense {
+	g := matrix.NewRandom(n, n, rng)
+	a := matrix.NewDense(n, n)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, g.Data, g.Stride, g.Data, g.Stride, 0, a.Data, a.Stride)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(551))
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 100} {
+		a := spdMatrix(n, rng)
+		ch, err := FactorCholesky(a, &CholeskyOptions{BlockSize: 16, Base: 8})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := ch.Reconstruct()
+		if d := matrix.MaxAbsDiff(back, a); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: LLᵀ−A = %g", n, d)
+		}
+		// L must be lower triangular with positive diagonal.
+		for j := 0; j < n; j++ {
+			if ch.L.At(j, j) <= 0 {
+				t.Fatal("nonpositive diagonal")
+			}
+			for i := 0; i < j; i++ {
+				if ch.L.At(i, j) != 0 {
+					t.Fatal("upper triangle not zeroed")
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(552))
+	n := 80
+	a := spdMatrix(n, rng)
+	xTrue := matrix.NewRandom(n, 3, rng)
+	b := matrix.NewDense(n, 3)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, 3, n, 1, a.Data, a.Stride, xTrue.Data, xTrue.Stride, 0, b.Data, b.Stride)
+	ch, err := FactorCholesky(a, &CholeskyOptions{BlockSize: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ch.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-8 {
+		t.Fatalf("solve error %g", d)
+	}
+	if _, err := ch.Solve(matrix.NewDense(n+1, 1)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := matrix.FromRows([][]float64{
+		{1, 2},
+		{2, 1}, // eigenvalues 3 and −1
+	})
+	_, err := FactorCholesky(a, nil)
+	if err == nil || !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+	if _, err := FactorCholesky(matrix.NewDense(2, 3), nil); err == nil {
+		t.Fatal("want squareness error")
+	}
+}
+
+func TestCholeskyReadsLowerTriangleOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(553))
+	n := 20
+	a := spdMatrix(n, rng)
+	// Poison the strict upper triangle: the factorization must not care.
+	poisoned := a.Clone()
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			poisoned.Set(i, j, 1e9)
+		}
+	}
+	ch1, err := FactorCholesky(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := FactorCholesky(poisoned, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(ch1.L, ch2.L); d > 1e-12 {
+		t.Fatalf("upper triangle leaked into the factor: %g", d)
+	}
+}
+
+func TestCholeskyBlockSizeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(554))
+	n := 70
+	a := spdMatrix(n, rng)
+	var ref *Cholesky
+	for _, nb := range []int{1, 8, 32, 70, 128} {
+		ch, err := FactorCholesky(a, &CholeskyOptions{BlockSize: nb, Base: 8})
+		if err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		if ref == nil {
+			ref = ch
+			continue
+		}
+		if d := matrix.MaxAbsDiff(ref.L, ch.L); d > 1e-9 {
+			t.Fatalf("nb=%d: factor differs by %g", nb, d)
+		}
+	}
+}
+
+func TestCholeskyStrassenConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	n := 96
+	a := spdMatrix(n, rng)
+	cfg := &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 8}}
+	ch, err := FactorCholesky(a, &CholeskyOptions{BlockSize: 24, Base: 8, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ch.Reconstruct()
+	if d := matrix.MaxAbsDiff(back, a); d > 1e-8 {
+		t.Fatalf("Strassen-driven Cholesky off by %g", d)
+	}
+	if ch.Stats.MMCount == 0 {
+		t.Fatal("no trailing updates recorded")
+	}
+}
+
+func TestCholeskyDiagonalMatrix(t *testing.T) {
+	a := matrix.NewDense(5, 5)
+	for i := 0; i < 5; i++ {
+		a.Set(i, i, float64(i+1)*float64(i+1))
+	}
+	ch, err := FactorCholesky(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(ch.L.At(i, i)-float64(i+1)) > 1e-14 {
+			t.Fatalf("L(%d,%d) = %v", i, i, ch.L.At(i, i))
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/eigen"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+func TestFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for _, n := range []int{1, 2, 7, 33, 64, 129} {
+		a := matrix.NewRandom(n, n, rng)
+		// Diagonal dominance keeps the test well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		lu, err := Factor(a, &Options{BlockSize: 16})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := lu.Reconstruct()
+		if d := matrix.MaxAbsDiff(back, a); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: PA−LU mismatch %g", n, d)
+		}
+	}
+}
+
+func TestFactorNeedsPivoting(t *testing.T) {
+	// A matrix whose (0,0) entry is 0 forces a row interchange.
+	a := matrix.FromRows([][]float64{
+		{0, 2, 1},
+		{1, 1, 1},
+		{2, 0, 3},
+	})
+	lu, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Pivots[0] == 0 {
+		t.Fatal("expected a pivot swap at step 0")
+	}
+	back := lu.Reconstruct()
+	if d := matrix.MaxAbsDiff(back, a); d > 1e-13 {
+		t.Fatalf("reconstruction off by %g", d)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := matrix.FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	b := matrix.FromRows([][]float64{{5}, {10}})
+	lu, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if math.Abs(x.At(0, 0)-1) > 1e-12 || math.Abs(x.At(1, 0)-3) > 1e-12 {
+		t.Fatalf("solution: %v", x)
+	}
+}
+
+func TestSolveRandomMultipleRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	n, nrhs := 80, 5
+	a := matrix.NewRandom(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	xTrue := matrix.NewRandom(n, nrhs, rng)
+	b := matrix.NewDense(n, nrhs)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a.Data, a.Stride, xTrue.Data, xTrue.Stride, 0, b.Data, b.Stride)
+	lu, err := Factor(a, &Options{BlockSize: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-9 {
+		t.Fatalf("solve error %g", d)
+	}
+	if r := Residual(a, x, b); r > 1e-14 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	a := matrix.Identity(3)
+	lu, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve(matrix.NewDense(4, 1)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := matrix.FromRows([][]float64{
+		{1, 2},
+		{2, 4}, // rank 1
+	})
+	_, err := Factor(a, nil)
+	if err == nil || !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	if _, err := Factor(matrix.NewDense(2, 3), nil); err == nil {
+		t.Fatal("want squareness error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := matrix.FromRows([][]float64{
+		{4, 3},
+		{6, 3},
+	})
+	lu, err := Factor(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := lu.Det(); math.Abs(d-(-6)) > 1e-12 {
+		t.Fatalf("det = %v, want -6", d)
+	}
+	id, _ := Factor(matrix.Identity(5), nil)
+	if math.Abs(id.Det()-1) > 1e-15 {
+		t.Fatal("det(I) != 1")
+	}
+}
+
+func TestStrassenEngineMatchesGemm(t *testing.T) {
+	// The Bailey-style acceleration: same factorization through DGEFMM.
+	rng := rand.New(rand.NewSource(503))
+	n := 160
+	a := matrix.NewRandom(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	luG, err := Factor(a, &Options{BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	luS, err := Factor(a, &Options{BlockSize: 32, Mul: eigen.StrassenMultiplier{
+		Config: &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 16}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(luG.Factors, luS.Factors); d > 1e-8 {
+		t.Fatalf("factors differ by %g between engines", d)
+	}
+	for i := range luG.Pivots {
+		if luG.Pivots[i] != luS.Pivots[i] {
+			t.Fatalf("pivot %d differs", i)
+		}
+	}
+	if luS.Stats.MMCount == 0 || luS.Stats.MMTime <= 0 {
+		t.Fatal("MM statistics not collected")
+	}
+	// Solve through the Strassen-factored LU.
+	xTrue := matrix.NewRandom(n, 2, rng)
+	b := matrix.NewDense(n, 2)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, 2, n, 1, a.Data, a.Stride, xTrue.Data, xTrue.Stride, 0, b.Data, b.Stride)
+	x, err := luS.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-8 {
+		t.Fatalf("Strassen-LU solve error %g", d)
+	}
+}
+
+func TestBlockSizeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	n := 100
+	a := matrix.NewRandom(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	var ref *LU
+	for _, nb := range []int{1, 7, 16, 50, 100, 200} {
+		lu, err := Factor(a, &Options{BlockSize: nb})
+		if err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		if ref == nil {
+			ref = lu
+			continue
+		}
+		if d := matrix.MaxAbsDiff(ref.Factors, lu.Factors); d > 1e-10 {
+			t.Fatalf("nb=%d: factors differ by %g from nb=1", nb, d)
+		}
+	}
+}
+
+func TestResidualNormalization(t *testing.T) {
+	a := matrix.Identity(4)
+	x := matrix.NewDense(4, 1)
+	b := matrix.NewDense(4, 1)
+	if Residual(a, x, b) != 0 {
+		t.Fatal("zero system should have zero residual")
+	}
+}

@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewRandom(7, 5, rng)
+	var sb strings.Builder
+	if err := WriteText(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("round trip not bit-exact")
+	}
+}
+
+func TestTextRoundTripSpecialValues(t *testing.T) {
+	m := FromRows([][]float64{
+		{0, -0, 1e-300},
+		{1e300, math.Pi, -2.5},
+	})
+	var sb strings.Builder
+	if err := WriteText(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("special values lost")
+	}
+}
+
+func TestReadTextSkipsBlankLines(t *testing.T) {
+	in := "1 2\n\n3 4\n   \n"
+	m, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"ragged":    "1 2\n3\n",
+		"non-float": "1 x\n",
+		"empty":     "",
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteTextStridedView(t *testing.T) {
+	big := NewDense(5, 5)
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			big.Set(i, j, float64(10*i+j))
+		}
+	}
+	sub := big.Slice(1, 1, 2, 3)
+	var sb strings.Builder
+	if err := WriteText(&sb, sub); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if back.At(i, j) != sub.At(i, j) {
+				t.Fatal("strided view written wrong")
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package matrix provides column-major dense matrices with explicit leading
+// dimensions, matching the storage convention of the Level 3 BLAS (and of the
+// paper's C implementation, which stores matrices FORTRAN-style to ease the
+// BLAS interface). All Strassen quadrant arithmetic in internal/strassen is
+// expressed over the view types defined here.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is an m×n column-major matrix: element (i,j) lives at Data[i+j*Stride].
+// Stride (the leading dimension, "ld" in BLAS terms) must be >= max(1, Rows),
+// which permits a Dense to alias a contiguous block of columns of a larger
+// matrix without copying.
+type Dense struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed r×c matrix with a tight stride.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: NewDense(%d, %d): negative dimension", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: max(1, r), Data: make([]float64, r*c)}
+}
+
+// FromColMajor wraps existing column-major data without copying.
+// len(data) must be at least (c-1)*ld + r for nonempty matrices.
+func FromColMajor(r, c, ld int, data []float64) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: FromColMajor(%d, %d): negative dimension", r, c))
+	}
+	if ld < max(1, r) {
+		panic(fmt.Sprintf("matrix: FromColMajor: ld=%d < rows=%d", ld, r))
+	}
+	if r > 0 && c > 0 && len(data) < (c-1)*ld+r {
+		panic(fmt.Sprintf("matrix: FromColMajor: data length %d too short for %dx%d ld=%d", len(data), r, c, ld))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: ld, Data: data}
+}
+
+// FromRows builds a matrix from row-major [][]float64 literals; handy in tests.
+func FromRows(rows [][]float64) *Dense {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	m := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("matrix: FromRows: ragged rows")
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: At(%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i+j*m.Stride]
+}
+
+// Set writes element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: Set(%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i+j*m.Stride] = v
+}
+
+// Slice returns a view (no copy) of the r×c submatrix whose top-left corner
+// is (i, j). Mutations through the view are visible in m.
+func (m *Dense) Slice(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: Slice(%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Dense{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i + j*m.Stride
+	// Keep capacity limited to the addressable region.
+	end := off + (c-1)*m.Stride + r
+	return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// Clone returns a tightly-packed deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	out.CopyFrom(m)
+	return out
+}
+
+// CopyFrom copies src into m elementwise. Shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("matrix: CopyFrom shape mismatch: %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for j := 0; j < m.Cols; j++ {
+		copy(m.Data[j*m.Stride:j*m.Stride+m.Rows], src.Data[j*src.Stride:j*src.Stride+src.Rows])
+	}
+}
+
+// Zero sets all elements of m to zero (respecting the stride: only the view's
+// own elements are cleared).
+func (m *Dense) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = v
+		}
+	}
+}
+
+// Scale multiplies every element by alpha in place.
+func (m *Dense) Scale(alpha float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] *= alpha
+		}
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			out.Data[j+i*out.Stride] = m.Data[i+j*m.Stride]
+		}
+	}
+	return out
+}
+
+// Equal reports exact elementwise equality of shape and values.
+func (m *Dense) Equal(other *Dense) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if m.Data[i+j*m.Stride] != other.Data[i+j*other.Stride] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualApprox reports elementwise |a-b| <= tol equality.
+func (m *Dense) EqualApprox(other *Dense, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			d := m.Data[i+j*m.Stride] - other.Data[i+j*other.Stride]
+			if math.Abs(d) > tol || math.IsNaN(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large ones are elided.
+func (m *Dense) String() string {
+	const limit = 12
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d ld=%d\n", m.Rows, m.Cols, m.Stride)
+	r, c := m.Rows, m.Cols
+	if r > limit {
+		r = limit
+	}
+	if c > limit {
+		c = limit
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			fmt.Fprintf(&sb, "% 10.4g ", m.At(i, j))
+		}
+		if c < m.Cols {
+			sb.WriteString("...")
+		}
+		sb.WriteByte('\n')
+	}
+	if r < m.Rows {
+		sb.WriteString("...\n")
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDenseShape(t *testing.T) {
+	m := NewDense(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || m.Stride != 3 || len(m.Data) != 15 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+}
+
+func TestNewDenseEmpty(t *testing.T) {
+	m := NewDense(0, 4)
+	if m.Rows != 0 || m.Cols != 4 || m.Stride != 1 {
+		t.Fatalf("unexpected: %+v", m)
+	}
+	n := NewDense(0, 0)
+	if n.Stride != 1 {
+		t.Fatalf("stride should clamp to 1, got %d", n.Stride)
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestAtSetColumnMajor(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 42)
+	if m.Data[1+2*m.Stride] != 42 {
+		t.Fatal("Set did not write column-major location")
+	}
+	if m.At(1, 2) != 42 {
+		t.Fatal("At did not read back")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, 2) },
+		func() { m.At(-1, 0) },
+		func() { m.Set(0, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromColMajorValidation(t *testing.T) {
+	data := make([]float64, 10)
+	m := FromColMajor(2, 3, 3, data) // needs (3-1)*3+2 = 8 ≤ 10
+	if m.At(1, 2) != data[1+2*3] {
+		t.Fatal("aliasing broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for short data")
+		}
+	}()
+	FromColMajor(4, 3, 4, make([]float64, 5))
+}
+
+func TestFromColMajorBadLD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for ld < rows")
+		}
+	}()
+	FromColMajor(4, 2, 3, make([]float64, 100))
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatal("shape")
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 || m.At(0, 2) != 3 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	m := NewDense(6, 6)
+	s := m.Slice(2, 3, 2, 2)
+	s.Set(0, 0, 9)
+	if m.At(2, 3) != 9 {
+		t.Fatal("slice must alias parent")
+	}
+	if s.Stride != m.Stride {
+		t.Fatal("slice stride must equal parent stride")
+	}
+	// nested slicing
+	s2 := s.Slice(1, 1, 1, 1)
+	s2.Set(0, 0, 7)
+	if m.At(3, 4) != 7 {
+		t.Fatal("nested slice aliasing broken")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	m := NewDense(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Slice(1, 1, 4, 1)
+}
+
+func TestSliceEmpty(t *testing.T) {
+	m := NewDense(4, 4)
+	s := m.Slice(2, 2, 0, 2)
+	if s.Rows != 0 || s.Cols != 2 {
+		t.Fatal("empty slice shape")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone not independent")
+	}
+	if c.Stride != 2 {
+		t.Fatal("clone should be tightly packed")
+	}
+}
+
+func TestCopyFromStrided(t *testing.T) {
+	big := NewDense(5, 5)
+	rng := rand.New(rand.NewSource(1))
+	Random(big, rng)
+	sub := big.Slice(1, 1, 3, 3)
+	dst := NewDense(3, 3)
+	dst.CopyFrom(sub)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if dst.At(i, j) != big.At(i+1, j+1) {
+				t.Fatal("CopyFrom wrong")
+			}
+		}
+	}
+}
+
+func TestZeroRespectsView(t *testing.T) {
+	big := NewDense(4, 4)
+	big.Fill(1)
+	big.Slice(1, 1, 2, 2).Zero()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			inside := i >= 1 && i <= 2 && j >= 1 && j <= 2
+			want := 1.0
+			if inside {
+				want = 0
+			}
+			if big.At(i, j) != want {
+				t.Fatalf("Zero leaked at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {3, 4}})
+	m.Scale(-0.5)
+	want := FromRows([][]float64{{-0.5, 1}, {-1.5, -2}})
+	if !m.Equal(want) {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatal("shape")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatal("transpose wrong")
+			}
+		}
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0001, 2}})
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-6) {
+		t.Fatal("should differ at tight tol")
+	}
+	c := FromRows([][]float64{{1, 2, 3}})
+	if a.EqualApprox(c, 1) {
+		t.Fatal("shape mismatch must be unequal")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatal("identity wrong")
+			}
+		}
+	}
+}
+
+func TestRandomSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewRandomSymmetric(8, rng)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	small := NewDense(2, 2)
+	_ = small.String()
+	big := NewDense(40, 40)
+	_ = big.String()
+}

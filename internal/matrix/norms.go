@@ -1,0 +1,91 @@
+package matrix
+
+import "math"
+
+// MaxAbs returns max |m(i,j)|, the max norm used in forward-error checks.
+func MaxAbs(m *Dense) float64 {
+	var mx float64
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for _, v := range col {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+	}
+	return mx
+}
+
+// MaxAbsDiff returns max |a(i,j) - b(i,j)|; shapes must match.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: MaxAbsDiff shape mismatch")
+	}
+	var mx float64
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			d := math.Abs(a.Data[i+j*a.Stride] - b.Data[i+j*b.Stride])
+			if d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}
+
+// FrobeniusNorm returns sqrt(sum m(i,j)^2) with scaling to avoid overflow.
+func FrobeniusNorm(m *Dense) float64 {
+	scale, ssq := 0.0, 1.0
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for _, v := range col {
+			if v == 0 {
+				continue
+			}
+			a := math.Abs(v)
+			if scale < a {
+				r := scale / a
+				ssq = 1 + ssq*r*r
+				scale = a
+			} else {
+				r := a / scale
+				ssq += r * r
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// OneNorm returns the maximum absolute column sum.
+func OneNorm(m *Dense) float64 {
+	var mx float64
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		var s float64
+		for _, v := range col {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// InfNorm returns the maximum absolute row sum.
+func InfNorm(m *Dense) float64 {
+	sums := make([]float64, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i, v := range col {
+			sums[i] += math.Abs(v)
+		}
+	}
+	var mx float64
+	for _, s := range sums {
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}

@@ -1,0 +1,266 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// opsCase builds a destination (optionally a strided sub-view) and two
+// sources (optionally transposed views of strided parents) for kernel tests.
+func opsCase(t *testing.T, rng *rand.Rand, r, c int, transA, transB, strided bool) (dst *Dense, a, b View, aRef, bRef *Dense) {
+	t.Helper()
+	mk := func(trans bool) (View, *Dense) {
+		pr, pc := r, c
+		if trans {
+			pr, pc = c, r
+		}
+		parent := NewRandom(pr+2, pc+2, rng)
+		sub := parent.Slice(1, 1, pr, pc)
+		v := View{Rows: pr, Cols: pc, Stride: sub.Stride, Data: sub.Data}
+		if trans {
+			v = View{Rows: pc, Cols: pr, Stride: sub.Stride, Trans: true, Data: sub.Data}
+		}
+		return v, v.Dense()
+	}
+	a, aRef = mk(transA)
+	b, bRef = mk(transB)
+	if strided {
+		parent := NewRandom(r+3, c+3, rng)
+		dst = parent.Slice(2, 2, r, c)
+	} else {
+		dst = NewRandom(r, c, rng)
+	}
+	return dst, a, b, aRef, bRef
+}
+
+func forAllTransCombos(t *testing.T, f func(t *testing.T, ta, tb, strided bool)) {
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for _, s := range []bool{false, true} {
+				f(t, ta, tb, s)
+			}
+		}
+	}
+}
+
+func TestAddAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	forAllTransCombos(t, func(t *testing.T, ta, tb, strided bool) {
+		dst, a, b, aRef, bRef := opsCase(t, rng, 4, 5, ta, tb, strided)
+		Add(dst, a, b)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 5; j++ {
+				want := aRef.At(i, j) + bRef.At(i, j)
+				if dst.At(i, j) != want {
+					t.Fatalf("Add ta=%v tb=%v strided=%v wrong at (%d,%d)", ta, tb, strided, i, j)
+				}
+			}
+		}
+	})
+}
+
+func TestSubAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	forAllTransCombos(t, func(t *testing.T, ta, tb, strided bool) {
+		dst, a, b, aRef, bRef := opsCase(t, rng, 5, 4, ta, tb, strided)
+		Sub(dst, a, b)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 4; j++ {
+				want := aRef.At(i, j) - bRef.At(i, j)
+				if dst.At(i, j) != want {
+					t.Fatalf("Sub wrong ta=%v tb=%v", ta, tb)
+				}
+			}
+		}
+	})
+}
+
+func TestAddAssignAndSubAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, trans := range []bool{false, true} {
+		dst, a, _, aRef, _ := opsCase(t, rng, 3, 6, trans, false, true)
+		orig := dst.Clone()
+		AddAssign(dst, a)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 6; j++ {
+				if dst.At(i, j) != orig.At(i, j)+aRef.At(i, j) {
+					t.Fatal("AddAssign wrong")
+				}
+			}
+		}
+		SubAssign(dst, a)
+		if !dst.EqualApprox(orig, 1e-15) {
+			t.Fatal("SubAssign should undo AddAssign")
+		}
+	}
+}
+
+func TestRevSubAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, trans := range []bool{false, true} {
+		dst, a, _, aRef, _ := opsCase(t, rng, 4, 4, trans, false, false)
+		orig := dst.Clone()
+		RevSubAssign(dst, a)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if dst.At(i, j) != aRef.At(i, j)-orig.At(i, j) {
+					t.Fatal("RevSubAssign wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestAxpby(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, trans := range []bool{false, true} {
+		for _, ab := range [][2]float64{{1, 1}, {2, 0}, {-0.5, 3}, {0, 2}, {1, 0}} {
+			alpha, beta := ab[0], ab[1]
+			dst, x, _, xRef, _ := opsCase(t, rng, 3, 3, trans, false, true)
+			orig := dst.Clone()
+			Axpby(dst, alpha, x, beta)
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					want := alpha*xRef.At(i, j) + beta*orig.At(i, j)
+					if diff := dst.At(i, j) - want; diff > 1e-15 || diff < -1e-15 {
+						t.Fatalf("Axpby(%v,%v) trans=%v wrong", alpha, beta, trans)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCopyScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, trans := range []bool{false, true} {
+		dst, x, _, xRef, _ := opsCase(t, rng, 2, 5, trans, false, false)
+		CopyScaled(dst, -2, x)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 5; j++ {
+				if dst.At(i, j) != -2*xRef.At(i, j) {
+					t.Fatal("CopyScaled wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestAddSubAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	forAllTransCombos(t, func(t *testing.T, ta, tb, strided bool) {
+		dst, x, y, xRef, yRef := opsCase(t, rng, 4, 3, ta, tb, strided)
+		orig := dst.Clone()
+		AddSubAssign(dst, x, y)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 3; j++ {
+				want := xRef.At(i, j) - yRef.At(i, j) - orig.At(i, j)
+				if dst.At(i, j) != want {
+					t.Fatal("AddSubAssign wrong")
+				}
+			}
+		}
+	})
+}
+
+func TestOpsShapeMismatchPanics(t *testing.T) {
+	a := ViewOf(NewDense(2, 3))
+	b := ViewOf(NewDense(3, 2))
+	dst := NewDense(2, 3)
+	for name, f := range map[string]func(){
+		"Add":          func() { Add(dst, a, b) },
+		"Sub":          func() { Sub(dst, a, b) },
+		"AddAssign":    func() { AddAssign(dst, b) },
+		"SubAssign":    func() { SubAssign(dst, b) },
+		"RevSubAssign": func() { RevSubAssign(dst, b) },
+		"Axpby":        func() { Axpby(dst, 1, b, 1) },
+		"CopyScaled":   func() { CopyScaled(dst, 1, b) },
+		"AddSubAssign": func() { AddSubAssign(dst, a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want shape panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestViewSliceTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewRandom(6, 8, rng)
+	v := ViewOp(m, true) // logical 8×6
+	if v.Rows != 8 || v.Cols != 6 {
+		t.Fatal("ViewOp shape")
+	}
+	sub := v.Slice(2, 1, 3, 4) // rows 2..4, cols 1..4 of mᵀ
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if sub.At(i, j) != m.At(1+j, 2+i) {
+				t.Fatalf("transposed subview wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	d := sub.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if d.At(i, j) != sub.At(i, j) {
+				t.Fatal("Materialize wrong")
+			}
+		}
+	}
+}
+
+func TestViewSliceUntransposedAliases(t *testing.T) {
+	m := NewDense(4, 4)
+	v := ViewOf(m)
+	sub := v.Slice(1, 1, 2, 2)
+	m.Set(1, 1, 5)
+	if sub.At(0, 0) != 5 {
+		t.Fatal("view slice must alias")
+	}
+}
+
+func TestViewSliceOutOfRangePanics(t *testing.T) {
+	v := ViewOf(NewDense(3, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	v.Slice(0, 0, 4, 1)
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if MaxAbs(m) != 4 {
+		t.Fatal("MaxAbs")
+	}
+	if OneNorm(m) != 6 { // max column abs sum: |{-2,4}| = 6? cols: {1,-3}→4, {-2,4}→6
+		t.Fatalf("OneNorm = %v", OneNorm(m))
+	}
+	if InfNorm(m) != 7 { // rows: 3, 7
+		t.Fatalf("InfNorm = %v", InfNorm(m))
+	}
+	f := FrobeniusNorm(m)
+	if d := f*f - 30; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("Frobenius² = %v, want 30", f*f)
+	}
+	other := FromRows([][]float64{{1, -2}, {-3, 3}})
+	if MaxAbsDiff(m, other) != 1 {
+		t.Fatal("MaxAbsDiff")
+	}
+}
+
+func TestFrobeniusNoOverflow(t *testing.T) {
+	m := NewDense(2, 1)
+	m.Set(0, 0, 1e200)
+	m.Set(1, 0, 1e200)
+	got := FrobeniusNorm(m)
+	want := 1e200 * 1.4142135623730951
+	if rel := (got - want) / want; rel > 1e-12 || rel < -1e-12 {
+		t.Fatalf("overflow-guarded norm wrong: %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package matrix
+
+import "math/rand"
+
+// Random fills m with independent uniform values in [-1, 1) drawn from rng,
+// mirroring the randomly-generated test matrices of the paper's Section 4.
+func Random(m *Dense, rng *rand.Rand) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = 2*rng.Float64() - 1
+		}
+	}
+}
+
+// NewRandom allocates an r×c matrix with uniform [-1, 1) entries.
+func NewRandom(r, c int, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	Random(m, rng)
+	return m
+}
+
+// RandomSymmetric fills m (square) with a random symmetric matrix, used by the
+// eigensolver experiment (Table 6 uses a randomly-generated symmetric input).
+func RandomSymmetric(m *Dense, rng *rand.Rand) {
+	if m.Rows != m.Cols {
+		panic("matrix: RandomSymmetric requires a square matrix")
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i <= j; i++ {
+			v := 2*rng.Float64() - 1
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// NewRandomSymmetric allocates an n×n random symmetric matrix.
+func NewRandomSymmetric(n int, rng *rand.Rand) *Dense {
+	m := NewDense(n, n)
+	RandomSymmetric(m, rng)
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

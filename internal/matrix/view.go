@@ -1,0 +1,83 @@
+package matrix
+
+import "fmt"
+
+// View is a read-only operand view of a stored matrix, optionally transposed.
+// It represents op(X) where op is the identity or transpose, without copying:
+// Rows and Cols are the *logical* dimensions of op(X). All Strassen quadrant
+// bookkeeping (including the transposed input cases of DGEMM) is expressed
+// through Views, so transposition costs no memory.
+type View struct {
+	Rows, Cols int
+	Stride     int
+	Trans      bool
+	Data       []float64
+}
+
+// ViewOf wraps m (untransposed).
+func ViewOf(m *Dense) View {
+	return View{Rows: m.Rows, Cols: m.Cols, Stride: m.Stride, Data: m.Data}
+}
+
+// ViewOp wraps m as op(m): trans=false gives m, trans=true gives mᵀ.
+func ViewOp(m *Dense, trans bool) View {
+	if trans {
+		return View{Rows: m.Cols, Cols: m.Rows, Stride: m.Stride, Trans: true, Data: m.Data}
+	}
+	return ViewOf(m)
+}
+
+// At returns logical element (i, j) of op(X).
+func (v View) At(i, j int) float64 {
+	if v.Trans {
+		i, j = j, i
+	}
+	return v.Data[i+j*v.Stride]
+}
+
+// Slice returns the logical r×c subview with top-left corner (i, j) of op(X).
+// For a transposed view this maps to the transposed region of the underlying
+// storage, which is what makes quadrant views of op(A) free.
+func (v View) Slice(i, j, r, c int) View {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > v.Rows || j+c > v.Cols {
+		panic(fmt.Sprintf("matrix: View.Slice(%d,%d,%d,%d) out of range %dx%d", i, j, r, c, v.Rows, v.Cols))
+	}
+	si, sj, sr, sc := i, j, r, c
+	if v.Trans {
+		si, sj, sr, sc = j, i, c, r
+	}
+	out := View{Rows: r, Cols: c, Stride: v.Stride, Trans: v.Trans}
+	if r == 0 || c == 0 {
+		return out
+	}
+	off := si + sj*v.Stride
+	end := off + (sc-1)*v.Stride + sr
+	out.Data = v.Data[off:end]
+	return out
+}
+
+// Materialize copies op(X) into dst (shape must match logical dims).
+func (v View) Materialize(dst *Dense) {
+	if dst.Rows != v.Rows || dst.Cols != v.Cols {
+		panic(fmt.Sprintf("matrix: Materialize shape mismatch: %dx%d vs %dx%d", dst.Rows, dst.Cols, v.Rows, v.Cols))
+	}
+	if !v.Trans {
+		for j := 0; j < v.Cols; j++ {
+			copy(dst.Data[j*dst.Stride:j*dst.Stride+v.Rows], v.Data[j*v.Stride:j*v.Stride+v.Rows])
+		}
+		return
+	}
+	for j := 0; j < v.Cols; j++ {
+		dcol := dst.Data[j*dst.Stride : j*dst.Stride+v.Rows]
+		for i := range dcol {
+			dcol[i] = v.Data[j+i*v.Stride]
+		}
+	}
+}
+
+// Dense materializes op(X) into a freshly allocated Dense.
+func (v View) Dense() *Dense {
+	out := NewDense(v.Rows, v.Cols)
+	v.Materialize(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package memtrack
+
+import "testing"
+
+func TestPeakTracksHighWater(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(100)
+	b := tr.Alloc(50)
+	if tr.Live() != 150 || tr.Peak() != 150 {
+		t.Fatalf("live=%d peak=%d, want 150/150", tr.Live(), tr.Peak())
+	}
+	tr.Free(b)
+	if tr.Live() != 100 || tr.Peak() != 150 {
+		t.Fatalf("after free: live=%d peak=%d, want 100/150", tr.Live(), tr.Peak())
+	}
+	c := tr.Alloc(20)
+	if tr.Peak() != 150 {
+		t.Fatalf("peak moved to %d, want 150", tr.Peak())
+	}
+	tr.Free(a)
+	tr.Free(c)
+	if tr.Live() != 0 {
+		t.Fatalf("live=%d, want 0", tr.Live())
+	}
+}
+
+func TestReuseZeroesMemory(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(10)
+	for i := range a {
+		a[i] = float64(i + 1)
+	}
+	tr.Free(a)
+	b := tr.Alloc(10)
+	if tr.Reused() != 1 {
+		t.Fatalf("reused=%d, want 1", tr.Reused())
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("recycled slice not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestExactSizeReuseOnly(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(10)
+	tr.Free(a)
+	_ = tr.Alloc(11)
+	if tr.Reused() != 0 {
+		t.Fatal("should not reuse a slice of a different size")
+	}
+	if tr.Allocs() != 2 {
+		t.Fatalf("allocs=%d, want 2", tr.Allocs())
+	}
+}
+
+func TestNilTrackerDegradesGracefully(t *testing.T) {
+	var tr *Tracker
+	s := tr.Alloc(5)
+	if len(s) != 5 {
+		t.Fatalf("nil tracker Alloc returned len %d", len(s))
+	}
+	tr.Free(s)
+	if tr.Live() != 0 || tr.Peak() != 0 || tr.Allocs() != 0 || tr.Reused() != 0 {
+		t.Fatal("nil tracker should report zeros")
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(100)
+	tr.Free(a)
+	tr.ResetPeak()
+	if tr.Peak() != 0 {
+		t.Fatalf("peak=%d after reset with nothing live", tr.Peak())
+	}
+	b := tr.Alloc(30)
+	defer tr.Free(b)
+	if tr.Peak() != 30 {
+		t.Fatalf("peak=%d, want 30", tr.Peak())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(7)
+	tr.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-free")
+		}
+	}()
+	tr.Free(a) // drives live negative
+}
+
+func TestZeroLengthAlloc(t *testing.T) {
+	tr := New()
+	s := tr.Alloc(0)
+	if len(s) != 0 {
+		t.Fatal("want empty slice")
+	}
+	tr.Free(s)
+	if tr.Live() != 0 {
+		t.Fatal("live should be zero")
+	}
+}

@@ -1,0 +1,148 @@
+// Package opcount implements the paper's Section 2 operation-count model:
+// costs of the standard algorithm, of Winograd's variant of Strassen's
+// algorithm, and of Strassen's original variant, together with the
+// theoretical cutoff analysis (equations (1)–(8) of the paper).
+//
+// The model counts scalar arithmetic operations: a multiply-add pair counts
+// as two operations, matching M(m,k,n) = 2mkn − mn for the standard
+// algorithm and G(m,n) = mn for a matrix add/subtract.
+package opcount
+
+import "math"
+
+// M is the operation count of the standard algorithm multiplying an m×k
+// matrix by a k×n matrix: mkn multiplications and (k−1)mn additions plus mn
+// stores folded as in the paper, M(m,k,n) = 2mkn − mn.
+func M(m, k, n int) int64 {
+	return 2*int64(m)*int64(k)*int64(n) - int64(m)*int64(n)
+}
+
+// G is the operation count of adding or subtracting two m×n matrices.
+func G(m, n int) int64 { return int64(m) * int64(n) }
+
+// OneLevelWinograd is the cost of one level of Winograd's variant on even
+// (m,k,n) with the seven products done by the standard algorithm:
+// 7·M(m/2,k/2,n/2) + 4·G(m/2,k/2) + 4·G(k/2,n/2) + 7·G(m/2,n/2).
+func OneLevelWinograd(m, k, n int) int64 {
+	return 7*M(m/2, k/2, n/2) + 4*G(m/2, k/2) + 4*G(k/2, n/2) + 7*G(m/2, n/2)
+}
+
+// OneLevelStrassen is the analogous cost for Strassen's original algorithm,
+// which uses 18 adds: by symmetry of his construction the adds split as
+// 5 on A-blocks, 5 on B-blocks and 8 on C-sized blocks.
+func OneLevelStrassen(m, k, n int) int64 {
+	return 7*M(m/2, k/2, n/2) + 5*G(m/2, k/2) + 5*G(k/2, n/2) + 8*G(m/2, n/2)
+}
+
+// RatioOneLevel returns equation (1): the ratio of one level of Strassen's
+// construction (18 adds, as in his original derivation) over the standard
+// algorithm for square order-m matrices, (7m³ + 11m²)/(8m³ − 4m²), which
+// tends to 7/8 for large m.
+func RatioOneLevel(m int) float64 {
+	mm := float64(m)
+	return (7*mm*mm*mm + 11*mm*mm) / (8*mm*mm*mm - 4*mm*mm)
+}
+
+// W is equation (3): the cost of d recursion levels of Winograd's variant on
+// matrices of size (2^d·m0) × (2^d·k0) and (2^d·k0) × (2^d·n0), with the
+// standard algorithm below:
+//
+//	W(2^d m0, 2^d k0, 2^d n0) = 7^d (2 m0 k0 n0 − m0 n0)
+//	                          + (7^d − 4^d)(4 m0 k0 + 4 k0 n0 + 7 m0 n0)/3.
+func W(d, m0, k0, n0 int) int64 {
+	p7 := pow(7, d)
+	p4 := pow(4, d)
+	base := int64(2)*int64(m0)*int64(k0)*int64(n0) - int64(m0)*int64(n0)
+	adds := (p7 - p4) * (4*int64(m0)*int64(k0) + 4*int64(k0)*int64(n0) + 7*int64(m0)*int64(n0)) / 3
+	return p7*base + adds
+}
+
+// WSquare is equation (4): W for the square case m0 = k0 = n0,
+// 7^d (2 m0³ − m0²) + 5 m0² (7^d − 4^d).
+func WSquare(d, m0 int) int64 {
+	p7 := pow(7, d)
+	p4 := pow(4, d)
+	mm := int64(m0)
+	return p7*(2*mm*mm*mm-mm*mm) + 5*mm*mm*(p7-p4)
+}
+
+// SSquare is equation (5): the square-case cost of Strassen's original
+// variant, 7^d (2 m0³ − m0²) + 6 m0² (7^d − 4^d).
+func SSquare(d, m0 int) int64 {
+	p7 := pow(7, d)
+	p4 := pow(4, d)
+	mm := int64(m0)
+	return p7*(2*mm*mm*mm-mm*mm) + 6*mm*mm*(p7-p4)
+}
+
+// LimitRatioStrassenToWinograd returns lim_{d→∞} S(2^d m0)/W(2^d m0)
+// = (5 + 2m0)/(4 + 2m0): the asymptotic cost ratio of Strassen's original
+// variant over Winograd's for a given bottom-level size m0.
+func LimitRatioStrassenToWinograd(m0 int) float64 {
+	return (5 + 2*float64(m0)) / (4 + 2*float64(m0))
+}
+
+// WinogradImprovementOverStrassen returns the paper's "improvement of (4)
+// over (5)": the fraction of Strassen-original cost saved by Winograd's
+// variant in the d→∞ limit, 1 − W/S = 1/(5 + 2m0). Paper Section 2: 14.3 %
+// at m0 = 1, 5.26 % at m0 = 7, 3.45 % at m0 = 12.
+func WinogradImprovementOverStrassen(m0 int) float64 {
+	return 1 / (5 + 2*float64(m0))
+}
+
+// RecursionBenefits reports whether one level of Winograd recursion (with
+// the standard algorithm beneath) beats the standard algorithm outright
+// under the operation-count model. This is the negation of inequality (7):
+// recursion wins iff mkn > 4(mk + kn + mn).
+func RecursionBenefits(m, k, n int) bool {
+	// Only even dimensions admit an exact single split in the model; the
+	// caller is responsible for the peeling adjustment. Use the continuous
+	// condition, as the paper does.
+	return int64(m)*int64(k)*int64(n) > 4*(int64(m)*int64(k)+int64(k)*int64(n)+int64(m)*int64(n))
+}
+
+// CutoffSatisfied is inequality (7) itself: the standard algorithm is at
+// least as cheap as one Strassen level iff mkn ≤ 4(mk + kn + mn).
+func CutoffSatisfied(m, k, n int) bool { return !RecursionBenefits(m, k, n) }
+
+// SquareCutoff returns the largest m for which the standard algorithm is at
+// least as cheap as one Strassen level on square matrices, per inequality
+// (7) with m = k = n (the paper derives m ≤ 12).
+func SquareCutoff() int {
+	m := 1
+	for CutoffSatisfied(m+1, m+1, m+1) {
+		m++
+	}
+	return m
+}
+
+// CutoffImprovement computes the fraction of operations saved by using the
+// given square cutoff instead of full recursion (to 1×1) for Winograd's
+// variant on matrices of order 2^dTotal: 1 − W(cutoff)/W(full). The paper's
+// example: order 256 (dTotal = 8) with cutoff 12 uses d = 5, m0 = 8 and
+// improves on full recursion (d = 8, m0 = 1) by 38.2 %.
+func CutoffImprovement(dTotal, cutoff int) float64 {
+	m := 1 << dTotal
+	// Find the recursion depth implied by the cutoff: recurse while the
+	// block order exceeds the cutoff.
+	d := 0
+	m0 := m
+	for m0 > cutoff && m0%2 == 0 {
+		m0 /= 2
+		d++
+	}
+	full := WSquare(dTotal, 1)
+	cut := WSquare(d, m0)
+	return 1 - float64(cut)/float64(full)
+}
+
+// StrassenExponent returns lg 7 ≈ 2.807, the asymptotic exponent.
+func StrassenExponent() float64 { return math.Log2(7) }
+
+func pow(base int64, exp int) int64 {
+	r := int64(1)
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}

@@ -1,0 +1,224 @@
+package opcount
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMStandardCount(t *testing.T) {
+	// 2mkn − mn for a few shapes, including the m³ multiplications plus
+	// m³ − m² additions identity for squares: 2m³ − m².
+	cases := []struct {
+		m, k, n int
+		want    int64
+	}{
+		{1, 1, 1, 1},
+		{2, 2, 2, 12},
+		{4, 4, 4, 112},
+		{2, 3, 4, 40},
+		{12, 12, 12, 2*12*12*12 - 144},
+	}
+	for _, c := range cases {
+		if got := M(c.m, c.k, c.n); got != c.want {
+			t.Errorf("M(%d,%d,%d) = %d, want %d", c.m, c.k, c.n, got, c.want)
+		}
+	}
+}
+
+func TestOneLevelClosedForms(t *testing.T) {
+	// Section 2 derives one level of Strassen's construction (18 adds) as
+	// (7/4)m³ + (11/4)m²; Winograd's 15-add variant is (7/4)m³ + 2m².
+	for _, m := range []int{2, 4, 8, 16, 64, 128, 256} {
+		mm := int64(m)
+		wantS := 7*mm*mm*mm/4 + 11*mm*mm/4
+		if got := OneLevelStrassen(m, m, m); got != wantS {
+			t.Errorf("OneLevelStrassen(%d): got %d, want %d", m, got, wantS)
+		}
+		wantW := 7*mm*mm*mm/4 + 2*mm*mm
+		if got := OneLevelWinograd(m, m, m); got != wantW {
+			t.Errorf("OneLevelWinograd(%d): got %d, want %d", m, got, wantW)
+		}
+		// One-level forms must agree with the closed forms at d=1.
+		if got := WSquare(1, m/2); got != wantW {
+			t.Errorf("WSquare(1,%d): got %d, want %d", m/2, got, wantW)
+		}
+		if got := SSquare(1, m/2); got != wantS {
+			t.Errorf("SSquare(1,%d): got %d, want %d", m/2, got, wantS)
+		}
+	}
+}
+
+func TestRatioApproaches7Over8(t *testing.T) {
+	// Equation (1) tends to 7/8 = 0.875 from above.
+	prev := RatioOneLevel(16)
+	for _, m := range []int{32, 64, 128, 1024, 1 << 20} {
+		r := RatioOneLevel(m)
+		if r >= prev {
+			t.Errorf("ratio not decreasing at m=%d: %v >= %v", m, r, prev)
+		}
+		prev = r
+	}
+	if got := RatioOneLevel(1 << 20); math.Abs(got-7.0/8.0) > 1e-4 {
+		t.Errorf("asymptotic ratio = %v, want ≈ 0.875", got)
+	}
+	// "for sufficiently large matrices one level ... produces a 12.5% improvement".
+	if imp := 1 - RatioOneLevel(1<<20); math.Abs(imp-0.125) > 1e-4 {
+		t.Errorf("asymptotic improvement = %v, want ≈ 12.5%%", imp)
+	}
+}
+
+func TestWRecurrenceConsistency(t *testing.T) {
+	// W must satisfy recurrence (2):
+	// W(2m,2k,2n) = 7W(m,k,n) + 4G(m,k) + 4G(k,n) + 7G(m,n) when one more
+	// level is applied above a d-level computation.
+	for d := 0; d < 5; d++ {
+		for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {12, 12, 12}, {6, 14, 86}} {
+			m0, k0, n0 := dims[0], dims[1], dims[2]
+			lhs := W(d+1, m0, k0, n0)
+			m, k, n := m0<<d, k0<<d, n0<<d
+			rhs := 7*W(d, m0, k0, n0) + 4*G(m, k) + 4*G(k, n) + 7*G(m, n)
+			if lhs != rhs {
+				t.Errorf("recurrence broken at d=%d dims=%v: %d != %d", d, dims, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestWZeroLevelsIsStandard(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {100, 50, 25}} {
+		if got, want := W(0, dims[0], dims[1], dims[2]), M(dims[0], dims[1], dims[2]); got != want {
+			t.Errorf("W(0,%v) = %d, want M = %d", dims, got, want)
+		}
+	}
+}
+
+func TestSquareFormsAgree(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		for _, m0 := range []int{1, 7, 8, 12} {
+			if got, want := WSquare(d, m0), W(d, m0, m0, m0); got != want {
+				t.Errorf("WSquare(%d,%d)=%d != W=%d", d, m0, got, want)
+			}
+		}
+	}
+}
+
+func TestWinogradBeatsStrassenOriginal(t *testing.T) {
+	// (4) improves on (5) for all d ≥ 1 and all m0; difference is m0²(7^d − 4^d).
+	for d := 1; d <= 8; d++ {
+		for _, m0 := range []int{1, 2, 7, 12} {
+			diff := SSquare(d, m0) - WSquare(d, m0)
+			want := int64(m0) * int64(m0) * (pow(7, d) - pow(4, d))
+			if diff != want {
+				t.Errorf("d=%d m0=%d: S-W = %d, want %d", d, m0, diff, want)
+			}
+			if diff <= 0 {
+				t.Errorf("d=%d m0=%d: Winograd not better", d, m0)
+			}
+		}
+	}
+}
+
+func TestLimitRatioPaperValues(t *testing.T) {
+	if got := LimitRatioStrassenToWinograd(1); math.Abs(got-7.0/6.0) > 1e-12 {
+		t.Errorf("m0=1 limit ratio = %v, want 7/6", got)
+	}
+	// Paper Section 2: improvement of (4) over (5) is 14.3 % at m0=1,
+	// 5.26 % at m0=7 and 3.45 % at m0=12.
+	if imp := WinogradImprovementOverStrassen(1); math.Abs(imp-0.1428571) > 1e-4 {
+		t.Errorf("m0=1 improvement = %v, want ≈ 14.3%%", imp)
+	}
+	if imp := WinogradImprovementOverStrassen(7); math.Abs(imp-0.0526) > 5e-4 {
+		t.Errorf("m0=7 improvement = %v, want ≈ 5.26%%", imp)
+	}
+	if imp := WinogradImprovementOverStrassen(12); math.Abs(imp-0.0345) > 5e-4 {
+		t.Errorf("m0=12 improvement = %v, want ≈ 3.45%%", imp)
+	}
+	// The two forms are consistent: improvement = 1 − 1/ratio.
+	for _, m0 := range []int{1, 7, 12} {
+		want := 1 - 1/LimitRatioStrassenToWinograd(m0)
+		if got := WinogradImprovementOverStrassen(m0); math.Abs(got-want) > 1e-12 {
+			t.Errorf("m0=%d: improvement %v inconsistent with ratio form %v", m0, got, want)
+		}
+	}
+	// Ratio of the *finite-d* forms converges to the limit.
+	for _, m0 := range []int{1, 7, 12} {
+		finite := float64(SSquare(12, m0)) / float64(WSquare(12, m0))
+		if math.Abs(finite-LimitRatioStrassenToWinograd(m0)) > 1e-3 {
+			t.Errorf("finite-d ratio %v far from limit %v (m0=%d)", finite, LimitRatioStrassenToWinograd(m0), m0)
+		}
+	}
+}
+
+func TestSquareCutoffIs12(t *testing.T) {
+	if got := SquareCutoff(); got != 12 {
+		t.Fatalf("SquareCutoff() = %d, want 12 (paper Section 2)", got)
+	}
+	// Boundary checks of inequality (7) in the square case.
+	if !CutoffSatisfied(12, 12, 12) {
+		t.Error("m=12 should satisfy the cutoff (standard no worse)")
+	}
+	if CutoffSatisfied(13, 13, 13) {
+		t.Error("m=13 should favor recursion")
+	}
+}
+
+func TestRectangularExample61486(t *testing.T) {
+	// Paper: for m=6, k=14, n=86, (7) is NOT satisfied — recursion should be
+	// used even though one dimension (6) is below the square cutoff 12.
+	if CutoffSatisfied(6, 14, 86) {
+		t.Fatal("(6,14,86) must violate inequality (7): recursion is beneficial")
+	}
+	if !RecursionBenefits(6, 14, 86) {
+		t.Fatal("RecursionBenefits(6,14,86) must hold")
+	}
+	// Verify against the raw cost comparison (6) evaluated with op counts:
+	lhs := M(6, 14, 86)
+	rhs := 7*M(3, 7, 43) + 4*G(3, 7) + 4*G(7, 43) + 7*G(3, 43)
+	if lhs <= rhs {
+		t.Fatalf("direct cost check disagrees: M=%d <= one-level=%d", lhs, rhs)
+	}
+}
+
+func TestCutoffImprovement382Percent(t *testing.T) {
+	// Paper: order 256 with cutoff 12 (d=5, m0=8) vs full recursion (d=8):
+	// 38.2 % improvement.
+	r := CutoffImprovement(8, 12)
+	if math.Abs(r-0.382) > 5e-3 {
+		t.Fatalf("CutoffImprovement(256, cutoff 12) = %v, want ≈ 0.382", r)
+	}
+	// Consistency of the depth selection: cutoff 12 on 256 must bottom out at m0=8.
+	if got, want := WSquare(5, 8), W(5, 8, 8, 8); got != want {
+		t.Fatalf("internal: %d != %d", got, want)
+	}
+}
+
+func TestStrassenExponent(t *testing.T) {
+	if e := StrassenExponent(); math.Abs(e-2.807) > 1e-3 {
+		t.Errorf("lg 7 = %v, want ≈ 2.807", e)
+	}
+}
+
+func TestCutoffInequalityEquivalence(t *testing.T) {
+	// (7) mkn ≤ 4(mk+kn+mn) is equivalent to (8) 1 ≤ 4(1/n + 1/m + 1/k).
+	f := func(m, k, n uint8) bool {
+		mm, kk, nn := int(m)+1, int(k)+1, int(n)+1
+		lhs := CutoffSatisfied(mm, kk, nn)
+		rhs := 1 <= 4*(1/float64(nn)+1/float64(mm)+1/float64(kk))+1e-15
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWMonotoneInDepthForLargeBlocks(t *testing.T) {
+	// Above the cutoff, adding a recursion level reduces the op count;
+	// below it, it increases it.
+	if !(WSquare(1, 16) < WSquare(0, 32)) {
+		t.Error("one level on order 32 should beat standard")
+	}
+	if !(WSquare(1, 4) > WSquare(0, 8)) {
+		t.Error("one level on order 8 should lose to standard")
+	}
+}

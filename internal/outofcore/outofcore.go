@@ -1,0 +1,242 @@
+// Package outofcore addresses the paper's Section 5 future-work item
+// "extend our implementation to use virtual memory": multiplying matrices
+// that do not fit in main memory by staging tiles through a bounded
+// in-core workspace, with the in-core tile products computed by DGEFMM.
+//
+// Operands live behind the Store interface. Two implementations are
+// provided: MemStore (an in-memory backing array with I/O accounting — the
+// simulated slow store used by tests and benches) and FileStore (tiles
+// serialized to a real file, demonstrating genuine out-of-core operation).
+//
+// The classic tiled algorithm reads each A and B tile ⌈n/t⌉ times, so the
+// slow-storage traffic is ≈ 2·mkn/t + 2·mn words for tile order t; the
+// accounting in MemStore lets tests check that formula, quantifying the
+// memory/traffic trade-off the paper's models reason about.
+package outofcore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// Store is a matrix in slow storage, accessed by rectangular tiles.
+type Store interface {
+	// Dims returns the matrix dimensions.
+	Dims() (rows, cols int)
+	// ReadTile fills dst with the tile whose top-left corner is (i0, j0);
+	// dst's shape selects the tile extent.
+	ReadTile(i0, j0 int, dst *matrix.Dense) error
+	// WriteTile stores src at (i0, j0).
+	WriteTile(i0, j0 int, src *matrix.Dense) error
+}
+
+// MemStore is a Store over an in-memory matrix, with I/O accounting. It is
+// the simulated virtual-memory backing used by the tests and benches.
+type MemStore struct {
+	M *matrix.Dense
+	// WordsRead and WordsWritten count slow-storage traffic.
+	WordsRead, WordsWritten int64
+}
+
+// NewMemStore wraps a matrix.
+func NewMemStore(m *matrix.Dense) *MemStore { return &MemStore{M: m} }
+
+// Dims implements Store.
+func (s *MemStore) Dims() (int, int) { return s.M.Rows, s.M.Cols }
+
+// ReadTile implements Store.
+func (s *MemStore) ReadTile(i0, j0 int, dst *matrix.Dense) error {
+	if i0 < 0 || j0 < 0 || i0+dst.Rows > s.M.Rows || j0+dst.Cols > s.M.Cols {
+		return fmt.Errorf("outofcore: ReadTile(%d,%d,%dx%d) out of range", i0, j0, dst.Rows, dst.Cols)
+	}
+	dst.CopyFrom(s.M.Slice(i0, j0, dst.Rows, dst.Cols))
+	s.WordsRead += int64(dst.Rows) * int64(dst.Cols)
+	return nil
+}
+
+// WriteTile implements Store.
+func (s *MemStore) WriteTile(i0, j0 int, src *matrix.Dense) error {
+	if i0 < 0 || j0 < 0 || i0+src.Rows > s.M.Rows || j0+src.Cols > s.M.Cols {
+		return fmt.Errorf("outofcore: WriteTile(%d,%d,%dx%d) out of range", i0, j0, src.Rows, src.Cols)
+	}
+	s.M.Slice(i0, j0, src.Rows, src.Cols).CopyFrom(src)
+	s.WordsWritten += int64(src.Rows) * int64(src.Cols)
+	return nil
+}
+
+// FileStore keeps a column-major matrix in a file of float64 values —
+// genuine out-of-core storage through the OS page cache.
+type FileStore struct {
+	f          *os.File
+	rows, cols int
+}
+
+// CreateFileStore makes a zero-filled rows×cols file-backed matrix at path.
+func CreateFileStore(path string, rows, cols int) (*FileStore, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(rows) * int64(cols) * 8); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, rows: rows, cols: cols}, nil
+}
+
+// Close releases the file handle.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Dims implements Store.
+func (s *FileStore) Dims() (int, int) { return s.rows, s.cols }
+
+func (s *FileStore) offset(i, j int) int64 {
+	return (int64(j)*int64(s.rows) + int64(i)) * 8
+}
+
+// ReadTile implements Store.
+func (s *FileStore) ReadTile(i0, j0 int, dst *matrix.Dense) error {
+	if i0 < 0 || j0 < 0 || i0+dst.Rows > s.rows || j0+dst.Cols > s.cols {
+		return fmt.Errorf("outofcore: ReadTile out of range")
+	}
+	buf := make([]byte, dst.Rows*8)
+	for j := 0; j < dst.Cols; j++ {
+		if _, err := s.f.ReadAt(buf, s.offset(i0, j0+j)); err != nil {
+			return err
+		}
+		for i := 0; i < dst.Rows; i++ {
+			bits := binary.LittleEndian.Uint64(buf[i*8:])
+			dst.Set(i, j, math.Float64frombits(bits))
+		}
+	}
+	return nil
+}
+
+// WriteTile implements Store.
+func (s *FileStore) WriteTile(i0, j0 int, src *matrix.Dense) error {
+	if i0 < 0 || j0 < 0 || i0+src.Rows > s.rows || j0+src.Cols > s.cols {
+		return fmt.Errorf("outofcore: WriteTile out of range")
+	}
+	buf := make([]byte, src.Rows*8)
+	for j := 0; j < src.Cols; j++ {
+		for i := 0; i < src.Rows; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(src.At(i, j)))
+		}
+		if _, err := s.f.WriteAt(buf, s.offset(i0, j0+j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options configures an out-of-core multiplication.
+type Options struct {
+	// WorkspaceWords bounds the in-core words for the three live tiles.
+	// The tile order is derived from it. 0 selects 3·256² (three 256-order
+	// tiles).
+	WorkspaceWords int
+	// Config is the DGEFMM configuration for the in-core tile products;
+	// nil selects defaults.
+	Config *strassen.Config
+}
+
+func (o *Options) workspace() int {
+	if o == nil || o.WorkspaceWords <= 0 {
+		return 3 * 256 * 256
+	}
+	return o.WorkspaceWords
+}
+
+func (o *Options) config() *strassen.Config {
+	if o == nil {
+		return nil
+	}
+	return o.Config
+}
+
+// TileOrder returns the square tile order implied by a workspace budget:
+// three tiles (one each of A, B, C) must fit.
+func TileOrder(workspaceWords int) int {
+	t := int(math.Sqrt(float64(workspaceWords) / 3))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Multiply computes C ← alpha·A·B + beta·C entirely through tile reads and
+// writes: only three t×t tiles are in core at any time (plus DGEFMM's own
+// workspace for a t-order product). A is m×k, B is k×n, C is m×n.
+func Multiply(c, a, b Store, alpha, beta float64, opt *Options) error {
+	m, k := a.Dims()
+	k2, n := b.Dims()
+	cm, cn := c.Dims()
+	if k != k2 || cm != m || cn != n {
+		return fmt.Errorf("outofcore: shape mismatch: A %dx%d, B %dx%d, C %dx%d", m, k, k2, n, cm, cn)
+	}
+	t := TileOrder(opt.workspace())
+	cfg := opt.config()
+
+	ta := matrix.NewDense(t, t)
+	tb := matrix.NewDense(t, t)
+	tc := matrix.NewDense(t, t)
+
+	for i0 := 0; i0 < m; i0 += t {
+		ti := minInt(t, m-i0)
+		for j0 := 0; j0 < n; j0 += t {
+			tj := minInt(t, n-j0)
+			ctile := tc.Slice(0, 0, ti, tj)
+			if err := c.ReadTile(i0, j0, ctile); err != nil {
+				return err
+			}
+			if beta != 1 {
+				ctile.Scale(beta)
+			}
+			for l0 := 0; l0 < k; l0 += t {
+				tl := minInt(t, k-l0)
+				atile := ta.Slice(0, 0, ti, tl)
+				btile := tb.Slice(0, 0, tl, tj)
+				if err := a.ReadTile(i0, l0, atile); err != nil {
+					return err
+				}
+				if err := b.ReadTile(l0, j0, btile); err != nil {
+					return err
+				}
+				// In-core product on DGEFMM: ctile += alpha·atile·btile.
+				strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, ti, tj, tl, alpha,
+					atile.Data, atile.Stride, btile.Data, btile.Stride, 1, ctile.Data, ctile.Stride)
+			}
+			if err := c.WriteTile(i0, j0, ctile); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PredictTraffic returns the slow-storage words the tiled algorithm moves
+// for an m×k by k×n multiply with tile order t: each C tile is read and
+// written once, and the A row-panel and B column-panel are re-read for
+// every C tile row/column.
+func PredictTraffic(m, k, n, t int) (read, written int64) {
+	tilesI := int64((m + t - 1) / t)
+	tilesJ := int64((n + t - 1) / t)
+	read = int64(m)*int64(n) + // C in
+		tilesJ*int64(m)*int64(k) + // A once per C tile column
+		tilesI*int64(k)*int64(n) // B once per C tile row
+	written = int64(m) * int64(n)
+	return read, written
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package outofcore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+func inCoreRef(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) *matrix.Dense {
+	out := c.Clone()
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, c.Rows, c.Cols, a.Cols, alpha,
+		a.Data, a.Stride, b.Data, b.Stride, beta, out.Data, out.Stride)
+	return out
+}
+
+var oocCfg = &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 8}}
+
+func TestMultiplyMatchesInCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for _, dims := range [][3]int{{64, 64, 64}, {100, 70, 90}, {33, 17, 51}, {8, 8, 8}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		for _, ws := range []int{3 * 16 * 16, 3 * 40 * 40} {
+			a := matrix.NewRandom(m, k, rng)
+			b := matrix.NewRandom(k, n, rng)
+			c := matrix.NewRandom(m, n, rng)
+			want := inCoreRef(1.5, a, b, 0.5, c)
+			sa, sb, sc := NewMemStore(a.Clone()), NewMemStore(b.Clone()), NewMemStore(c.Clone())
+			if err := Multiply(sc, sa, sb, 1.5, 0.5, &Options{WorkspaceWords: ws, Config: oocCfg}); err != nil {
+				t.Fatalf("dims=%v ws=%d: %v", dims, ws, err)
+			}
+			if d := matrix.MaxAbsDiff(sc.M, want); d > 1e-10*float64(k) {
+				t.Fatalf("dims=%v ws=%d: off by %g", dims, ws, d)
+			}
+		}
+	}
+}
+
+func TestTileOrderFromBudget(t *testing.T) {
+	if got := TileOrder(3 * 100 * 100); got != 100 {
+		t.Fatalf("TileOrder = %d, want 100", got)
+	}
+	if got := TileOrder(1); got != 1 {
+		t.Fatal("minimum tile order is 1")
+	}
+}
+
+func TestTrafficMatchesPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	m, k, n := 96, 96, 96
+	ws := 3 * 32 * 32 // tile order exactly 32 → 3×3 tile grid
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c := matrix.NewDense(m, n)
+	sa, sb, sc := NewMemStore(a), NewMemStore(b), NewMemStore(c)
+	if err := Multiply(sc, sa, sb, 1, 0, &Options{WorkspaceWords: ws, Config: oocCfg}); err != nil {
+		t.Fatal(err)
+	}
+	wantRead, wantWritten := PredictTraffic(m, k, n, 32)
+	gotRead := sa.WordsRead + sb.WordsRead + sc.WordsRead
+	if gotRead != wantRead {
+		t.Fatalf("read traffic %d, predicted %d", gotRead, wantRead)
+	}
+	if sc.WordsWritten != wantWritten {
+		t.Fatalf("write traffic %d, predicted %d", sc.WordsWritten, wantWritten)
+	}
+}
+
+func TestLargerTilesMoveLessTraffic(t *testing.T) {
+	// The whole point of the workspace/traffic trade-off: quadrupling the
+	// workspace (doubling t) roughly halves the A/B re-read volume.
+	r1, _ := PredictTraffic(512, 512, 512, 32)
+	r2, _ := PredictTraffic(512, 512, 512, 64)
+	if r2 >= r1 {
+		t.Fatalf("traffic should drop with larger tiles: %d vs %d", r2, r1)
+	}
+	if ratio := float64(r1) / float64(r2); ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("doubling t should ≈halve traffic, got ratio %.2f", ratio)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	a := NewMemStore(matrix.NewDense(4, 5))
+	b := NewMemStore(matrix.NewDense(6, 4)) // inner mismatch
+	c := NewMemStore(matrix.NewDense(4, 4))
+	if err := Multiply(c, a, b, 1, 0, nil); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	s := NewMemStore(matrix.NewDense(4, 4))
+	tile := matrix.NewDense(3, 3)
+	if err := s.ReadTile(2, 2, tile); err == nil {
+		t.Fatal("want out-of-range read error")
+	}
+	if err := s.WriteTile(-1, 0, tile); err == nil {
+		t.Fatal("want out-of-range write error")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	dir := t.TempDir()
+	fs, err := CreateFileStore(filepath.Join(dir, "a.mat"), 20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	src := matrix.NewRandom(7, 5, rng)
+	if err := fs.WriteTile(3, 4, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := matrix.NewDense(7, 5)
+	if err := fs.ReadTile(3, 4, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("file round trip lost data")
+	}
+	// Untouched region must read back zeros (Truncate fill).
+	z := matrix.NewDense(2, 2)
+	if err := fs.ReadTile(0, 0, z); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbs(z) != 0 {
+		t.Fatal("fresh file store not zeroed")
+	}
+}
+
+func TestFileStoreEndToEndMultiply(t *testing.T) {
+	// A genuine out-of-core multiply: all three operands on disk.
+	rng := rand.New(rand.NewSource(904))
+	dir := t.TempDir()
+	m, k, n := 48, 40, 56
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	want := inCoreRef(1, a, b, 0, matrix.NewDense(m, n))
+
+	mk := func(name string, src *matrix.Dense, rows, cols int) *FileStore {
+		fs, err := CreateFileStore(filepath.Join(dir, name), rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != nil {
+			if err := fs.WriteTile(0, 0, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fs
+	}
+	fa := mk("a.mat", a, m, k)
+	defer fa.Close()
+	fb := mk("b.mat", b, k, n)
+	defer fb.Close()
+	fc := mk("c.mat", nil, m, n)
+	defer fc.Close()
+
+	if err := Multiply(fc, fa, fb, 1, 0, &Options{WorkspaceWords: 3 * 16 * 16, Config: oocCfg}); err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.NewDense(m, n)
+	if err := fc.ReadTile(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-10*float64(k) {
+		t.Fatalf("file-backed multiply off by %g", d)
+	}
+}

@@ -1,0 +1,228 @@
+package qr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+func testOpt() *Options {
+	return &Options{
+		BlockSize: 8,
+		Engine: StrassenEngine(&strassen.Config{
+			Kernel:    blas.NaiveKernel{},
+			Criterion: strassen.Simple{Tau: 8},
+		}),
+	}
+}
+
+func orthoErr(q *matrix.Dense) float64 {
+	n := q.Cols
+	g := matrix.NewDense(n, n)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, n, q.Rows, 1, q.Data, q.Stride, q.Data, q.Stride, 0, g.Data, g.Stride)
+	var worst float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(g.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for _, dims := range [][2]int{{1, 1}, {5, 3}, {16, 16}, {37, 20}, {64, 64}, {100, 33}} {
+		m, n := dims[0], dims[1]
+		a := matrix.NewRandom(m, n, rng)
+		f, err := Factor(a, testOpt())
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		q, err := f.FormQ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := orthoErr(q); e > 1e-11*float64(m) {
+			t.Fatalf("dims=%v: QᵀQ−I = %g", dims, e)
+		}
+		r := f.R()
+		qr := matrix.NewDense(m, n)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, n, 1, q.Data, q.Stride, r.Data, r.Stride, 0, qr.Data, qr.Stride)
+		if d := matrix.MaxAbsDiff(qr, a); d > 1e-11*float64(m) {
+			t.Fatalf("dims=%v: QR−A = %g", dims, d)
+		}
+	}
+}
+
+func TestRIsUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	f, err := Factor(matrix.NewRandom(30, 18, rng), testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	for j := 0; j < 18; j++ {
+		for i := j + 1; i < 18; i++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQMulRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	m, n := 40, 25
+	a := matrix.NewRandom(m, n, rng)
+	f, err := Factor(a, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := matrix.NewRandom(m, 4, rng)
+	orig := c.Clone()
+	if err := f.QMul(c, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.QMul(c, false); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c, orig); d > 1e-11*float64(m) {
+		t.Fatalf("Q·Qᵀ·C ≠ C: %g", d)
+	}
+	if err := f.QMul(matrix.NewDense(m+1, 1), true); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square, full rank: least squares is the exact solve.
+	rng := rand.New(rand.NewSource(804))
+	n := 30
+	a := matrix.NewRandom(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	xTrue := matrix.NewRandom(n, 2, rng)
+	b := matrix.NewDense(n, 2)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, 2, n, 1, a.Data, a.Stride, xTrue.Data, xTrue.Stride, 0, b.Data, b.Stride)
+	f, err := Factor(a, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.LeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-9 {
+		t.Fatalf("exact solve error %g", d)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Residual of the LS solution must be orthogonal to range(A):
+	// Aᵀ(Ax − b) = 0.
+	rng := rand.New(rand.NewSource(805))
+	m, n := 60, 20
+	a := matrix.NewRandom(m, n, rng)
+	b := matrix.NewRandom(m, 1, rng)
+	f, err := Factor(a, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.LeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.Clone()
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, m, 1, n, -1, a.Data, a.Stride, x.Data, x.Stride, 1, res.Data, res.Stride)
+	atr := matrix.NewDense(n, 1)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, 1, m, 1, a.Data, a.Stride, res.Data, res.Stride, 0, atr.Data, atr.Stride)
+	if v := matrix.MaxAbs(atr); v > 1e-10*float64(m) {
+		t.Fatalf("normal-equation residual %g", v)
+	}
+}
+
+func TestBlockSizeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(806))
+	m, n := 50, 34
+	a := matrix.NewRandom(m, n, rng)
+	var refQ *matrix.Dense
+	for _, nb := range []int{1, 5, 16, 34, 100} {
+		opt := testOpt()
+		opt.BlockSize = nb
+		f, err := Factor(a, opt)
+		if err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		q, err := f.FormQ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refQ == nil {
+			refQ = q
+			continue
+		}
+		if d := matrix.MaxAbsDiff(refQ, q); d > 1e-10*float64(m) {
+			t.Fatalf("nb=%d: Q differs by %g from nb=1", nb, d)
+		}
+	}
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(807))
+	m, n := 70, 40
+	a := matrix.NewRandom(m, n, rng)
+	fg, err := Factor(a, &Options{BlockSize: 16, Engine: GemmEngine(blas.NaiveKernel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Factor(a, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(fg.Factors, fs.Factors); d > 1e-9 {
+		t.Fatalf("factorizations differ across engines by %g", d)
+	}
+	if fs.Stats.MMCount == 0 {
+		t.Fatal("Strassen engine saw no GEMMs")
+	}
+}
+
+func TestFactorRejectsWide(t *testing.T) {
+	if _, err := Factor(matrix.NewDense(3, 5), nil); err == nil {
+		t.Fatal("want m ≥ n error")
+	}
+}
+
+func TestZeroColumnTau(t *testing.T) {
+	// A zero column yields tau = 0; factorization must still reconstruct.
+	a := matrix.NewDense(6, 3)
+	a.Set(0, 0, 2)
+	a.Set(1, 0, 1)
+	// column 1 all zero
+	a.Set(2, 2, 3)
+	f, err := Factor(a, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := f.FormQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	qr := matrix.NewDense(6, 3)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, 6, 3, 3, 1, q.Data, q.Stride, r.Data, r.Stride, 0, qr.Data, qr.Stride)
+	if d := matrix.MaxAbsDiff(qr, a); d > 1e-12 {
+		t.Fatalf("degenerate column: %g", d)
+	}
+}

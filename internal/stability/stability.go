@@ -1,0 +1,134 @@
+// Package stability quantifies the numerical behavior that made Strassen's
+// algorithm acceptable for the paper's purposes: its introduction leans on
+// Brent's and Higham's analyses showing "Strassen's algorithm is stable
+// enough to be studied further and considered seriously in the development
+// of high-performance codes".
+//
+// For conventional multiplication the forward error satisfies
+// |Ĉ − C| ≤ n·u·|A|·|B| elementwise. For Strassen with d recursion levels
+// on top of cutoff-size n₀ blocks, Higham's bound (Acc. & Stab., §23.2.2)
+// takes the normwise form
+//
+//	‖Ĉ − C‖ ≤ f(n, d)·u·‖A‖‖B‖,  f(n, d) = (n₀² + 5n₀)·6ᵈ − 5n² ... (up to
+//	low-order terms), growing like 6ᵈ instead of linearly — larger, but
+//	still fully forward stable for the recursion depths real cutoffs allow.
+//
+// This package measures the actual error of every engine against an exact
+// (compensated, extended-precision) reference and reports it normalized by
+// u·n·‖A‖·‖B‖, so the growth with depth is visible and testable.
+package stability
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// Unit roundoff of float64.
+const Unit = 2.220446049250313e-16
+
+// ExactMul computes the m×n product with compensated (Kahan/Neumaier)
+// summation and pairwise products, giving a reference accurate to well
+// below one ulp of the working precision for the sizes studied here.
+func ExactMul(a, b *matrix.Dense) *matrix.Dense {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	out := matrix.NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum, comp float64
+			for l := 0; l < k; l++ {
+				v := a.At(i, l) * b.At(l, j)
+				t := sum + v
+				if math.Abs(sum) >= math.Abs(v) {
+					comp += (sum - t) + v
+				} else {
+					comp += (v - t) + sum
+				}
+				sum = t
+			}
+			out.Set(i, j, sum+comp)
+		}
+	}
+	return out
+}
+
+// Measurement is one engine's error on one problem.
+type Measurement struct {
+	Engine     string
+	N          int
+	Depth      int // Strassen recursion depth (0 for DGEMM)
+	MaxAbsErr  float64
+	Normalized float64 // MaxAbsErr / (u·n·max|A|·max|B|)
+}
+
+// MeasureGemm returns the conventional algorithm's error on a random
+// order-n problem.
+func MeasureGemm(kern blas.Kernel, n int, seed int64) Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.NewRandom(n, n, rng)
+	b := matrix.NewRandom(n, n, rng)
+	exact := ExactMul(a, b)
+	c := matrix.NewDense(n, n)
+	blas.DgemmKernel(kern, blas.NoTrans, blas.NoTrans, n, n, n, 1,
+		a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	return measurement("DGEMM", n, 0, a, b, c, exact)
+}
+
+// MeasureStrassen returns DGEFMM's error at a forced recursion depth on a
+// random order-n problem.
+func MeasureStrassen(kern blas.Kernel, n, depth int, seed int64) Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.NewRandom(n, n, rng)
+	b := matrix.NewRandom(n, n, rng)
+	exact := ExactMul(a, b)
+	cfg := &strassen.Config{Kernel: kern, Criterion: strassen.Always{}, MaxDepth: depth}
+	c := matrix.NewDense(n, n)
+	strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, n, n, n, 1,
+		a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	return measurement("DGEFMM", n, depth, a, b, c, exact)
+}
+
+func measurement(engine string, n, depth int, a, b, c, exact *matrix.Dense) Measurement {
+	err := matrix.MaxAbsDiff(c, exact)
+	den := Unit * float64(n) * matrix.MaxAbs(a) * matrix.MaxAbs(b)
+	m := Measurement{Engine: engine, N: n, Depth: depth, MaxAbsErr: err}
+	if den > 0 {
+		m.Normalized = err / den
+	}
+	return m
+}
+
+// HighamGrowth returns the growth factor of Higham's Strassen bound
+// relative to the conventional bound at recursion depth d: the error
+// constant multiplies by about 6 per level of Winograd recursion (the
+// conventional algorithm's constant is recovered at d = 0).
+func HighamGrowth(d int) float64 {
+	return math.Pow(6, float64(d))
+}
+
+// Study measures DGEMM and DGEFMM at depths 0..maxDepth on order n,
+// averaging over trials random problems. The returned slice is ordered by
+// depth with the DGEMM baseline first.
+func Study(kern blas.Kernel, n, maxDepth, trials int, seed int64) []Measurement {
+	if trials < 1 {
+		trials = 1
+	}
+	avg := func(f func(trial int64) Measurement) Measurement {
+		out := f(0)
+		for t := int64(1); t < int64(trials); t++ {
+			m := f(t)
+			out.MaxAbsErr = math.Max(out.MaxAbsErr, m.MaxAbsErr)
+			out.Normalized = math.Max(out.Normalized, m.Normalized)
+		}
+		return out
+	}
+	res := []Measurement{avg(func(t int64) Measurement { return MeasureGemm(kern, n, seed+t) })}
+	for d := 1; d <= maxDepth; d++ {
+		d := d
+		res = append(res, avg(func(t int64) Measurement { return MeasureStrassen(kern, n, d, seed+100*int64(d)+t) }))
+	}
+	return res
+}

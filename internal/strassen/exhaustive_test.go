@@ -1,0 +1,69 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// TestExhaustiveSmallShapes verifies DGEFMM against the reference multiply
+// on EVERY shape (m, k, n) in a small box, with a cutoff low enough that
+// most shapes recurse and peel. This pins down the entire boundary-case
+// surface (odd/even mixes, dimension-1 operands, degenerate splits) in one
+// deterministic sweep.
+func TestExhaustiveSmallShapes(t *testing.T) {
+	const lim = 12
+	cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Simple{Tau: 2}}
+	rng := rand.New(rand.NewSource(1234))
+	// Pre-generate one large random pool and slice operands out of it so
+	// the sweep does not spend its time in the RNG.
+	pool := matrix.NewRandom(lim, lim*3, rng)
+	aBuf := pool.Slice(0, 0, lim, lim)
+	bBuf := pool.Slice(0, lim, lim, lim)
+	cBuf := pool.Slice(0, 2*lim, lim, lim)
+
+	for m := 1; m <= lim; m++ {
+		for k := 1; k <= lim; k++ {
+			for n := 1; n <= lim; n++ {
+				a := aBuf.Slice(0, 0, m, k)
+				b := bBuf.Slice(0, 0, k, n)
+				c := matrix.NewDense(m, n)
+				c.CopyFrom(cBuf.Slice(0, 0, m, n))
+				want := refMul(blas.NoTrans, blas.NoTrans, 1.5, a.Clone(), b.Clone(), 0.5, c.Clone())
+				DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1.5,
+					a.Data, a.Stride, b.Data, b.Stride, 0.5, c.Data, c.Stride)
+				if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+					t.Fatalf("(%d,%d,%d): maxdiff %g", m, k, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveSchedulesTinyShapes runs every schedule and odd strategy
+// across the shape box's odd-rich corner.
+func TestExhaustiveSchedulesTinyShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for _, sched := range []Schedule{ScheduleAuto, ScheduleStrassen1, ScheduleStrassen2, ScheduleOriginal} {
+		for _, odd := range []OddStrategy{OddPeel, OddPeelFirst, OddPadDynamic, OddPadStatic} {
+			cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Simple{Tau: 2}, Schedule: sched, Odd: odd}
+			for m := 3; m <= 9; m += 2 {
+				for k := 3; k <= 9; k += 3 {
+					for n := 4; n <= 8; n += 2 {
+						a := matrix.NewRandom(m, k, rng)
+						b := matrix.NewRandom(k, n, rng)
+						c := matrix.NewRandom(m, n, rng)
+						want := refMul(blas.NoTrans, blas.NoTrans, 1, a, b, 1, c)
+						DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1,
+							a.Data, a.Stride, b.Data, b.Stride, 1, c.Data, c.Stride)
+						if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+							t.Fatalf("sched=%v odd=%v (%d,%d,%d): %g", sched, odd, m, k, n, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}

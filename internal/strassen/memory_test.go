@@ -1,0 +1,166 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+)
+
+// These tests verify the paper's Section 3.2 / Table 1 memory claims by
+// *measuring* workspace high-water marks with the accounting allocator,
+// rather than trusting the analytic bounds.
+
+func measurePeak(t *testing.T, sched Schedule, m, k, n int, beta float64) int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(m*31 + k*7 + n)))
+	tr := memtrack.New()
+	cfg := &Config{
+		Kernel:    blas.NaiveKernel{},
+		Criterion: Always{}, // recurse as deep as possible: worst case for memory
+		Schedule:  sched,
+		Odd:       OddPeel,
+		MaxDepth:  6,
+		Tracker:   tr,
+	}
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c := matrix.NewRandom(m, n, rng)
+	want := refMul(blas.NoTrans, blas.NoTrans, 1, a, b, beta, c)
+	DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+	if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+		t.Fatalf("result wrong while measuring memory: %g", d)
+	}
+	if tr.Live() != 0 {
+		t.Fatalf("workspace leak: %d words still live", tr.Live())
+	}
+	return tr.Peak()
+}
+
+func TestStrassen2MemoryBound(t *testing.T) {
+	// STRASSEN2: extra space ≤ (mk + kn + mn)/3 — m² in the square case.
+	for _, m := range []int{32, 64, 128} {
+		peak := measurePeak(t, ScheduleStrassen2, m, m, m, 0.5)
+		bound := int64(m * m)
+		if peak > bound {
+			t.Errorf("m=%d: STRASSEN2 peak %d exceeds paper bound %d", m, peak, bound)
+		}
+		// The bound should also be reasonably tight (> half used), or we're
+		// not measuring what we think we are.
+		if peak < bound/2 {
+			t.Errorf("m=%d: peak %d suspiciously far below bound %d", m, peak, bound)
+		}
+	}
+}
+
+func TestStrassen2MemoryBoundRectangular(t *testing.T) {
+	for _, dims := range [][3]int{{64, 32, 96}, {32, 128, 32}, {48, 48, 96}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		peak := measurePeak(t, ScheduleStrassen2, m, k, n, 2)
+		bound := int64(m*k+k*n+m*n) / 3
+		if peak > bound {
+			t.Errorf("dims=%v: STRASSEN2 peak %d exceeds bound %d", dims, peak, bound)
+		}
+	}
+}
+
+func TestStrassen1MemoryBound(t *testing.T) {
+	// STRASSEN1 (β=0): extra space ≤ (m·max(k,n) + kn)/3 — 2m²/3 square.
+	for _, m := range []int{32, 64, 128} {
+		peak := measurePeak(t, ScheduleStrassen1, m, m, m, 0)
+		bound := int64(2*m*m) / 3
+		if peak > bound {
+			t.Errorf("m=%d: STRASSEN1 peak %d exceeds paper bound %d (2m²/3)", m, peak, bound)
+		}
+		if peak < bound/2 {
+			t.Errorf("m=%d: peak %d suspiciously below bound %d", m, peak, bound)
+		}
+	}
+}
+
+func TestStrassen1MemoryBoundRectangular(t *testing.T) {
+	for _, dims := range [][3]int{{64, 32, 96}, {32, 128, 32}, {96, 48, 48}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		peak := measurePeak(t, ScheduleStrassen1, m, k, n, 0)
+		mx := k
+		if n > mx {
+			mx = n
+		}
+		bound := int64(m*mx+k*n) / 3
+		if peak > bound {
+			t.Errorf("dims=%v: STRASSEN1 peak %d exceeds bound %d", dims, peak, bound)
+		}
+	}
+}
+
+func TestAutoScheduleMemoryMatchesTable1(t *testing.T) {
+	// DGEFMM (auto): 2m²/3 when β = 0, m² when β ≠ 0 — the last row of
+	// Table 1 and the paper's headline memory claim.
+	m := 96
+	peak0 := measurePeak(t, ScheduleAuto, m, m, m, 0)
+	if bound := int64(2*m*m) / 3; peak0 > bound {
+		t.Errorf("auto β=0 peak %d exceeds 2m²/3 = %d", peak0, bound)
+	}
+	peak1 := measurePeak(t, ScheduleAuto, m, m, m, 1)
+	if bound := int64(m * m); peak1 > bound {
+		t.Errorf("auto β≠0 peak %d exceeds m² = %d", peak1, bound)
+	}
+	if peak0 >= peak1 {
+		t.Errorf("β=0 path (%d) should use less memory than β≠0 path (%d)", peak0, peak1)
+	}
+}
+
+func TestStrassen1GeneralBetaWithinTable1Bound(t *testing.T) {
+	// Forced STRASSEN1 with β≠0 stays within the paper's 2m² (Table 1).
+	m := 64
+	peak := measurePeak(t, ScheduleStrassen1, m, m, m, 1)
+	if bound := int64(2 * m * m); peak > bound {
+		t.Errorf("STRASSEN1 β≠0 peak %d exceeds 2m² = %d", peak, bound)
+	}
+}
+
+func TestPeelingAddsNoWorkspace(t *testing.T) {
+	// Dynamic peeling's fixups are DGER/DGEMV on existing storage: an
+	// odd-sized multiply must not allocate more than the even core does.
+	evenPeak := measurePeak(t, ScheduleStrassen2, 64, 64, 64, 1)
+	oddPeak := measurePeak(t, ScheduleStrassen2, 65, 65, 65, 1)
+	if oddPeak > evenPeak {
+		t.Errorf("peeling allocated extra workspace: odd %d > even %d", oddPeak, evenPeak)
+	}
+}
+
+func TestDynamicPaddingUsesMoreMemoryThanPeeling(t *testing.T) {
+	// The paper's motivation for peeling: "no additional memory is needed
+	// when odd dimensions are encountered", unlike padding.
+	m := 65
+	rng := rand.New(rand.NewSource(99))
+	peak := func(odd OddStrategy) int64 {
+		tr := memtrack.New()
+		cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Simple{Tau: 8}, Odd: odd, Tracker: tr}
+		a := matrix.NewRandom(m, m, rng)
+		b := matrix.NewRandom(m, m, rng)
+		c := matrix.NewDense(m, m)
+		DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+		return tr.Peak()
+	}
+	if pPeel, pPad := peak(OddPeel), peak(OddPadDynamic); pPad <= pPeel {
+		t.Errorf("expected dynamic padding (%d) to use more workspace than peeling (%d)", pPad, pPeel)
+	}
+}
+
+func TestTrackerReuseAcrossLevels(t *testing.T) {
+	// The recursion must recycle temporaries instead of re-allocating.
+	rng := rand.New(rand.NewSource(100))
+	tr := memtrack.New()
+	cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Simple{Tau: 8}, Tracker: tr}
+	m := 64
+	a := matrix.NewRandom(m, m, rng)
+	b := matrix.NewRandom(m, m, rng)
+	c := matrix.NewDense(m, m)
+	DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if tr.Reused() == 0 {
+		t.Error("expected workspace reuse across sibling recursive calls")
+	}
+}

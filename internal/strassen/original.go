@@ -1,0 +1,94 @@
+package strassen
+
+import "repro/internal/matrix"
+
+// original applies one level of Strassen's original 1969 construction
+// (7 multiplies, 18 adds/subtracts):
+//
+//	M1 = (A11+A22)(B11+B22)   M5 = (A11+A12)B22
+//	M2 = (A21+A22)B11         M6 = (A21−A11)(B11+B12)
+//	M3 = A11(B12−B22)         M7 = (A12−A22)(B21+B22)
+//	M4 = A22(B21−B11)
+//
+//	C11 = M1+M4−M5+M7   C12 = M3+M5
+//	C21 = M2+M4         C22 = M1−M2+M3+M6
+//
+// It exists for the paper's Winograd-vs-original comparison (equations (4)
+// and (5) predict Winograd saves m0²(7^d − 4^d) operations); three
+// temporaries (S, T, M) are used, as in STRASSEN2.
+func (e *engine) original(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	m2, k2, n2 := m/2, k/2, n/2
+
+	a11 := a.Slice(0, 0, m2, k2)
+	a12 := a.Slice(0, k2, m2, k2)
+	a21 := a.Slice(m2, 0, m2, k2)
+	a22 := a.Slice(m2, k2, m2, k2)
+	b11 := b.Slice(0, 0, k2, n2)
+	b12 := b.Slice(0, n2, k2, n2)
+	b21 := b.Slice(k2, 0, k2, n2)
+	b22 := b.Slice(k2, n2, k2, n2)
+	c11 := c.Slice(0, 0, m2, n2)
+	c12 := c.Slice(0, n2, m2, n2)
+	c21 := c.Slice(m2, 0, m2, n2)
+	c22 := c.Slice(m2, n2, m2, n2)
+
+	s := e.allocMat(m2, k2)
+	defer e.freeMat(s)
+	t := e.allocMat(k2, n2)
+	defer e.freeMat(t)
+	p := e.allocMat(m2, n2)
+	defer e.freeMat(p)
+
+	d := depth + 1
+	sv, tv, pv := matrix.ViewOf(s), matrix.ViewOf(t), matrix.ViewOf(p)
+
+	// Pre-scale C by beta once; every product is then accumulated with
+	// coefficient ±1.
+	for _, q := range []*matrix.Dense{c11, c12, c21, c22} {
+		scaleInPlace(q, beta)
+	}
+
+	// M1 = (A11+A22)(B11+B22) → C11, C22
+	matrix.Add(s, a11, a22)
+	matrix.Add(t, b11, b22)
+	e.mul(p, sv, tv, alpha, 0, d)
+	matrix.AddAssign(c11, pv)
+	matrix.AddAssign(c22, pv)
+
+	// M2 = (A21+A22)B11 → C21, −C22
+	matrix.Add(s, a21, a22)
+	e.mul(p, sv, b11, alpha, 0, d)
+	matrix.AddAssign(c21, pv)
+	matrix.SubAssign(c22, pv)
+
+	// M3 = A11(B12−B22) → C12, C22
+	matrix.Sub(t, b12, b22)
+	e.mul(p, a11, tv, alpha, 0, d)
+	matrix.AddAssign(c12, pv)
+	matrix.AddAssign(c22, pv)
+
+	// M4 = A22(B21−B11) → C11, C21
+	matrix.Sub(t, b21, b11)
+	e.mul(p, a22, tv, alpha, 0, d)
+	matrix.AddAssign(c11, pv)
+	matrix.AddAssign(c21, pv)
+
+	// M5 = (A11+A12)B22 → −C11, C12
+	matrix.Add(s, a11, a12)
+	e.mul(p, sv, b22, alpha, 0, d)
+	matrix.SubAssign(c11, pv)
+	matrix.AddAssign(c12, pv)
+
+	// M6 = (A21−A11)(B11+B12) → C22
+	matrix.Sub(s, a21, a11)
+	matrix.Add(t, b11, b12)
+	e.mul(p, sv, tv, alpha, 0, d)
+	matrix.AddAssign(c22, pv)
+
+	// M7 = (A12−A22)(B21+B22) → C11
+	matrix.Sub(s, a12, a22)
+	matrix.Add(t, b21, b22)
+	e.mul(p, sv, tv, alpha, 0, d)
+	matrix.AddAssign(c11, pv)
+}

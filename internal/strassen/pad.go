@@ -1,0 +1,96 @@
+package strassen
+
+import "repro/internal/matrix"
+
+// This file implements the two padding alternatives to dynamic peeling
+// (Section 2): dynamic padding (one zero row/column added per odd dimension
+// at every recursion level, as in Douglas et al.) and static padding
+// (Strassen's original suggestion — pad once, up front, so every dimension
+// met during recursion is even). Both exist for the paper's
+// peeling-vs-padding comparison; DGEFMM itself uses peeling.
+
+// padDynamicMul pads each odd dimension of the current level with one zero
+// row/column, applies one Strassen level to the padded operands, and copies
+// the valid region back.
+func (e *engine) padDynamicMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	mp, kp, np := m+(m&1), k+(k&1), n+(n&1)
+
+	if mp == m && kp == k && np == n {
+		e.schedule(c, a, b, alpha, beta, depth)
+		return
+	}
+
+	ap := e.allocMat(mp, kp)
+	defer e.freeMat(ap)
+	bp := e.allocMat(kp, np)
+	defer e.freeMat(bp)
+	cp := e.allocMat(mp, np)
+	defer e.freeMat(cp)
+
+	// The tracker (and make) hand out zeroed memory, so only the valid
+	// regions need copying.
+	a.Materialize(ap.Slice(0, 0, m, k))
+	b.Materialize(bp.Slice(0, 0, k, n))
+	if beta != 0 {
+		cp.Slice(0, 0, m, n).CopyFrom(c)
+	}
+	e.schedule(cp, matrix.ViewOf(ap), matrix.ViewOf(bp), alpha, beta, depth)
+	c.CopyFrom(cp.Slice(0, 0, m, n))
+}
+
+// staticPadMul implements static padding at the top level of DGEFMM: it
+// predicts the recursion depth d the cutoff criterion will produce, pads
+// every dimension to a multiple of 2^d, and runs the recursion with that
+// depth bound so no odd dimension is ever encountered.
+func (e *engine) staticPadMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	d := e.predictDepth(m, k, n)
+	if d == 0 {
+		e.baseGemm(c, a, b, alpha, beta)
+		return
+	}
+	unit := 1 << uint(d)
+	mp, kp, np := roundUp(m, unit), roundUp(k, unit), roundUp(n, unit)
+
+	inner := *e
+	inner.maxDepth = d
+	inner.odd = OddPeel // no odd dimensions can occur below; peel is a no-op path
+
+	if mp == m && kp == k && np == n {
+		inner.mul(c, a, b, alpha, beta, 0)
+		return
+	}
+
+	ap := e.allocMat(mp, kp)
+	defer e.freeMat(ap)
+	bp := e.allocMat(kp, np)
+	defer e.freeMat(bp)
+	cp := e.allocMat(mp, np)
+	defer e.freeMat(cp)
+
+	a.Materialize(ap.Slice(0, 0, m, k))
+	b.Materialize(bp.Slice(0, 0, k, n))
+	if beta != 0 {
+		cp.Slice(0, 0, m, n).CopyFrom(c)
+	}
+	inner.mul(cp, matrix.ViewOf(ap), matrix.ViewOf(bp), alpha, beta, 0)
+	c.CopyFrom(cp.Slice(0, 0, m, n))
+}
+
+// predictDepth simulates the recursion the criterion would drive on
+// ceil-halved dimensions, yielding the static padding depth.
+func (e *engine) predictDepth(m, k, n int) int {
+	d := 0
+	for m > 1 && k > 1 && n > 1 &&
+		(e.maxDepth == 0 || d < e.maxDepth) &&
+		e.crit.Recurse(m, k, n) {
+		m, k, n = (m+1)/2, (k+1)/2, (n+1)/2
+		d++
+	}
+	return d
+}
+
+func roundUp(x, unit int) int {
+	return (x + unit - 1) / unit * unit
+}

@@ -1,0 +1,165 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// Focused tests for dynamic peeling (Section 3.3, equation (9)) — the
+// paper's previously-untried technique. Each test isolates one of the three
+// fixup paths by making exactly one dimension odd.
+
+func peelConfig() *Config {
+	// Recurse aggressively so peeling happens at the top level of each case.
+	return &Config{Kernel: blas.NaiveKernel{}, Criterion: Simple{Tau: 4}, Odd: OddPeel}
+}
+
+func checkDims(t *testing.T, m, k, n int, alpha, beta float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(m*1000000 + k*1000 + n)))
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c := matrix.NewRandom(m, n, rng)
+	want := refMul(blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+	DGEFMM(peelConfig(), blas.NoTrans, blas.NoTrans, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+	if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+		t.Fatalf("(%d,%d,%d) α=%v β=%v: maxdiff %g", m, k, n, alpha, beta, d)
+	}
+}
+
+func TestPeelOnlyKOdd(t *testing.T) {
+	// Exercises the DGER rank-one fixup: C11 += α a12 b21.
+	checkDims(t, 16, 17, 16, 1, 0)
+	checkDims(t, 16, 17, 16, 2.5, 1.5)
+	checkDims(t, 32, 9, 32, -1, 0.5)
+}
+
+func TestPeelOnlyNOdd(t *testing.T) {
+	// Exercises the c12 DGEMV fixup: last column of C.
+	checkDims(t, 16, 16, 17, 1, 0)
+	checkDims(t, 16, 16, 17, 0.5, -2)
+}
+
+func TestPeelOnlyMOdd(t *testing.T) {
+	// Exercises the bottom-row DGEMV fixup: [c21 c22].
+	checkDims(t, 17, 16, 16, 1, 0)
+	checkDims(t, 17, 16, 16, 3, 0.25)
+}
+
+func TestPeelAllOdd(t *testing.T) {
+	// All three fixups at once (the full equation (9)).
+	checkDims(t, 17, 19, 21, 1, 0)
+	checkDims(t, 17, 19, 21, 1.0/3, 1.0/4)
+	checkDims(t, 9, 9, 9, -0.5, 2)
+}
+
+func TestPeelDimensionOne(t *testing.T) {
+	// Degenerate "everything peels away" shapes must still be right (they
+	// stop at the base case since dims of 1 never recurse).
+	for _, dims := range [][3]int{{1, 9, 9}, {9, 1, 9}, {9, 9, 1}, {1, 1, 9}, {1, 1, 1}} {
+		checkDims(t, dims[0], dims[1], dims[2], 1.5, 0.5)
+	}
+}
+
+func TestPeelRecursiveOddness(t *testing.T) {
+	// Sizes chosen so that oddness appears only at inner recursion levels:
+	// 2·odd = even top level, odd second level.
+	checkDims(t, 34, 38, 42, 1, 0) // halves 17, 19, 21 are odd
+	checkDims(t, 34, 38, 42, 2, 3)
+	checkDims(t, 68, 76, 84, 1, 1) // oddness two levels down
+}
+
+func TestPeelWithTransposedViews(t *testing.T) {
+	// The peeled row/column extraction must work through transposed views
+	// (strided vectors instead of contiguous ones).
+	rng := rand.New(rand.NewSource(123))
+	m, k, n := 17, 19, 15
+	a := matrix.NewRandom(k, m, rng) // stores Aᵀ
+	b := matrix.NewRandom(n, k, rng) // stores Bᵀ
+	c := matrix.NewRandom(m, n, rng)
+	want := refMul(blas.Trans, blas.Trans, 1.5, a, b, 0.5, c)
+	DGEFMM(peelConfig(), blas.Trans, blas.Trans, m, n, k, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0.5, c.Data, c.Stride)
+	if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+		t.Fatalf("transposed peel: %g", d)
+	}
+}
+
+func TestPeelFirstAllShapes(t *testing.T) {
+	// The alternate (peel-first) strategy must agree with the reference on
+	// every oddness pattern and with transposes.
+	rng := rand.New(rand.NewSource(432))
+	cfg := peelConfig()
+	cfg.Odd = OddPeelFirst
+	for _, dims := range [][3]int{
+		{17, 16, 16}, {16, 17, 16}, {16, 16, 17}, {17, 19, 21},
+		{9, 9, 9}, {34, 38, 42}, {1, 9, 9}, {33, 1, 7},
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		for _, ab := range [][2]float64{{1, 0}, {2.5, 1.5}} {
+			a := matrix.NewRandom(m, k, rng)
+			b := matrix.NewRandom(k, n, rng)
+			c := matrix.NewRandom(m, n, rng)
+			want := refMul(blas.NoTrans, blas.NoTrans, ab[0], a, b, ab[1], c)
+			DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, ab[0], a.Data, a.Stride, b.Data, b.Stride, ab[1], c.Data, c.Stride)
+			if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+				t.Fatalf("peel-first (%d,%d,%d) αβ=%v: %g", m, k, n, ab, d)
+			}
+		}
+	}
+	// Transposed operands through the first-row/column extraction.
+	m, k, n := 15, 17, 13
+	a := matrix.NewRandom(k, m, rng)
+	b := matrix.NewRandom(n, k, rng)
+	c := matrix.NewRandom(m, n, rng)
+	want := refMul(blas.Trans, blas.Trans, 1.5, a, b, 0.5, c)
+	DGEFMM(cfg, blas.Trans, blas.Trans, m, n, k, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0.5, c.Data, c.Stride)
+	if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+		t.Fatalf("peel-first transposed: %g", d)
+	}
+}
+
+func TestPeelFirstMatchesPeelLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	m := 45
+	a := matrix.NewRandom(m, m, rng)
+	b := matrix.NewRandom(m, m, rng)
+	c1 := matrix.NewDense(m, m)
+	c2 := matrix.NewDense(m, m)
+	last := peelConfig()
+	first := peelConfig()
+	first.Odd = OddPeelFirst
+	DGEFMM(last, blas.NoTrans, blas.NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c1.Data, c1.Stride)
+	DGEFMM(first, blas.NoTrans, blas.NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c2.Data, c2.Stride)
+	if d := matrix.MaxAbsDiff(c1, c2); d > tol(m) {
+		t.Fatalf("peel variants disagree by %g", d)
+	}
+}
+
+func TestPeelExactIntegerArithmetic(t *testing.T) {
+	// With small integer entries every intermediate is exactly
+	// representable, so the result must be bit-exact — this catches
+	// misplaced fixup contributions that tolerance-based checks might mask.
+	rng := rand.New(rand.NewSource(321))
+	for _, dims := range [][3]int{{7, 7, 7}, {11, 13, 9}, {15, 10, 21}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := matrix.NewDense(m, k)
+		b := matrix.NewDense(k, n)
+		for idx := range a.Data {
+			a.Data[idx] = float64(rng.Intn(7) - 3)
+		}
+		for idx := range b.Data {
+			b.Data[idx] = float64(rng.Intn(7) - 3)
+		}
+		c := matrix.NewDense(m, n)
+		want := refMul(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c.Clone())
+		cfg := peelConfig()
+		cfg.Criterion = Simple{Tau: 2}
+		DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+		if !c.Equal(want) {
+			t.Fatalf("(%d,%d,%d): integer result not exact; maxdiff=%g", m, k, n, matrix.MaxAbsDiff(c, want))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// countingKernel wraps a Kernel and records every base-case multiply, so
+// tests can verify the recursion structure (7 products per level, 7^d base
+// multiplies at depth d) rather than just the numerical result.
+type countingKernel struct {
+	inner blas.Kernel
+	calls int
+	dims  [][3]int
+}
+
+func (k *countingKernel) Name() string { return "counting(" + k.inner.Name() + ")" }
+
+func (k *countingKernel) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	k.calls++
+	k.dims = append(k.dims, [3]int{m, kk, n})
+	k.inner.MulAdd(transA, transB, m, n, kk, alpha, a, lda, b, ldb, c, ldc)
+}
+
+func runCounted(t *testing.T, m, k, n int, crit Criterion, maxDepth int, beta float64) *countingKernel {
+	t.Helper()
+	ck := &countingKernel{inner: blas.NaiveKernel{}}
+	cfg := &Config{Kernel: ck, Criterion: crit, MaxDepth: maxDepth}
+	rng := rand.New(rand.NewSource(int64(m + k + n)))
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c := matrix.NewRandom(m, n, rng)
+	want := refMul(blas.NoTrans, blas.NoTrans, 1, a, b, beta, c)
+	DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+	if d := matrix.MaxAbsDiff(c, want); d > tol(k) {
+		t.Fatalf("counted run produced wrong result: %g", d)
+	}
+	return ck
+}
+
+func TestSevenMultipliesPerLevel(t *testing.T) {
+	// Power-of-two sizes, no peeling: exactly 7^d base multiplies.
+	for d := 1; d <= 3; d++ {
+		m := 8 << uint(d)
+		ck := runCounted(t, m, m, m, Always{}, d, 0)
+		want := 1
+		for i := 0; i < d; i++ {
+			want *= 7
+		}
+		if ck.calls != want {
+			t.Errorf("depth %d on order %d: %d base multiplies, want %d", d, m, ck.calls, want)
+		}
+		// Every base multiply is the half^d block.
+		for _, dims := range ck.dims {
+			if dims != [3]int{m >> uint(d), m >> uint(d), m >> uint(d)} {
+				t.Errorf("unexpected base dims %v", dims)
+			}
+		}
+	}
+}
+
+func TestSevenMultipliesGeneralBeta(t *testing.T) {
+	// STRASSEN2 (β≠0) must also use exactly 7 multiplies per level.
+	ck := runCounted(t, 32, 32, 32, Always{}, 1, 0.5)
+	if ck.calls != 7 {
+		t.Errorf("one level with β≠0: %d base multiplies, want 7", ck.calls)
+	}
+}
+
+func TestNoCutoffMeansOneBaseCall(t *testing.T) {
+	ck := runCounted(t, 40, 40, 40, Never{}, 0, 0)
+	if ck.calls != 1 {
+		t.Errorf("Never criterion: %d base calls, want 1", ck.calls)
+	}
+	if ck.dims[0] != [3]int{40, 40, 40} {
+		t.Errorf("base dims %v", ck.dims[0])
+	}
+}
+
+func TestPeelingKeepsSevenCoreMultiplies(t *testing.T) {
+	// Odd size at depth 1: the even core splits into 7 products; the
+	// peeled borders are handled by DGER/DGEMV, NOT by extra kernel calls.
+	ck := runCounted(t, 33, 33, 33, Always{}, 1, 0)
+	if ck.calls != 7 {
+		t.Errorf("odd one-level run: %d kernel multiplies, want 7 (fixups use Level 2 BLAS)", ck.calls)
+	}
+	for _, dims := range ck.dims {
+		if dims != [3]int{16, 16, 16} {
+			t.Errorf("core product dims %v, want {16,16,16}", dims)
+		}
+	}
+}
+
+func TestOriginalVariantAlsoSevenMultiplies(t *testing.T) {
+	ck := &countingKernel{inner: blas.NaiveKernel{}}
+	cfg := &Config{Kernel: ck, Criterion: Always{}, MaxDepth: 1, Schedule: ScheduleOriginal}
+	rng := rand.New(rand.NewSource(9))
+	m := 32
+	a := matrix.NewRandom(m, m, rng)
+	b := matrix.NewRandom(m, m, rng)
+	c := matrix.NewDense(m, m)
+	DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if ck.calls != 7 {
+		t.Errorf("original variant: %d multiplies, want 7", ck.calls)
+	}
+}
+
+func TestRectangularRecursionDims(t *testing.T) {
+	// A rectangular one-level split must produce products of exactly
+	// (m/2, k/2, n/2).
+	ck := runCounted(t, 16, 24, 40, Always{}, 1, 0)
+	if ck.calls != 7 {
+		t.Fatalf("calls = %d", ck.calls)
+	}
+	for _, dims := range ck.dims {
+		if dims != [3]int{8, 12, 20} {
+			t.Errorf("product dims %v, want {8,12,20}", dims)
+		}
+	}
+}
+
+func TestHybridStopsWhereExpected(t *testing.T) {
+	// With the hybrid criterion, the thin-by-large anecdote recurses while
+	// the simple criterion does a single base multiply.
+	crit := Hybrid{Tau: 20, TauM: 8, TauK: 8, TauN: 8}
+	ck := runCounted(t, 16, 128, 128, crit, 0, 0)
+	if ck.calls < 7 {
+		t.Errorf("hybrid should have recursed: %d calls", ck.calls)
+	}
+	ck2 := runCounted(t, 16, 128, 128, Simple{Tau: 20}, 0, 0)
+	if ck2.calls != 1 {
+		t.Errorf("simple criterion should not recurse: %d calls", ck2.calls)
+	}
+}

@@ -1,0 +1,292 @@
+package strassen
+
+import (
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+)
+
+// DGEFMM computes C ← alpha*op(A)*op(B) + beta*C with the paper's Strassen
+// implementation. The signature mirrors the Level 3 BLAS DGEMM exactly
+// (Section 3.1): op(A) is m×k, op(B) is k×n, C is m×n, all column-major
+// with leading dimensions lda, ldb, ldc. cfg may be nil for the default
+// configuration.
+func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) {
+	if cfg == nil {
+		cfg = DefaultConfig(nil)
+	}
+	// Validate exactly as DGEMM would; reuse its checks by constructing the
+	// same parameter expectations.
+	rowsA, colsA := m, k
+	if transA.IsTrans() {
+		rowsA, colsA = k, m
+	}
+	rowsB, colsB := k, n
+	if transB.IsTrans() {
+		rowsB, colsB = n, k
+	}
+	validate(transA, transB, m, n, k, lda, ldb, ldc, rowsA, colsA, rowsB, colsB, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+
+	cm := matrix.FromColMajor(m, n, ldc, c)
+	if alpha == 0 || k == 0 {
+		scaleInPlace(cm, beta)
+		return
+	}
+
+	av := matrix.View{Rows: m, Cols: k, Stride: lda, Trans: transA.IsTrans(), Data: a}
+	bv := matrix.View{Rows: k, Cols: n, Stride: ldb, Trans: transB.IsTrans(), Data: b}
+
+	parLevels := cfg.ParallelLevels
+	if cfg.Parallel > 1 && parLevels == 0 {
+		parLevels = 1
+	}
+	e := &engine{
+		kern:      cfg.kernel(),
+		crit:      cfg.criterion(),
+		sched:     cfg.Schedule,
+		odd:       cfg.Odd,
+		maxDepth:  cfg.MaxDepth,
+		tracker:   cfg.Tracker,
+		parallel:  cfg.Parallel,
+		parLevels: parLevels,
+		tracer:    cfg.Tracer,
+	}
+	if e.odd == OddPadStatic {
+		e.staticPadMul(cm, av, bv, alpha, beta)
+		return
+	}
+	e.mul(cm, av, bv, alpha, beta, 0)
+}
+
+// Multiply is a convenience wrapper over DGEFMM for *matrix.Dense values:
+// C ← alpha*op(A)*op(B) + beta*C.
+func Multiply(cfg *Config, c *matrix.Dense, transA, transB blas.Transpose,
+	alpha float64, a, b *matrix.Dense, beta float64) {
+	m, k := a.Rows, a.Cols
+	if transA.IsTrans() {
+		m, k = k, m
+	}
+	kb, n := b.Rows, b.Cols
+	if transB.IsTrans() {
+		kb, n = n, kb
+	}
+	if kb != k {
+		panic("strassen: Multiply: inner dimensions mismatch")
+	}
+	if c.Rows != m || c.Cols != n {
+		panic("strassen: Multiply: output shape mismatch")
+	}
+	DGEFMM(cfg, transA, transB, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}
+
+func validate(transA, transB blas.Transpose, m, n, k, lda, ldb, ldc, rowsA, colsA, rowsB, colsB int, a, b, c []float64) {
+	// Run the identical checks DGEMM performs, by calling it with alpha=0,
+	// beta=1 so no arithmetic happens but every argument is vetted. This
+	// guarantees DGEFMM accepts exactly the inputs DGEMM accepts.
+	blas.Dgemm(transA, transB, m, n, k, 0, a, lda, b, ldb, 1, c, ldc)
+}
+
+// engine carries the resolved configuration through the recursion.
+type engine struct {
+	kern      blas.Kernel
+	crit      Criterion
+	sched     Schedule
+	odd       OddStrategy
+	maxDepth  int
+	tracker   *memtrack.Tracker
+	parallel  int
+	parLevels int
+	tracer    Tracer
+}
+
+// mul computes c ← alpha*a*b + beta*c where a is m×k and b is k×n (both as
+// logical, possibly transposed, views). It applies the cutoff criterion,
+// then the odd-dimension strategy, then one level of the selected schedule.
+func (e *engine) mul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		scaleInPlace(c, beta)
+		return
+	}
+	recurse := m > 1 && k > 1 && n > 1 &&
+		(e.maxDepth == 0 || depth < e.maxDepth) &&
+		e.crit.Recurse(m, k, n)
+	if !recurse {
+		e.trace(depth, m, k, n, "base")
+		e.baseGemm(c, a, b, alpha, beta)
+		return
+	}
+	switch e.odd {
+	case OddPadDynamic:
+		if m&1|k&1|n&1 != 0 {
+			e.trace(depth, m, k, n, "pad-dynamic")
+		}
+		e.padDynamicMul(c, a, b, alpha, beta, depth)
+	case OddPeelFirst:
+		if m&1|k&1|n&1 != 0 {
+			e.trace(depth, m, k, n, "peel-first")
+		}
+		e.peelFirstMul(c, a, b, alpha, beta, depth)
+	default: // OddPeel (and OddPadStatic below the pre-padded top level)
+		if m&1|k&1|n&1 != 0 {
+			e.trace(depth, m, k, n, "peel")
+		}
+		e.peelMul(c, a, b, alpha, beta, depth)
+	}
+}
+
+// peelMul implements dynamic peeling (Section 3.3 and equation (9)): strip
+// the odd row/column, apply one Strassen level to the even core, and repair
+// the three border blocks with a DGER rank-one update and two DGEMV
+// matrix-vector products.
+func (e *engine) peelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	me, ke, ne := m&^1, k&^1, n&^1
+
+	coreA := a.Slice(0, 0, me, ke)
+	coreB := b.Slice(0, 0, ke, ne)
+	coreC := c.Slice(0, 0, me, ne)
+	e.schedule(coreC, coreA, coreB, alpha, beta, depth)
+
+	if k != ke {
+		// C11 ← C11 + alpha * a12 * b21 : rank-one update with A's peeled
+		// column and B's peeled row.
+		e.trace(depth, m, k, n, "fixup-ger")
+		x, incX := colVec(a, ke)
+		y, incY := rowVec(b, ke)
+		blas.Dger(me, ne, alpha, x, incX, y, incY, coreC.Data, coreC.Stride)
+	}
+	if n != ne {
+		// c12 ← alpha * [A11 a12]·[b12; b22] + beta*c12 : the full first me
+		// rows of op(A) (all k columns) times B's peeled column.
+		e.trace(depth, m, k, n, "fixup-col")
+		aTop := a.Slice(0, 0, me, k)
+		x, incX := colVec(b, ne)
+		e.gemvN(aTop, alpha, x, incX, beta, c.Data[ne*c.Stride:], 1)
+	}
+	if m != me {
+		// [c21 c22] ← alpha * [a21 a22]·B + beta*row : op(A)'s peeled row
+		// times the whole of op(B), covering the bottom-right corner too.
+		e.trace(depth, m, k, n, "fixup-row")
+		x, incX := rowVec(a, me)
+		e.gemvT(b, alpha, x, incX, beta, c.Data[me:], c.Stride)
+	}
+}
+
+// schedule applies exactly one level of the selected Strassen schedule to an
+// all-even (m, k, n) problem.
+func (e *engine) schedule(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if e.parallel > 1 && depth < e.parLevels {
+		e.trace(depth, m, k, n, "parallel")
+		e.parallelWinograd(c, a, b, alpha, beta, depth)
+		return
+	}
+	switch e.sched {
+	case ScheduleOriginal:
+		e.trace(depth, m, k, n, "original")
+		e.original(c, a, b, alpha, beta, depth)
+	case ScheduleStrassen1:
+		if beta == 0 {
+			e.trace(depth, m, k, n, "strassen1")
+			e.strassen1(c, a, b, alpha, depth)
+		} else {
+			e.trace(depth, m, k, n, "strassen1")
+			e.strassen1General(c, a, b, alpha, beta, depth)
+		}
+	case ScheduleStrassen2:
+		e.trace(depth, m, k, n, "strassen2")
+		e.strassen2(c, a, b, alpha, beta, depth)
+	default: // ScheduleAuto: the paper's DGEFMM dispatch (Table 1 last row).
+		if beta == 0 {
+			e.trace(depth, m, k, n, "strassen1")
+			e.strassen1(c, a, b, alpha, depth)
+		} else {
+			e.trace(depth, m, k, n, "strassen2")
+			e.strassen2(c, a, b, alpha, beta, depth)
+		}
+	}
+}
+
+// baseGemm performs the standard-algorithm multiplication below the cutoff.
+func (e *engine) baseGemm(c *matrix.Dense, a, b matrix.View, alpha, beta float64) {
+	ta, tb := blas.NoTrans, blas.NoTrans
+	if a.Trans {
+		ta = blas.Trans
+	}
+	if b.Trans {
+		tb = blas.Trans
+	}
+	blas.DgemmKernel(e.kern, ta, tb, c.Rows, c.Cols, a.Cols, alpha,
+		a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}
+
+// gemvN computes y ← alpha*V*x + beta*y for a logical view V (y has V.Rows
+// elements, x has V.Cols).
+func (e *engine) gemvN(v matrix.View, alpha float64, x []float64, incX int, beta float64, y []float64, incY int) {
+	if !v.Trans {
+		blas.Dgemv(blas.NoTrans, v.Rows, v.Cols, alpha, v.Data, v.Stride, x, incX, beta, y, incY)
+		return
+	}
+	// Storage holds Vᵀ (V.Cols × V.Rows): y = alpha*storageᵀ*x + beta*y.
+	blas.Dgemv(blas.Trans, v.Cols, v.Rows, alpha, v.Data, v.Stride, x, incX, beta, y, incY)
+}
+
+// gemvT computes y ← alpha*Vᵀ*x + beta*y for a logical view V (y has V.Cols
+// elements, x has V.Rows).
+func (e *engine) gemvT(v matrix.View, alpha float64, x []float64, incX int, beta float64, y []float64, incY int) {
+	if !v.Trans {
+		blas.Dgemv(blas.Trans, v.Rows, v.Cols, alpha, v.Data, v.Stride, x, incX, beta, y, incY)
+		return
+	}
+	blas.Dgemv(blas.NoTrans, v.Cols, v.Rows, alpha, v.Data, v.Stride, x, incX, beta, y, incY)
+}
+
+// colVec returns logical column j of a view as a strided vector.
+func colVec(v matrix.View, j int) ([]float64, int) {
+	if !v.Trans {
+		return v.Data[j*v.Stride:], 1
+	}
+	return v.Data[j:], v.Stride
+}
+
+// rowVec returns logical row i of a view as a strided vector.
+func rowVec(v matrix.View, i int) ([]float64, int) {
+	if !v.Trans {
+		return v.Data[i:], v.Stride
+	}
+	return v.Data[i*v.Stride:], 1
+}
+
+// allocMat takes an r×c scratch matrix from the tracker.
+func (e *engine) allocMat(r, c int) *matrix.Dense {
+	buf := e.tracker.Alloc(r * c)
+	ld := r
+	if ld < 1 {
+		ld = 1
+	}
+	return matrix.FromColMajor(r, c, ld, buf)
+}
+
+// freeMat returns scratch to the tracker.
+func (e *engine) freeMat(m *matrix.Dense) {
+	e.tracker.Free(m.Data)
+}
+
+func scaleInPlace(c *matrix.Dense, beta float64) {
+	switch beta {
+	case 1:
+	case 0:
+		c.Zero()
+	default:
+		c.Scale(beta)
+	}
+}

@@ -1,0 +1,116 @@
+package strassen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TraceEvent records one decision in the DGEFMM recursion: which action was
+// taken at which depth on which problem shape. Tracing exists so users (and
+// this repository's own tests) can see *why* a multiply performed the way
+// it did — how deep the recursion went, where peeling fired, where the
+// cutoff stopped recursion.
+type TraceEvent struct {
+	// Depth is the recursion depth (0 = the top-level call).
+	Depth int
+	// M, K, N are the problem dimensions at this node.
+	M, K, N int
+	// Action identifies the node kind: "base" (cutoff reached, DGEMM ran),
+	// "strassen1", "strassen2", "original", "parallel" (one schedule level),
+	// "peel", "peel-first", "pad-dynamic", "pad-static" (odd handling), or
+	// "fixup-ger", "fixup-col", "fixup-row" (peeling repairs).
+	Action string
+}
+
+// Tracer receives recursion events. Implementations must be safe for
+// concurrent use when the parallel schedule is enabled.
+type Tracer interface {
+	// Event is called once per recursion decision.
+	Event(TraceEvent)
+}
+
+// CountTracer tallies events by action and tracks the deepest recursion;
+// it is the cheap always-on summary.
+type CountTracer struct {
+	mu       sync.Mutex
+	counts   map[string]int
+	maxDepth int
+	events   int
+}
+
+// NewCountTracer returns an empty tracer.
+func NewCountTracer() *CountTracer {
+	return &CountTracer{counts: make(map[string]int)}
+}
+
+// Event implements Tracer.
+func (t *CountTracer) Event(e TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counts[e.Action]++
+	t.events++
+	if e.Depth > t.maxDepth {
+		t.maxDepth = e.Depth
+	}
+}
+
+// Count returns how many events carried the action.
+func (t *CountTracer) Count(action string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[action]
+}
+
+// MaxDepth returns the deepest recursion seen.
+func (t *CountTracer) MaxDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.maxDepth
+}
+
+// Total returns the total event count.
+func (t *CountTracer) Total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// String renders the tally in a stable order.
+func (t *CountTracer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.counts))
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "depth≤%d:", t.maxDepth)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%d", k, t.counts[k])
+	}
+	return sb.String()
+}
+
+// LogTracer records the full event sequence (top-level-call order is
+// deterministic for sequential configurations).
+type LogTracer struct {
+	mu     sync.Mutex
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (t *LogTracer) Event(e TraceEvent) {
+	t.mu.Lock()
+	t.Events = append(t.Events, e)
+	t.mu.Unlock()
+}
+
+// trace emits an event if a tracer is installed.
+func (e *engine) trace(depth int, m, k, n int, action string) {
+	if e.tracer != nil {
+		e.tracer.Event(TraceEvent{Depth: depth, M: m, K: k, N: n, Action: action})
+	}
+}

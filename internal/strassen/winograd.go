@@ -1,0 +1,163 @@
+package strassen
+
+import "repro/internal/matrix"
+
+// This file implements the paper's two computation schedules for Winograd's
+// variant (Section 3.2). Both consume one level of recursion on an all-even
+// (m, k, n) problem; the seven half-size products re-enter engine.mul, so
+// the cutoff criterion and peeling apply independently at every level.
+//
+// Winograd's variant (7 multiplies, 15 adds), in the standard naming used
+// below (stages (1)–(4) of Section 2):
+//
+//	S1 = A21 + A22    T1 = B12 − B11    P1 = A11·B11   U2 = P1 + P6
+//	S2 = S1 − A11     T2 = B22 − T1     P2 = A12·B21   U3 = U2 + P7
+//	S3 = A11 − A21    T3 = B22 − B12    P3 = S4·B22    U4 = U2 + P5
+//	S4 = A12 − S2     T4 = T2 − B21     P4 = A22·T4
+//	                                    P5 = S1·T1
+//	                                    P6 = S2·T2
+//	                                    P7 = S3·T3
+//
+//	C11 = P1 + P2,  C12 = U4 + P3,  C21 = U3 − P4,  C22 = U3 + P5.
+
+// strassen1 is the β = 0 schedule: C ← alpha·A·B. The four quadrants of C
+// serve as product buffers, so only two temporaries are needed: R1 of size
+// (m/2)·max(k/2, n/2) — it holds S-shaped (m/2×k/2) sums early and a
+// product (m/2×n/2) late — and R2 of size (k/2)·(n/2). Top-level extra
+// space is m·max(k,n)/4 + kn/4; summed over the recursion this is the
+// paper's bound (m·max(k,n) + kn)/3 (2m²/3 for squares, Table 1).
+//
+// All seven products are plain (β = 0) multiplies, so the whole recursion
+// stays on this schedule, preserving the bound.
+func (e *engine) strassen1(c *matrix.Dense, a, b matrix.View, alpha float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	m2, k2, n2 := m/2, k/2, n/2
+
+	a11 := a.Slice(0, 0, m2, k2)
+	a12 := a.Slice(0, k2, m2, k2)
+	a21 := a.Slice(m2, 0, m2, k2)
+	a22 := a.Slice(m2, k2, m2, k2)
+	b11 := b.Slice(0, 0, k2, n2)
+	b12 := b.Slice(0, n2, k2, n2)
+	b21 := b.Slice(k2, 0, k2, n2)
+	b22 := b.Slice(k2, n2, k2, n2)
+	c11 := c.Slice(0, 0, m2, n2)
+	c12 := c.Slice(0, n2, m2, n2)
+	c21 := c.Slice(m2, 0, m2, n2)
+	c22 := c.Slice(m2, n2, m2, n2)
+
+	maxkn2 := k2
+	if n2 > maxkn2 {
+		maxkn2 = n2
+	}
+	r1buf := e.tracker.Alloc(m2 * maxkn2)
+	defer e.tracker.Free(r1buf)
+	r1s := matrix.FromColMajor(m2, k2, m2, r1buf) // R1 viewed as an S (m/2×k/2)
+	r1p := matrix.FromColMajor(m2, n2, m2, r1buf) // R1 viewed as a P (m/2×n/2)
+	r2 := e.allocMat(k2, n2)
+	defer e.freeMat(r2)
+
+	d := depth + 1
+	// The products carry alpha; the combinations below then operate on
+	// already-scaled values, so every quadrant ends as alpha times its
+	// Winograd combination.
+	matrix.Sub(r1s, a11, a21)                                      // R1 = S3
+	matrix.Sub(r2, b22, b12)                                       // R2 = T3
+	e.mul(c11, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C11 = αP7
+	matrix.Add(r1s, a21, a22)                                      // R1 = S1
+	matrix.Sub(r2, b12, b11)                                       // R2 = T1
+	e.mul(c21, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C21 = αP5
+	matrix.Add(c22, matrix.ViewOf(c11), matrix.ViewOf(c21))        // C22 = α(P7+P5)
+	matrix.SubAssign(r1s, a11)                                     // R1 = S2 = S1−A11
+	matrix.RevSubAssign(r2, b22)                                   // R2 = T2 = B22−T1
+	e.mul(c12, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C12 = αP6
+	matrix.AddAssign(c22, matrix.ViewOf(c12))                      // C22 = α(P5+P6+P7)
+	matrix.RevSubAssign(r1s, a12)                                  // R1 = S4 = A12−S2
+	e.mul(c11, matrix.ViewOf(r1s), b22, alpha, 0, d)               // C11 = αP3 (P7 now dead)
+	matrix.AddAssign(c12, matrix.ViewOf(c11))                      // C12 = α(P6+P3)
+	matrix.AddAssign(c12, matrix.ViewOf(c21))                      // C12 = α(P6+P3+P5)
+	matrix.SubAssign(r2, b21)                                      // R2 = T4 = T2−B21
+	e.mul(c11, a22, matrix.ViewOf(r2), alpha, 0, d)                // C11 = αP4 (P3 now dead)
+	e.mul(r1p, a11, b11, alpha, 0, d)                              // R1 = αP1
+	matrix.AddAssign(c12, matrix.ViewOf(r1p))                      // C12 final = α(P1+P3+P5+P6)
+	matrix.AddAssign(c22, matrix.ViewOf(r1p))                      // C22 final = α(P1+P5+P6+P7)
+	// C21 ← C22 − C11 − C21 = α(P1+P5+P6+P7) − αP4 − αP5 = α(P1+P6+P7−P4).
+	matrix.AddSubAssign(c21, matrix.ViewOf(c22), matrix.ViewOf(c11))
+	c11.CopyFrom(r1p)                         // C11 = αP1
+	e.mul(r1p, a12, b21, alpha, 0, d)         // R1 = αP2
+	matrix.AddAssign(c11, matrix.ViewOf(r1p)) // C11 final = α(P1+P2)
+}
+
+// strassen2 is the general-β schedule of the paper's Figure 1:
+// C ← alpha·A·B + beta·C using the minimum possible three temporaries
+// (R1 holds only A-subblocks, mk/4 words; R2 only B-subblocks, kn/4; R3
+// only C-sized blocks, mn/4). The key enabler is that the recursive
+// operation is the full multiply-accumulate C ← αAB + βC, so partial sums
+// live in C itself even when β ≠ 0. Summed over the recursion the extra
+// space is (mk + kn + mn)/3 (m² for squares, Table 1).
+func (e *engine) strassen2(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	m2, k2, n2 := m/2, k/2, n/2
+
+	a11 := a.Slice(0, 0, m2, k2)
+	a12 := a.Slice(0, k2, m2, k2)
+	a21 := a.Slice(m2, 0, m2, k2)
+	a22 := a.Slice(m2, k2, m2, k2)
+	b11 := b.Slice(0, 0, k2, n2)
+	b12 := b.Slice(0, n2, k2, n2)
+	b21 := b.Slice(k2, 0, k2, n2)
+	b22 := b.Slice(k2, n2, k2, n2)
+	c11 := c.Slice(0, 0, m2, n2)
+	c12 := c.Slice(0, n2, m2, n2)
+	c21 := c.Slice(m2, 0, m2, n2)
+	c22 := c.Slice(m2, n2, m2, n2)
+
+	r1 := e.allocMat(m2, k2)
+	defer e.freeMat(r1)
+	r2 := e.allocMat(k2, n2)
+	defer e.freeMat(r2)
+	r3 := e.allocMat(m2, n2)
+	defer e.freeMat(r3)
+
+	d := depth + 1
+	v1, v2, v3 := matrix.ViewOf(r1), matrix.ViewOf(r2), matrix.ViewOf(r3)
+
+	matrix.Add(r1, a21, a22)             // R1 = S1
+	matrix.Sub(r2, b12, b11)             // R2 = T1
+	e.mul(r3, v1, v2, alpha, 0, d)       // R3 = αP5
+	matrix.Axpby(c12, 1, v3, beta)       // C12 = βC12 + αP5
+	matrix.Axpby(c22, 1, v3, beta)       // C22 = βC22 + αP5
+	matrix.SubAssign(r1, a11)            // R1 = S2
+	matrix.RevSubAssign(r2, b22)         // R2 = T2
+	e.mul(r3, a11, b11, alpha, 0, d)     // R3 = αP1
+	matrix.Axpby(c11, 1, v3, beta)       // C11 = βC11 + αP1
+	e.mul(r3, v1, v2, alpha, 1, d)       // R3 = α(P1+P6) = αU2  (accumulate)
+	e.mul(c11, a12, b21, alpha, 1, d)    // C11 final = βC11 + α(P1+P2)
+	matrix.RevSubAssign(r1, a12)         // R1 = S4
+	matrix.SubAssign(r2, b21)            // R2 = T4
+	e.mul(c12, v1, b22, alpha, 1, d)     // C12 += αP3
+	matrix.AddAssign(c12, v3)            // C12 final = βC12 + α(P5+P3+U2)
+	e.mul(c21, a22, v2, -alpha, beta, d) // C21 = βC21 − αP4
+	matrix.Sub(r1, a11, a21)             // R1 = S3
+	matrix.Sub(r2, b22, b12)             // R2 = T3
+	e.mul(r3, v1, v2, alpha, 1, d)       // R3 = αU3 = α(U2+P7)  (accumulate)
+	matrix.AddAssign(c21, v3)            // C21 final = βC21 + α(U3−P4)
+	matrix.AddAssign(c22, v3)            // C22 final = βC22 + α(P5+U3)
+}
+
+// strassen1General extends STRASSEN1 to β ≠ 0 in the spirit of the paper's
+// six-temporary general case: the four product buffers the β = 0 schedule
+// takes from C become explicit workspace (mn words in total, allocated here
+// as one m×n scratch), the β = 0 schedule runs into that scratch, and the
+// result is folded into C with a single axpby. Peak extra space is
+// mn + (m·max(k,n) + kn)/3, i.e. 5m²/3 for squares — within the paper's
+// STRASSEN1 β ≠ 0 bound of 2m² (Table 1). STRASSEN2 strictly improves on
+// this, which is why DGEFMM uses it instead; this path exists for the
+// paper's comparison.
+func (e *engine) strassen1General(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, n := a.Rows, b.Cols
+	w := e.allocMat(m, n)
+	defer e.freeMat(w)
+	e.strassen1(w, a, b, alpha, depth)
+	matrix.Axpby(c, 1, matrix.ViewOf(w), beta)
+}

@@ -1,0 +1,191 @@
+package zgemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/strassen"
+)
+
+func randZ(rng *rand.Rand, r, c int) *ZDense {
+	z := NewZDense(r, c)
+	RandomZ(z, rng.Float64)
+	return z
+}
+
+func maxAbsDiffZ(a, b *ZDense) float64 {
+	var worst float64
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			re := real(a.At(i, j)) - real(b.At(i, j))
+			im := imag(a.At(i, j)) - imag(b.At(i, j))
+			if d := math.Hypot(re, im); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+var testCfg = &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 8}}
+
+func TestZGEMMKnown(t *testing.T) {
+	// (1+i)(2−i) = 3+i for a 1×1 "matrix".
+	a := NewZDense(1, 1)
+	a.Set(0, 0, 1+1i)
+	b := NewZDense(1, 1)
+	b.Set(0, 0, 2-1i)
+	c := NewZDense(1, 1)
+	ZGEMM(NoTrans, NoTrans, 1, 1, 1, 1, a, b, 0, c)
+	if c.At(0, 0) != 3+1i {
+		t.Fatalf("got %v", c.At(0, 0))
+	}
+}
+
+func TestZGEFMMMatchesZGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for _, dims := range [][3]int{{1, 1, 1}, {8, 8, 8}, {17, 23, 19}, {40, 33, 47}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		for _, ta := range []Transpose{NoTrans, Trans, ConjTrans} {
+			for _, tb := range []Transpose{NoTrans, Trans, ConjTrans} {
+				rowsA, colsA := m, k
+				if ta.transposed() {
+					rowsA, colsA = k, m
+				}
+				rowsB, colsB := k, n
+				if tb.transposed() {
+					rowsB, colsB = n, k
+				}
+				a := randZ(rng, rowsA, colsA)
+				b := randZ(rng, rowsB, colsB)
+				c1 := randZ(rng, m, n)
+				c2 := c1.Clone()
+				alpha := complex(1.5, -0.5)
+				beta := complex(0.25, 0.75)
+				ZGEMM(ta, tb, m, n, k, alpha, a, b, beta, c1)
+				ZGEFMM(testCfg, ta, tb, m, n, k, alpha, a, b, beta, c2)
+				if d := maxAbsDiffZ(c1, c2); d > 1e-11*float64(k+4) {
+					t.Fatalf("dims=%v ta=%c tb=%c: %g", dims, ta, tb, d)
+				}
+			}
+		}
+	}
+}
+
+func TestZGEFMMBetaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	m := 24
+	a := randZ(rng, m, m)
+	b := randZ(rng, m, m)
+	c1 := randZ(rng, m, m) // garbage that beta=0 must overwrite
+	c2 := NewZDense(m, m)
+	ZGEFMM(testCfg, NoTrans, NoTrans, m, m, m, 1, a, b, 0, c1)
+	ZGEMM(NoTrans, NoTrans, m, m, m, 1, a, b, 0, c2)
+	if d := maxAbsDiffZ(c1, c2); d > 1e-11*float64(m) {
+		t.Fatalf("beta=0: %g", d)
+	}
+}
+
+func TestZGEFMMAlphaZeroScalesC(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	m := 6
+	a := randZ(rng, m, m)
+	b := randZ(rng, m, m)
+	c := randZ(rng, m, m)
+	want := c.Clone()
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			want.Set(i, j, want.At(i, j)*complex(0, 2))
+		}
+	}
+	ZGEFMM(testCfg, NoTrans, NoTrans, m, m, m, 0, a, b, complex(0, 2), c)
+	if d := maxAbsDiffZ(c, want); d > 1e-14 {
+		t.Fatalf("alpha=0: %g", d)
+	}
+}
+
+func TestConjTransSemantics(t *testing.T) {
+	// For Hermitian A, op='C' on A equals A itself: AᴴA is Hermitian PSD.
+	rng := rand.New(rand.NewSource(604))
+	n := 12
+	a := randZ(rng, n, n)
+	g := NewZDense(n, n)
+	ZGEFMM(testCfg, ConjTrans, NoTrans, n, n, n, 1, a, a, 0, g)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			gij := g.At(i, j)
+			gji := g.At(j, i)
+			if math.Abs(real(gij)-real(gji)) > 1e-11 || math.Abs(imag(gij)+imag(gji)) > 1e-11 {
+				t.Fatalf("AᴴA not Hermitian at (%d,%d): %v vs %v", i, j, gij, gji)
+			}
+		}
+		if real(g.At(j, j)) < 0 {
+			t.Fatal("AᴴA has negative diagonal")
+		}
+		if math.Abs(imag(g.At(j, j))) > 1e-11 {
+			t.Fatal("AᴴA diagonal not real")
+		}
+	}
+}
+
+func TestZGEFMMQuick(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8, seed int64, taRaw, tbRaw uint8) bool {
+		m, n, k := int(mRaw%20)+1, int(nRaw%20)+1, int(kRaw%20)+1
+		tr := []Transpose{NoTrans, Trans, ConjTrans}
+		ta, tb := tr[taRaw%3], tr[tbRaw%3]
+		rng := rand.New(rand.NewSource(seed))
+		rowsA, colsA := m, k
+		if ta.transposed() {
+			rowsA, colsA = k, m
+		}
+		rowsB, colsB := k, n
+		if tb.transposed() {
+			rowsB, colsB = n, k
+		}
+		a := randZ(rng, rowsA, colsA)
+		b := randZ(rng, rowsB, colsB)
+		c1 := randZ(rng, m, n)
+		c2 := c1.Clone()
+		ZGEMM(ta, tb, m, n, k, complex(0.5, 0.5), a, b, complex(-1, 0.25), c1)
+		ZGEFMM(testCfg, ta, tb, m, n, k, complex(0.5, 0.5), a, b, complex(-1, 0.25), c2)
+		return maxAbsDiffZ(c1, c2) <= 1e-10*float64(k+4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZDenseAccessors(t *testing.T) {
+	z := NewZDense(2, 3)
+	z.Set(1, 2, 4+5i)
+	if z.At(1, 2) != 4+5i {
+		t.Fatal("Set/At broken")
+	}
+	clone := z.Clone()
+	clone.Set(0, 0, 1i)
+	if z.At(0, 0) != 0 {
+		t.Fatal("Clone must be independent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want out-of-range panic")
+		}
+	}()
+	z.At(2, 0)
+}
+
+func TestShapePanics(t *testing.T) {
+	a := NewZDense(2, 3)
+	b := NewZDense(3, 2)
+	c := NewZDense(2, 2)
+	// Wrong C shape for these operands: m=2, n=2, k=3 is fine; break it.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for mismatched C")
+		}
+	}()
+	ZGEFMM(testCfg, NoTrans, NoTrans, 2, 3, 3, 1, a, b, 0, c)
+}
