@@ -15,26 +15,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/blas"
 	"repro/internal/cutoff"
+	"repro/internal/obs"
 	"repro/internal/strassen"
 )
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "", "kernel to calibrate (blocked|vector|naive); empty = all")
-		sqLo    = flag.Int("sq-lo", 16, "square sweep: low order")
-		sqHi    = flag.Int("sq-hi", 256, "square sweep: high order")
-		sqStep  = flag.Int("sq-step", 8, "square sweep: step")
-		rectLo  = flag.Int("rect-lo", 8, "rectangular sweep: low value")
-		rectHi  = flag.Int("rect-hi", 128, "rectangular sweep: high value")
-		rectSt  = flag.Int("rect-step", 4, "rectangular sweep: step")
-		fixed   = flag.Int("fixed", 512, "rectangular sweep: the two fixed (large) dimensions")
-		seed    = flag.Int64("seed", 1, "RNG seed for the test matrices")
-		verbose = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
+		kernel     = flag.String("kernel", "", "kernel to calibrate (blocked|vector|naive); empty = all")
+		sqLo       = flag.Int("sq-lo", 16, "square sweep: low order")
+		sqHi       = flag.Int("sq-hi", 256, "square sweep: high order")
+		sqStep     = flag.Int("sq-step", 8, "square sweep: step")
+		rectLo     = flag.Int("rect-lo", 8, "rectangular sweep: low value")
+		rectHi     = flag.Int("rect-hi", 128, "rectangular sweep: high value")
+		rectSt     = flag.Int("rect-step", 4, "rectangular sweep: step")
+		fixed      = flag.Int("fixed", 512, "rectangular sweep: the two fixed (large) dimensions")
+		seed       = flag.Int64("seed", 1, "RNG seed for the test matrices")
+		verbose    = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
+		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// The sweeps build their one-level configurations internally, so the
+	// collector reaches them through the package's config hook. Note the
+	// tracing instruments only the DGEFMM side of each timed pair, so the
+	// measured ratios shift by the (small) tracing overhead — acceptable for
+	// an opt-in diagnostic view of a calibration run.
+	var col *obs.Collector
+	if *metricsOut != "" || *httpAddr != "" {
+		col = obs.NewCollector()
+		cutoff.SetConfigHook(func(cfg *strassen.Config) { col.Attach(cfg) })
+	}
+	if *httpAddr != "" {
+		_, bound, err := obs.StartDebugServer(*httpAddr, col)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "start debug server on %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /debug/vars /debug/pprof/)\n", bound)
+	}
 
 	names := blas.KernelNames()
 	if *kernel != "" {
@@ -60,10 +83,30 @@ func main() {
 		}
 		p := cutoff.RectParams(kern, *rectLo, *rectHi, *rectSt, *fixed, *seed+1)
 		p.Tau = tau
+		if col != nil {
+			col.Registry.Gauge("calibrate." + name + ".tau").Set(int64(p.Tau))
+			col.Registry.Gauge("calibrate." + name + ".tau_m").Set(int64(p.TauM))
+			col.Registry.Gauge("calibrate." + name + ".tau_k").Set(int64(p.TauK))
+			col.Registry.Gauge("calibrate." + name + ".tau_n").Set(int64(p.TauN))
+		}
 		fmt.Printf("  measured: τ=%d τm=%d τk=%d τn=%d (fixed dims %d)\n", p.Tau, p.TauM, p.TauK, p.TauN, *fixed)
 		fmt.Printf("  apply with: strassen.SetDefaultParams(%q, strassen.Params{Tau: %d, TauM: %d, TauK: %d, TauN: %d})\n",
 			name, p.Tau, p.TauM, p.TauK, p.TauN)
 		cur := strassen.DefaultParams(name)
 		fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", cur.Tau, cur.TauM, cur.TauK, cur.TauN)
+	}
+
+	if col != nil && *metricsOut != "" {
+		if err := col.WriteMetricsFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "calibration done; endpoints stay up until interrupt (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }

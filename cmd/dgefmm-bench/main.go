@@ -17,33 +17,72 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
-		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
-		mFlag   = flag.Int("m", 0, "matrix order override for table1")
-		nFlag   = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
-		samples = flag.Int("samples", 0, "sample-count override for table4/fig6")
-		kernel  = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
+		quick      = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		mFlag      = flag.Int("m", 0, "matrix order override for table1")
+		nFlag      = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
+		samples    = flag.Int("samples", 0, "sample-count override for table4/fig6")
+		kernel     = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
+		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
+		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// The collector only exists when an observability flag asks for it; a
+	// nil collector keeps the experiments on the untraced fast path.
+	var col *obs.Collector
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
+		col = obs.NewCollector()
+		experiments.SetCollector(col)
+	}
+	if *httpAddr != "" {
+		_, bound, err := obs.StartDebugServer(*httpAddr, col)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "start debug server on %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /trace /spans /debug/vars /debug/pprof/)\n", bound)
+	}
 
 	sc := experiments.Scale{Quick: *quick}
 	w := os.Stdout
 
 	all := map[string]func(){
-		"table1":    func() { experiments.Table1(w, *mFlag, sc) },
-		"fig2":      func() { experiments.Figure2(w, *kernel, 0, 0, 0, sc) },
-		"table2":    func() { experiments.Table2(w, sc) },
-		"table3":    func() { experiments.Table3(w, sc) },
-		"table4":    func() { experiments.Table4(w, *samples, sc) },
-		"table5":    func() { experiments.Table5(w, 0, sc) },
+		"table1": func() {
+			rows := experiments.Table1(w, *mFlag, sc)
+			if col == nil {
+				return
+			}
+			for _, r := range rows {
+				col.Registry.Gauge(fmt.Sprintf("table1.peak_words.%s.beta%d", slug(r.Impl), int(r.Beta))).Set(r.MeasuredWords)
+			}
+		},
+		"fig2":   func() { experiments.Figure2(w, *kernel, 0, 0, 0, sc) },
+		"table2": func() { experiments.Table2(w, sc) },
+		"table3": func() { experiments.Table3(w, sc) },
+		"table4": func() { experiments.Table4(w, *samples, sc) },
+		"table5": func() {
+			rows := experiments.Table5(w, 0, sc)
+			if col == nil {
+				return
+			}
+			for _, r := range rows {
+				o := float64(r.Order)
+				col.Registry.FloatGauge(fmt.Sprintf("table5.gflops.%s.r%d", slug(r.Machine.Paper), r.Recursions)).
+					Set(2 * o * o * o / r.TDgefmm / 1e9)
+			}
+		},
 		"fig3":      func() { experiments.Figure3(w, sc) },
 		"fig4":      func() { experiments.Figure4(w, sc) },
 		"fig5":      func() { experiments.Figure5(w, sc) },
@@ -96,6 +135,53 @@ func main() {
 		fmt.Fprintf(w, "=== %s ===\n", name)
 		start := time.Now()
 		run()
-		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, elapsed.Seconds())
+		if col != nil {
+			col.Registry.FloatGauge("bench.exp." + name + ".seconds").Set(elapsed.Seconds())
+		}
 	}
+
+	if col != nil {
+		if *metricsOut != "" {
+			if err := col.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := col.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *traceOut)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "experiments done; endpoints stay up until interrupt (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// slug turns a free-form label ("RS/6000", "SGEMMS (CRAY style)") into a
+// metric-name segment.
+func slug(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
 }

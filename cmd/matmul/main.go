@@ -9,6 +9,7 @@
 //	matmul -random 1200 -engine both             # compare engines
 //	matmul -random 999 -trace                    # see peeling in action
 //	matmul -a a.txt -b b.txt -ta                 # C = Aᵀ·B
+//	matmul -random 2048 -trace-out t.json        # timed recursion tree (Perfetto)
 //
 // Engines: dgefmm (default), dgemm, both (times the two and checks
 // agreement). Kernels: blocked (default), vector, naive.
@@ -19,27 +20,32 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/blas"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/strassen"
 )
 
 func main() {
 	var (
-		aPath   = flag.String("a", "", "left operand file (text rows)")
-		bPath   = flag.String("b", "", "right operand file")
-		outPath = flag.String("out", "", "output file (omit to skip writing)")
-		random  = flag.Int("random", 0, "generate random square operands of this order instead of reading files")
-		seed    = flag.Int64("seed", 1, "seed for -random")
-		engine  = flag.String("engine", "dgefmm", "dgefmm | dgemm | both")
-		kernel  = flag.String("kernel", "blocked", "blocked | vector | naive")
-		ta      = flag.Bool("ta", false, "use Aᵀ")
-		tb      = flag.Bool("tb", false, "use Bᵀ")
-		alpha   = flag.Float64("alpha", 1, "alpha scalar")
-		trace   = flag.Bool("trace", false, "print a recursion trace summary")
-		par     = flag.Int("parallel", 0, "run up to this many of the 7 products concurrently")
+		aPath      = flag.String("a", "", "left operand file (text rows)")
+		bPath      = flag.String("b", "", "right operand file")
+		outPath    = flag.String("out", "", "output file (omit to skip writing)")
+		random     = flag.Int("random", 0, "generate random square operands of this order instead of reading files")
+		seed       = flag.Int64("seed", 1, "seed for -random")
+		engine     = flag.String("engine", "dgefmm", "dgefmm | dgemm | both")
+		kernel     = flag.String("kernel", "blocked", "blocked | vector | naive")
+		ta         = flag.Bool("ta", false, "use Aᵀ")
+		tb         = flag.Bool("tb", false, "use Bᵀ")
+		alpha      = flag.Float64("alpha", 1, "alpha scalar")
+		trace      = flag.Bool("trace", false, "print a recursion trace summary")
+		par        = flag.Int("parallel", 0, "run up to this many of the 7 products concurrently")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
+		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
+		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -86,6 +92,18 @@ func main() {
 	if *trace {
 		tracer = strassen.NewCountTracer()
 		cfg.Tracer = tracer
+	}
+	var col *obs.Collector
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
+		col = obs.NewCollector()
+		col.Attach(cfg) // composes with the -trace CountTracer if both are set
+	}
+	if *httpAddr != "" {
+		_, bound, err := obs.StartDebugServer(*httpAddr, col)
+		if err != nil {
+			fatalf("start debug server on %s: %v", *httpAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /trace /spans /debug/vars /debug/pprof/)\n", bound)
 	}
 
 	runDgefmm := func() (*matrix.Dense, time.Duration) {
@@ -140,6 +158,27 @@ func main() {
 			fatalf("write %s: %v", *outPath, err)
 		}
 		fmt.Printf("wrote %dx%d result to %s\n", result.Rows, result.Cols, *outPath)
+	}
+
+	if col != nil {
+		if *metricsOut != "" {
+			if err := col.WriteMetricsFile(*metricsOut); err != nil {
+				fatalf("write %s: %v", *metricsOut, err)
+			}
+			fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := col.WriteTraceFile(*traceOut); err != nil {
+				fatalf("write %s: %v", *traceOut, err)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "done; endpoints stay up until interrupt (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }
 

@@ -28,6 +28,7 @@ package repro
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/baselines"
 	"repro/internal/blas"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/linsolve"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
+	"repro/internal/obs"
 	"repro/internal/outofcore"
 	"repro/internal/qr"
 	"repro/internal/strassen"
@@ -87,6 +89,44 @@ type MemoryTracker = memtrack.Tracker
 
 // NewMemoryTracker returns an empty workspace accountant.
 func NewMemoryTracker() *MemoryTracker { return memtrack.New() }
+
+// MemoryStats is an immutable snapshot of a MemoryTracker's accounting
+// (live and peak words, fresh allocations, free-list reuses).
+type MemoryStats = memtrack.Stats
+
+// Collector is the observability hub for DGEFMM: attach one to a Config
+// (see ObservedConfig) and every call records named metrics — per-action
+// event counters, log-scale span-latency histograms, workspace and
+// goroutine accounting — plus a timed span tree of the recursion with
+// per-node wall time and derived GFLOPS, exportable as JSON and as Chrome
+// trace-event files loadable in Perfetto. With no collector attached the
+// tracing fast path is a nil check; overhead is unmeasurable.
+type Collector = obs.Collector
+
+// NewCollector returns an empty metrics registry + span recorder pair.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// StatsSnapshot is the immutable statistics struct a Collector produces:
+// metric values, aggregated workspace accounting, parallel-kernel dispatch
+// counts and a span-tree summary, all captured at one instant.
+type StatsSnapshot = obs.Snapshot
+
+// ObservedConfig returns the paper's DGEFMM configuration for a kernel
+// with the collector attached: c records every recursion event, span and
+// workspace figure for calls made under the returned config. Equivalent to
+// c.Attach(DefaultConfig(kern)).
+func ObservedConfig(kern blas.Kernel, c *Collector) *Config {
+	return c.Attach(DefaultConfig(kern))
+}
+
+// StartDebugServer serves live observability over HTTP in the background:
+// expvar under /debug/vars, pprof profiling under /debug/pprof/, the
+// collector's snapshot as JSON under /metrics and its Chrome trace under
+// /trace. It returns the running server (stop with Close) and the bound
+// address. Pass port ":0" to let the OS choose.
+func StartDebugServer(addr string, c *Collector) (*http.Server, string, error) {
+	return obs.StartDebugServer(addr, c)
+}
 
 // NewMatrix allocates a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.NewDense(r, c) }

@@ -1,6 +1,9 @@
 package blas
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cloner is implemented by kernels that keep internal state (packing
 // buffers) and therefore cannot be shared across goroutines: Clone returns
@@ -46,8 +49,36 @@ type ParallelKernel struct {
 	// bases are cloned per worker.
 	Base Kernel
 
-	mu   sync.Mutex
-	pool []Kernel
+	mu    sync.Mutex
+	pool  []Kernel
+	stats *parallelStats
+}
+
+// parallelStats accumulates dispatch accounting. It is shared between a
+// kernel and its clones (the Strassen parallel schedule clones the kernel
+// per product goroutine), so Stats on any of them reports the whole
+// family's activity.
+type parallelStats struct {
+	dispatches atomic.Int64
+	goroutines atomic.Int64
+}
+
+// statsRef lazily allocates the shared stats block.
+func (p *ParallelKernel) statsRef() *parallelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats == nil {
+		p.stats = &parallelStats{}
+	}
+	return p.stats
+}
+
+// Stats returns cumulative dispatch counts across the kernel and all its
+// clones: how many MulAdd calls were dispatched and how many worker
+// goroutines those calls spawned (inline below-threshold calls spawn none).
+func (p *ParallelKernel) Stats() (dispatches, goroutines int64) {
+	st := p.statsRef()
+	return st.dispatches.Load(), st.goroutines.Load()
 }
 
 // Name implements Kernel.
@@ -59,9 +90,9 @@ func (p *ParallelKernel) Name() string {
 	return "parallel(" + base.Name() + ")"
 }
 
-// Clone implements Cloner.
+// Clone implements Cloner. The clone shares the parent's dispatch stats.
 func (p *ParallelKernel) Clone() Kernel {
-	return &ParallelKernel{Workers: p.Workers, Base: p.Base}
+	return &ParallelKernel{Workers: p.Workers, Base: p.Base, stats: p.statsRef()}
 }
 
 // acquire hands out a per-worker kernel, reusing pooled clones.
@@ -89,6 +120,8 @@ const minParallelCols = 32
 // MulAdd implements Kernel.
 func (p *ParallelKernel) MulAdd(transA, transB Transpose, m, n, k int, alpha float64,
 	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	st := p.statsRef()
+	st.dispatches.Add(1)
 	workers := p.Workers
 	if workers > n/minParallelCols {
 		workers = n / minParallelCols
@@ -112,6 +145,7 @@ func (p *ParallelKernel) MulAdd(transA, transB Transpose, m, n, k int, alpha flo
 			nw = n - j0
 		}
 		wg.Add(1)
+		st.goroutines.Add(1)
 		go func(j0, nw int) {
 			defer wg.Done()
 			kern := p.acquire()

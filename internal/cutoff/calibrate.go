@@ -32,14 +32,28 @@ type RatioPoint struct {
 // depends on the heap state left behind by whatever ran earlier — would
 // contaminate the measured crossover.
 func oneLevelConfig(kern blas.Kernel) *strassen.Config {
-	return &strassen.Config{
+	cfg := &strassen.Config{
 		Kernel:    kern,
 		Criterion: strassen.Always{},
 		MaxDepth:  1,
 		Odd:       strassen.OddPeel,
 		Tracker:   memtrack.New(),
 	}
+	if configHook != nil {
+		configHook(cfg)
+	}
+	return cfg
 }
+
+// configHook, when installed, sees every one-level configuration the
+// calibration sweeps build before it is used.
+var configHook func(*strassen.Config)
+
+// SetConfigHook installs (or, with nil, removes) a function applied to each
+// internally built sweep configuration. cmd/calibrate uses it to attach the
+// observability collector so long calibration runs expose metrics and span
+// traces; it is not safe to change while a sweep is running.
+func SetConfigHook(fn func(*strassen.Config)) { configHook = fn }
 
 // timePair measures DGEMM and one-level DGEFMM on an m×k × k×n problem and
 // returns the two per-call times in seconds.

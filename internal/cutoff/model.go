@@ -1,0 +1,44 @@
+package cutoff
+
+import "repro/internal/opcount"
+
+// This file provides the deterministic, machine-independent analogue of the
+// wall-clock calibration sweeps: ratio curves computed from the paper's
+// Section 2 operation-count model instead of timed runs. They answer the
+// same shape questions ("where does one Strassen level win?") with zero
+// noise, which makes them the right fixture for tests on shared machines —
+// the timed sweeps stay available behind cmd/calibrate and an opt-in env
+// flag in the tests.
+
+// ModelSquareRatioCurve returns the operation-count analogue of
+// SquareRatioCurve for even orders: M(m,m,m) / OneLevelWinograd(m,m,m),
+// the paper's equation-(1)-style ratio for the Winograd variant. A ratio
+// above 1 means one level of recursion performs fewer operations. The
+// model's crossover for square matrices is m = 12 (exactly 1.0 there);
+// real machines sit far above it because the model charges adds and
+// multiplies equally and ignores memory traffic.
+func ModelSquareRatioCurve(dims []int) []RatioPoint {
+	pts := make([]RatioPoint, 0, len(dims))
+	for _, m := range dims {
+		me := m &^ 1 // the model's one-level split needs even orders
+		if me == 0 {
+			continue
+		}
+		pts = append(pts, RatioPoint{
+			Dim:   m,
+			Ratio: float64(opcount.M(me, me, me)) / float64(opcount.OneLevelWinograd(me, me, me)),
+		})
+	}
+	return pts
+}
+
+// ModelSquareCutoff is SquareCutoff over the operation-count model:
+// deterministic, instantaneous, machine-independent.
+func ModelSquareCutoff(lo, hi, step int) (int, []RatioPoint) {
+	var dims []int
+	for m := lo; m <= hi; m += step {
+		dims = append(dims, m)
+	}
+	pts := ModelSquareRatioCurve(dims)
+	return ChooseCrossover(pts), pts
+}

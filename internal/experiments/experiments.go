@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/memtrack"
+	"repro/internal/obs"
 	"repro/internal/strassen"
 )
 
@@ -62,14 +63,28 @@ func kernelOf(name string) blas.Kernel {
 	return k
 }
 
+// collector, when installed via SetCollector, observes every
+// configFor-built configuration, aggregating metrics and spans across the
+// experiments that use the standard DGEFMM defaults.
+var collector *obs.Collector
+
+// SetCollector installs (or, with nil, removes) the observability collector
+// attached to experiment configurations. cmd/dgefmm-bench uses it to back
+// the -metrics-out/-trace-out/-http flags. Not safe to change while an
+// experiment is running.
+func SetCollector(c *obs.Collector) { collector = c }
+
 // configFor returns the DGEFMM configuration used throughout the
 // experiments for a kernel: the paper's defaults (hybrid criterion with the
 // kernel's calibrated parameters, peeling, auto schedule), plus a workspace
 // tracker so repeated timed calls reuse their temporaries instead of
-// exercising the garbage collector.
+// exercising the garbage collector. An installed collector is attached.
 func configFor(kern blas.Kernel) *strassen.Config {
 	cfg := strassen.DefaultConfig(kern)
 	cfg.Tracker = memtrack.New()
+	if collector != nil {
+		collector.Attach(cfg)
+	}
 	return cfg
 }
 

@@ -118,6 +118,30 @@ func (t *Tracker) Reused() int64 {
 	return t.reused
 }
 
+// Stats is an immutable snapshot of a Tracker's accounting, taken
+// atomically with respect to concurrent Alloc/Free calls.
+type Stats struct {
+	// Live is the number of currently live words.
+	Live int64 `json:"live_words"`
+	// Peak is the high-water mark of live words.
+	Peak int64 `json:"peak_words"`
+	// Allocs counts fresh allocations (excludes free-list reuse).
+	Allocs int64 `json:"allocs"`
+	// Reused counts Alloc calls satisfied from the free list.
+	Reused int64 `json:"reused"`
+}
+
+// Stats returns a consistent snapshot of all counters. A nil Tracker
+// reports zeros.
+func (t *Tracker) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Live: t.live, Peak: t.peak, Allocs: t.allocs, Reused: t.reused}
+}
+
 // ResetPeak sets the peak to the current live count, so a fresh measurement
 // can be taken without discarding the free list.
 func (t *Tracker) ResetPeak() {

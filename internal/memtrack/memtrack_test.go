@@ -1,6 +1,9 @@
 package memtrack
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestPeakTracksHighWater(t *testing.T) {
 	tr := New()
@@ -92,6 +95,82 @@ func TestDoubleFreePanics(t *testing.T) {
 		}
 	}()
 	tr.Free(a) // drives live negative
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	tr := New()
+	a := tr.Alloc(10)
+	tr.Free(a)
+	b := tr.Alloc(10) // reused
+	c := tr.Alloc(4)
+	s := tr.Stats()
+	want := Stats{Live: 14, Peak: 14, Allocs: 2, Reused: 1}
+	if s != want {
+		t.Fatalf("Stats() = %+v, want %+v", s, want)
+	}
+	tr.Free(b)
+	tr.Free(c)
+	var nilTr *Tracker
+	if nilTr.Stats() != (Stats{}) {
+		t.Fatal("nil tracker Stats should be zero")
+	}
+}
+
+func TestStatsUnderConcurrentAllocFree(t *testing.T) {
+	tr := New()
+	const (
+		workers = 8
+		rounds  = 200
+		words   = 16
+	)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader goroutine: every observed snapshot must be internally
+	// consistent — no torn reads across the counters.
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := tr.Stats()
+			if s.Live < 0 || s.Peak < s.Live {
+				t.Errorf("inconsistent snapshot: %+v", s)
+				return
+			}
+			if s.Live > int64(workers*words) {
+				t.Errorf("live %d exceeds maximum possible %d", s.Live, workers*words)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < rounds; i++ {
+				s := tr.Alloc(words)
+				tr.Free(s)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	final := tr.Stats()
+	if final.Live != 0 {
+		t.Fatalf("final live = %d, want 0", final.Live)
+	}
+	if final.Allocs+final.Reused != workers*rounds {
+		t.Fatalf("allocs %d + reused %d != %d total Alloc calls",
+			final.Allocs, final.Reused, workers*rounds)
+	}
+	if final.Peak < words || final.Peak > int64(workers*words) {
+		t.Fatalf("peak %d outside [%d, %d]", final.Peak, words, workers*words)
+	}
 }
 
 func TestZeroLengthAlloc(t *testing.T) {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// The acceptance bar for the observability layer: with no collector
+// attached, DGEFMM must pay nothing (the tracer check is a nil comparison);
+// with a collector, overhead stays in the noise for real problem sizes.
+// Compare:
+//
+//	go test ./internal/obs -bench 'DGEFMM' -benchtime 5x
+func benchmarkDGEFMM(b *testing.B, collect bool) {
+	const order = 256
+	rng := rand.New(rand.NewSource(1))
+	av := matrix.NewRandom(order, order, rng)
+	bv := matrix.NewRandom(order, order, rng)
+	cv := matrix.NewDense(order, order)
+	cfg := strassen.DefaultConfig(nil)
+	cfg.Tracker = memtrack.New()
+	var col *Collector
+	if collect {
+		col = NewCollector()
+		col.Attach(cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, order, order, order, 1,
+			av.Data, av.Stride, bv.Data, bv.Stride, 0, cv.Data, cv.Stride)
+	}
+	b.StopTimer()
+	if col != nil && col.Spans.Len() == 0 {
+		b.Fatal("collector recorded nothing")
+	}
+}
+
+func BenchmarkDGEFMMNoCollector(b *testing.B)   { benchmarkDGEFMM(b, false) }
+func BenchmarkDGEFMMWithCollector(b *testing.B) { benchmarkDGEFMM(b, true) }

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/memtrack"
+	"repro/internal/strassen"
+)
+
+// Metric names the Collector maintains. Event counters are
+// "dgefmm.events.<action>" (one per trace action: base, strassen1,
+// strassen2, original, parallel, peel, peel-first, pad-dynamic, pad-static,
+// fixup-ger, fixup-col, fixup-row) and span latency histograms are
+// "dgefmm.span.<action>.ns".
+const (
+	metricEventPrefix = "dgefmm.events."
+	metricSpanPrefix  = "dgefmm.span."
+	metricMaxDepth    = "dgefmm.max_depth"
+)
+
+// Collector bundles the observability layer's instruments behind one handle
+// that plugs into a strassen.Config as its Tracer. It implements
+// strassen.SpanTracer: every recursion event increments a named counter,
+// and every node's span is recorded (timed, parented) and its latency fed
+// to a per-action histogram. Bridges pull workspace accounting from
+// memtrack.Tracker and goroutine dispatch counts from blas.ParallelKernel
+// into every Snapshot.
+//
+// A Collector is safe for concurrent use; attach one to many configs to
+// aggregate, or one per call to isolate.
+type Collector struct {
+	// Registry holds the named metrics.
+	Registry *Registry
+	// Spans records the timed recursion tree.
+	Spans *SpanRecorder
+
+	mu       sync.Mutex
+	trackers []*memtrack.Tracker
+	kernels  []*blas.ParallelKernel
+}
+
+// NewCollector returns a Collector with a fresh registry and span recorder.
+func NewCollector() *Collector {
+	return &Collector{Registry: NewRegistry(), Spans: NewSpanRecorder()}
+}
+
+// Event implements strassen.Tracer.
+func (c *Collector) Event(e strassen.TraceEvent) {
+	c.Registry.Counter(metricEventPrefix + e.Action).Add(1)
+	c.Registry.Gauge(metricMaxDepth).SetMax(int64(e.Depth))
+}
+
+// BeginSpan implements strassen.SpanTracer.
+func (c *Collector) BeginSpan(parent int64, e strassen.TraceEvent) int64 {
+	return c.Spans.BeginSpan(parent, e)
+}
+
+// EndSpan implements strassen.SpanTracer.
+func (c *Collector) EndSpan(id int64) {
+	if s, ok := c.Spans.end(id); ok {
+		c.Registry.Histogram(metricSpanPrefix + s.Action + ".ns").Observe(time.Duration(s.DurNS))
+	}
+}
+
+// ObserveTracker registers a workspace tracker whose stats fold into every
+// Snapshot.
+func (c *Collector) ObserveTracker(t *memtrack.Tracker) {
+	if t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.trackers {
+		if have == t {
+			return
+		}
+	}
+	c.trackers = append(c.trackers, t)
+}
+
+// ObserveKernel registers a kernel for Snapshot reporting; only
+// *blas.ParallelKernel carries observable state, anything else is ignored.
+func (c *Collector) ObserveKernel(k blas.Kernel) {
+	pk, ok := k.(*blas.ParallelKernel)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.kernels {
+		if have == pk {
+			return
+		}
+	}
+	c.kernels = append(c.kernels, pk)
+}
+
+// Attach wires the collector into a DGEFMM configuration: installs itself
+// as the Tracer (composing with any tracer already present), ensures a
+// workspace tracker exists, and registers the tracker and kernel for
+// snapshots. A nil cfg starts from strassen.DefaultConfig. Returns cfg for
+// chaining.
+func (c *Collector) Attach(cfg *strassen.Config) *strassen.Config {
+	if cfg == nil {
+		cfg = strassen.DefaultConfig(nil)
+	}
+	switch prev := cfg.Tracer.(type) {
+	case nil:
+		cfg.Tracer = c
+	case *Collector:
+		if prev != c {
+			cfg.Tracer = teeTracer{spans: c, also: prev}
+		}
+	default:
+		cfg.Tracer = teeTracer{spans: c, also: prev}
+	}
+	if cfg.Tracker == nil {
+		cfg.Tracker = memtrack.New()
+	}
+	c.ObserveTracker(cfg.Tracker)
+	c.ObserveKernel(cfg.Kernel)
+	return cfg
+}
+
+// teeTracer fans the event stream out to a pre-existing tracer while the
+// collector keeps span duty (spans need a single ID authority).
+type teeTracer struct {
+	spans *Collector
+	also  strassen.Tracer
+}
+
+func (t teeTracer) Event(e strassen.TraceEvent) {
+	t.spans.Event(e)
+	t.also.Event(e)
+}
+
+func (t teeTracer) BeginSpan(parent int64, e strassen.TraceEvent) int64 {
+	return t.spans.BeginSpan(parent, e)
+}
+
+func (t teeTracer) EndSpan(id int64) { t.spans.EndSpan(id) }
+
+// KernelStats is one observed ParallelKernel's dispatch accounting.
+type KernelStats struct {
+	Name       string `json:"name"`
+	Dispatches int64  `json:"dispatches"`
+	Goroutines int64  `json:"goroutines"`
+}
+
+// SpanStats summarizes the recorded span forest.
+type SpanStats struct {
+	Total    int            `json:"total"`
+	Open     int            `json:"open"`
+	Dropped  int64          `json:"dropped"`
+	MaxDepth int64          `json:"max_depth"`
+	ByAction map[string]int `json:"by_action,omitempty"`
+	// RootWallNS and RootGFLOPS describe the first root span (the usual
+	// single-call case); zero when no closed root exists.
+	RootWallNS int64   `json:"root_wall_ns"`
+	RootGFLOPS float64 `json:"root_gflops"`
+}
+
+// Snapshot is the immutable stats struct the public API exposes: metrics,
+// aggregated workspace accounting, kernel dispatch counts and the span
+// summary, all taken at one instant.
+type Snapshot struct {
+	TakenAt time.Time       `json:"taken_at"`
+	Metrics MetricsSnapshot `json:"metrics"`
+	Memory  memtrack.Stats  `json:"memory"`
+	Kernels []KernelStats   `json:"kernels,omitempty"`
+	Spans   SpanStats       `json:"spans"`
+}
+
+// Snapshot captures the collector's complete current state. Memory stats
+// are summed across observed trackers (peaks sum, matching the fact that
+// the trackers' arenas coexist).
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	trackers := append([]*memtrack.Tracker(nil), c.trackers...)
+	kernels := append([]*blas.ParallelKernel(nil), c.kernels...)
+	c.mu.Unlock()
+
+	s := Snapshot{TakenAt: time.Now()}
+	for _, t := range trackers {
+		ts := t.Stats()
+		s.Memory.Live += ts.Live
+		s.Memory.Peak += ts.Peak
+		s.Memory.Allocs += ts.Allocs
+		s.Memory.Reused += ts.Reused
+	}
+	for _, k := range kernels {
+		d, g := k.Stats()
+		s.Kernels = append(s.Kernels, KernelStats{Name: k.Name(), Dispatches: d, Goroutines: g})
+	}
+
+	spans := c.Spans.Spans()
+	s.Spans.Total = len(spans)
+	s.Spans.Open = c.Spans.Open()
+	s.Spans.Dropped = c.Spans.Dropped()
+	s.Spans.ByAction = make(map[string]int)
+	for _, sp := range spans {
+		s.Spans.ByAction[sp.Action]++
+		if sp.Parent == 0 && s.Spans.RootWallNS == 0 && sp.DurNS > 0 {
+			s.Spans.RootWallNS = sp.DurNS
+			s.Spans.RootGFLOPS = sp.GFLOPS()
+		}
+	}
+
+	// Fold the bridged figures into gauges so the expvar view carries them
+	// too, then snapshot the registry last so it includes the update.
+	c.Registry.Gauge("mem.live_words").Set(s.Memory.Live)
+	c.Registry.Gauge("mem.peak_words").Set(s.Memory.Peak)
+	c.Registry.Gauge("mem.allocs").Set(s.Memory.Allocs)
+	c.Registry.Gauge("mem.reused").Set(s.Memory.Reused)
+	var disp, gor int64
+	for _, ks := range s.Kernels {
+		disp += ks.Dispatches
+		gor += ks.Goroutines
+	}
+	if len(s.Kernels) > 0 {
+		c.Registry.Gauge("kernel.parallel.dispatches").Set(disp)
+		c.Registry.Gauge("kernel.parallel.goroutines").Set(gor)
+	}
+	s.Metrics = c.Registry.Snapshot()
+	s.Spans.MaxDepth = s.Metrics.Gauges[metricMaxDepth]
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "os"
+
+// WriteMetricsFile captures a Snapshot and writes it to path as indented
+// JSON — the file format behind the CLIs' -metrics-out flag.
+func (c *Collector) WriteMetricsFile(path string) error {
+	return writeFile(path, func(f *os.File) error {
+		return c.Snapshot().WriteJSON(f)
+	})
+}
+
+// WriteTraceFile writes the recorded spans to path in Chrome trace-event
+// format (loadable in Perfetto / chrome://tracing) — the file format behind
+// the CLIs' -trace-out flag.
+func (c *Collector) WriteTraceFile(path string) error {
+	return writeFile(path, func(f *os.File) error {
+		return c.Spans.WriteChromeTrace(f)
+	})
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards process-global expvar names (expvar.Publish panics on
+// duplicates; tests and tools may build several collectors).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the collector under the given expvar name (e.g.
+// "dgefmm"): the published variable renders a full Snapshot on every
+// /debug/vars read. Re-publishing an existing name atomically redirects it
+// to this collector.
+func (c *Collector) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	target := c
+	if expvarPublished[name] {
+		// The name exists; repoint it. expvar offers no replace, so the
+		// published closure reads through an indirection we own.
+		expvarTargets.Store(name, target)
+		return
+	}
+	expvarPublished[name] = true
+	expvarTargets.Store(name, target)
+	expvar.Publish(name, expvar.Func(func() any {
+		if v, ok := expvarTargets.Load(name); ok {
+			return v.(*Collector).Snapshot()
+		}
+		return nil
+	}))
+}
+
+var expvarTargets sync.Map
+
+// DebugMux returns an http.ServeMux with the full live-observability
+// surface:
+//
+//	/debug/vars          expvar (includes the collector if published)
+//	/debug/pprof/...     net/http/pprof profiles (cpu, heap, goroutine, ...)
+//	/metrics             the collector's Snapshot as JSON
+//	/trace               the recorded spans in Chrome trace-event format
+//	/spans               the recursion forest as nested JSON
+//
+// A nil collector serves only the expvar and pprof endpoints.
+func DebugMux(c *Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if c != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = c.Snapshot().WriteJSON(w)
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = c.Spans.WriteChromeTrace(w)
+		})
+		mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = c.Spans.WriteJSON(w)
+		})
+	}
+	return mux
+}
+
+// StartDebugServer binds addr (e.g. ":6060" or "127.0.0.1:0") and serves
+// DebugMux(c) in the background, publishing the collector on expvar as
+// "dgefmm" first. It returns the server and the bound address (useful when
+// addr requested port 0). Shut down with srv.Close().
+func StartDebugServer(addr string, c *Collector) (srv *http.Server, bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	if c != nil {
+		c.PublishExpvar("dgefmm")
+	}
+	srv = &http.Server{Handler: DebugMux(c)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

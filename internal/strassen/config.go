@@ -116,8 +116,11 @@ type Config struct {
 	// 0 means one level when Parallel > 1.
 	ParallelLevels int
 	// Tracer, if non-nil, receives one TraceEvent per recursion decision
-	// (base-case, schedule level, peel/pad action, fixup). Implementations
-	// must be concurrency-safe when Parallel is enabled.
+	// (base-case, schedule level, peel/pad action, fixup). A Tracer that
+	// also implements SpanTracer additionally receives timed, parented
+	// BeginSpan/EndSpan brackets around every node (see internal/obs for
+	// the standard collector). Implementations must be concurrency-safe
+	// when Parallel is enabled.
 	Tracer Tracer
 }
 

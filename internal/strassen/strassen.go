@@ -56,6 +56,9 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 		parLevels: parLevels,
 		tracer:    cfg.Tracer,
 	}
+	if st, ok := cfg.Tracer.(SpanTracer); ok {
+		e.spans = st
+	}
 	if e.odd == OddPadStatic {
 		e.staticPadMul(cm, av, bv, alpha, beta)
 		return
@@ -102,6 +105,12 @@ type engine struct {
 	parallel  int
 	parLevels int
 	tracer    Tracer
+	// spans is tracer narrowed to SpanTracer (nil when the tracer does not
+	// record spans); curSpan is the innermost open span on this engine's
+	// goroutine — worker engines copy it, so spans opened inside a parallel
+	// product are parented under the "parallel" node that spawned them.
+	spans   SpanTracer
+	curSpan int64
 }
 
 // mul computes c ← alpha*a*b + beta*c where a is m×k and b is k×n (both as
@@ -120,27 +129,30 @@ func (e *engine) mul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, dep
 		(e.maxDepth == 0 || depth < e.maxDepth) &&
 		e.crit.Recurse(m, k, n)
 	if !recurse {
-		e.trace(depth, m, k, n, "base")
+		done := e.trace(depth, m, k, n, "base")
 		e.baseGemm(c, a, b, alpha, beta)
+		done()
 		return
 	}
+	done := noopDone
 	switch e.odd {
 	case OddPadDynamic:
 		if m&1|k&1|n&1 != 0 {
-			e.trace(depth, m, k, n, "pad-dynamic")
+			done = e.trace(depth, m, k, n, "pad-dynamic")
 		}
 		e.padDynamicMul(c, a, b, alpha, beta, depth)
 	case OddPeelFirst:
 		if m&1|k&1|n&1 != 0 {
-			e.trace(depth, m, k, n, "peel-first")
+			done = e.trace(depth, m, k, n, "peel-first")
 		}
 		e.peelFirstMul(c, a, b, alpha, beta, depth)
 	default: // OddPeel (and OddPadStatic below the pre-padded top level)
 		if m&1|k&1|n&1 != 0 {
-			e.trace(depth, m, k, n, "peel")
+			done = e.trace(depth, m, k, n, "peel")
 		}
 		e.peelMul(c, a, b, alpha, beta, depth)
 	}
+	done()
 }
 
 // peelMul implements dynamic peeling (Section 3.3 and equation (9)): strip
@@ -159,25 +171,28 @@ func (e *engine) peelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64,
 	if k != ke {
 		// C11 ← C11 + alpha * a12 * b21 : rank-one update with A's peeled
 		// column and B's peeled row.
-		e.trace(depth, m, k, n, "fixup-ger")
+		done := e.trace(depth, m, k, n, "fixup-ger")
 		x, incX := colVec(a, ke)
 		y, incY := rowVec(b, ke)
 		blas.Dger(me, ne, alpha, x, incX, y, incY, coreC.Data, coreC.Stride)
+		done()
 	}
 	if n != ne {
 		// c12 ← alpha * [A11 a12]·[b12; b22] + beta*c12 : the full first me
 		// rows of op(A) (all k columns) times B's peeled column.
-		e.trace(depth, m, k, n, "fixup-col")
+		done := e.trace(depth, m, k, n, "fixup-col")
 		aTop := a.Slice(0, 0, me, k)
 		x, incX := colVec(b, ne)
 		e.gemvN(aTop, alpha, x, incX, beta, c.Data[ne*c.Stride:], 1)
+		done()
 	}
 	if m != me {
 		// [c21 c22] ← alpha * [a21 a22]·B + beta*row : op(A)'s peeled row
 		// times the whole of op(B), covering the bottom-right corner too.
-		e.trace(depth, m, k, n, "fixup-row")
+		done := e.trace(depth, m, k, n, "fixup-row")
 		x, incX := rowVec(a, me)
 		e.gemvT(b, alpha, x, incX, beta, c.Data[me:], c.Stride)
+		done()
 	}
 }
 
@@ -186,32 +201,39 @@ func (e *engine) peelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64,
 func (e *engine) schedule(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	if e.parallel > 1 && depth < e.parLevels {
-		e.trace(depth, m, k, n, "parallel")
+		done := e.trace(depth, m, k, n, "parallel")
 		e.parallelWinograd(c, a, b, alpha, beta, depth)
+		done()
 		return
 	}
 	switch e.sched {
 	case ScheduleOriginal:
-		e.trace(depth, m, k, n, "original")
+		done := e.trace(depth, m, k, n, "original")
 		e.original(c, a, b, alpha, beta, depth)
+		done()
 	case ScheduleStrassen1:
 		if beta == 0 {
-			e.trace(depth, m, k, n, "strassen1")
+			done := e.trace(depth, m, k, n, "strassen1")
 			e.strassen1(c, a, b, alpha, depth)
+			done()
 		} else {
-			e.trace(depth, m, k, n, "strassen1")
+			done := e.trace(depth, m, k, n, "strassen1")
 			e.strassen1General(c, a, b, alpha, beta, depth)
+			done()
 		}
 	case ScheduleStrassen2:
-		e.trace(depth, m, k, n, "strassen2")
+		done := e.trace(depth, m, k, n, "strassen2")
 		e.strassen2(c, a, b, alpha, beta, depth)
+		done()
 	default: // ScheduleAuto: the paper's DGEFMM dispatch (Table 1 last row).
 		if beta == 0 {
-			e.trace(depth, m, k, n, "strassen1")
+			done := e.trace(depth, m, k, n, "strassen1")
 			e.strassen1(c, a, b, alpha, depth)
+			done()
 		} else {
-			e.trace(depth, m, k, n, "strassen2")
+			done := e.trace(depth, m, k, n, "strassen2")
 			e.strassen2(c, a, b, alpha, beta, depth)
+			done()
 		}
 	}
 }

@@ -31,6 +31,29 @@ type Tracer interface {
 	Event(TraceEvent)
 }
 
+// SpanTracer is an optional extension of Tracer. When the installed tracer
+// implements it, the engine brackets every traced node with a
+// BeginSpan/EndSpan pair in addition to the Event call, so implementations
+// can measure per-node wall time and reconstruct the recursion tree: the
+// span for a node stays open for the node's entire subtree (the seven
+// recursive products, the peeling fixups, the stage-(4) combinations), and
+// every child span carries its parent's ID.
+//
+// IDs are assigned by the implementation; 0 is reserved for "no parent"
+// (the top-level call) and negative IDs mean "dropped" — the engine passes
+// them back as parents unchanged, so an implementation that sheds load can
+// drop whole subtrees by returning a negative ID. Implementations must be
+// safe for concurrent use when the parallel schedule is enabled; Begin/End
+// pairs for one node always run on the same goroutine.
+type SpanTracer interface {
+	Tracer
+	// BeginSpan opens a span for the event under the given parent span ID
+	// and returns the new span's ID.
+	BeginSpan(parent int64, e TraceEvent) int64
+	// EndSpan closes the span opened as id.
+	EndSpan(id int64)
+}
+
 // CountTracer tallies events by action and tracks the deepest recursion;
 // it is the cheap always-on summary.
 type CountTracer struct {
@@ -108,9 +131,29 @@ func (t *LogTracer) Event(e TraceEvent) {
 	t.mu.Unlock()
 }
 
-// trace emits an event if a tracer is installed.
-func (e *engine) trace(depth int, m, k, n int, action string) {
-	if e.tracer != nil {
-		e.tracer.Event(TraceEvent{Depth: depth, M: m, K: k, N: n, Action: action})
+// noopDone is the shared no-op span closer returned when nothing needs
+// closing, so the traced fast paths allocate nothing.
+var noopDone = func() {}
+
+// trace emits an event if a tracer is installed and, when the tracer also
+// records spans, opens a span covering the node's whole subtree. The caller
+// must invoke the returned function when the node's work (including
+// recursive children) is complete. With no tracer installed this is two
+// predictable branches and zero allocations — the nil-collector fast path.
+func (e *engine) trace(depth int, m, k, n int, action string) func() {
+	if e.tracer == nil {
+		return noopDone
+	}
+	ev := TraceEvent{Depth: depth, M: m, K: k, N: n, Action: action}
+	e.tracer.Event(ev)
+	if e.spans == nil {
+		return noopDone
+	}
+	parent := e.curSpan
+	id := e.spans.BeginSpan(parent, ev)
+	e.curSpan = id
+	return func() {
+		e.spans.EndSpan(id)
+		e.curSpan = parent
 	}
 }
