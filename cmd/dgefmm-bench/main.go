@@ -9,6 +9,9 @@
 //	dgefmm-bench -quick              # small sizes (smoke run)
 //	dgefmm-bench -exp table6 -n 512  # eigensolver at a chosen order
 //
+//	dgefmm-bench -batch -batch-out BENCH_PR2.json
+//	                                 # batched-pool vs sequential-loop throughput
+//
 // Experiments: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4
 // fig5 fig6 ablations.
 package main
@@ -27,15 +30,21 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
-		quick      = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
-		mFlag      = flag.Int("m", 0, "matrix order override for table1")
-		nFlag      = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
-		samples    = flag.Int("samples", 0, "sample-count override for table4/fig6")
-		kernel     = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
-		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
-		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
-		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		expFlag      = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
+		quick        = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		mFlag        = flag.Int("m", 0, "matrix order override for table1")
+		nFlag        = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
+		samples      = flag.Int("samples", 0, "sample-count override for table4/fig6")
+		kernel       = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
+		batchMode    = flag.Bool("batch", false, "run the batched-vs-loop throughput comparison instead of the paper experiments")
+		batchCalls   = flag.Int("batch-calls", 0, "batch size for -batch (0 = 64, quick 16)")
+		batchOrder   = flag.Int("batch-order", 0, "matrix order for -batch (0 = 512, quick 128)")
+		batchWorkers = flag.Int("batch-workers", 0, "pool workers for -batch (0 = GOMAXPROCS)")
+		batchReps    = flag.Int("batch-reps", 0, "repetitions for -batch (0 = 3); times are best-of")
+		batchOut     = flag.String("batch-out", "", "write the -batch comparison as JSON to this file (e.g. BENCH_PR2.json)")
+		metricsOut   = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
+		traceOut     = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
+		httpAddr     = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -57,6 +66,18 @@ func main() {
 
 	sc := experiments.Scale{Quick: *quick}
 	w := os.Stdout
+
+	if *batchMode {
+		res := experiments.BatchBench(w, *batchCalls, *batchOrder, *batchWorkers, *batchReps, *kernel, sc)
+		if *batchOut != "" {
+			if err := res.WriteFile(*batchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *batchOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote batch comparison to %s\n", *batchOut)
+		}
+		return
+	}
 
 	all := map[string]func(){
 		"table1": func() {

@@ -31,6 +31,7 @@ import (
 	"net/http"
 
 	"repro/internal/baselines"
+	"repro/internal/batch"
 	"repro/internal/blas"
 	"repro/internal/cutoff"
 	"repro/internal/eigen"
@@ -190,6 +191,44 @@ func SetDefaultParams(kernelName string, p Params) { strassen.SetDefaultParams(k
 // DefaultParamsFor returns the cutoff parameters currently installed for
 // the named kernel (the Table 2/3 values for this machine).
 func DefaultParamsFor(kernelName string) Params { return strassen.DefaultParams(kernelName) }
+
+// BatchCall is one C ← α·op(A)·op(B) + β·C request of a batch: raw BLAS-style
+// operands plus the scalars, independent of every other call in the batch.
+type BatchCall = batch.Call
+
+// BatchOptions configures a BatchPool: worker count, queue depth, the base
+// DGEFMM Config shared by all calls, and an optional Collector.
+type BatchOptions = batch.Options
+
+// BatchPool executes batches of independent DGEFMM calls on a fixed worker
+// pool. Each worker owns a reusable workspace arena sized by the shapes it
+// serves — after the first batch warms it, same-shape batches run with zero
+// fresh workspace allocations — and calls are bucketed by shape so repeated
+// shapes share one frozen recursion plan. Intra-call parallelism is scaled
+// down so workers × per-call threads stays within GOMAXPROCS.
+type BatchPool = batch.Pool
+
+// BatchStats is a snapshot of a BatchPool's counters and per-worker arena
+// accounting.
+type BatchStats = batch.Stats
+
+// NewBatchCall builds a BatchCall from Matrix operands, panicking on shape
+// mismatch exactly as Multiply would.
+func NewBatchCall(c *Matrix, transA, transB Transpose, alpha float64, a, b *Matrix, beta float64) BatchCall {
+	return batch.NewCall(c, transA, transB, alpha, a, b, beta)
+}
+
+// NewBatchPool starts a worker pool for batched DGEFMM execution. Close it
+// when done. opts may be nil for the defaults (GOMAXPROCS workers, the
+// paper's DGEFMM configuration).
+func NewBatchPool(opts *BatchOptions) *BatchPool { return batch.NewPool(opts) }
+
+// BatchedMultiply executes a batch of independent DGEFMM calls through a
+// transient worker pool and returns the first error, if any. Results are
+// bit-for-bit identical to calling Multiply in a loop with the same cfg.
+// For repeated batches, keep a NewBatchPool instead so the workspace arenas
+// and shape plans are reused across batches.
+func BatchedMultiply(cfg *Config, calls []BatchCall) error { return batch.Multiply(cfg, calls) }
 
 // EigenOptions configures the ISDA symmetric eigensolver.
 type EigenOptions = eigen.Options

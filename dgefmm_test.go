@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/stability"
 	"repro/internal/strassen"
 )
 
@@ -121,6 +122,47 @@ func TestSetDefaultParamsAffectsDefaultConfig(t *testing.T) {
 	}
 }
 
+func TestPublicBatchedMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultConfig(KernelByName("naive"))
+	cfg.Criterion = SimpleCriterion{Tau: 8}
+	var calls []BatchCall
+	var got, want []*Matrix
+	for _, dims := range [][3]int{{48, 48, 48}, {65, 33, 97}, {48, 48, 48}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := NewRandomMatrix(m, k, rng)
+		b := NewRandomMatrix(k, n, rng)
+		c0 := NewRandomMatrix(m, n, rng)
+		cb, cs := c0.Clone(), c0.Clone()
+		calls = append(calls, NewBatchCall(cb, NoTrans, NoTrans, 1.5, a, b, 0.5))
+		Multiply(cfg, cs, NoTrans, NoTrans, 1.5, a, b, 0.5)
+		got, want = append(got, cb), append(want, cs)
+	}
+	if err := BatchedMultiply(cfg, calls); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		for j := 0; j < got[i].Cols; j++ {
+			for r := 0; r < got[i].Rows; r++ {
+				if got[i].At(r, j) != want[i].At(r, j) {
+					t.Fatalf("call %d: batched result differs from Multiply at (%d,%d)", i, r, j)
+				}
+			}
+		}
+	}
+
+	// The persistent-pool form with stats.
+	pool := NewBatchPool(&BatchOptions{Workers: 2, Config: cfg})
+	defer pool.Close()
+	if err := pool.Execute(calls); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Calls != int64(len(calls)) || s.Workers != 2 || s.Buckets == 0 {
+		t.Fatalf("unexpected pool stats: %+v", s)
+	}
+}
+
 func TestKernelByNameUnknown(t *testing.T) {
 	if KernelByName("no-such-kernel") != nil {
 		t.Fatal("unknown kernel should be nil")
@@ -130,4 +172,107 @@ func TestKernelByNameUnknown(t *testing.T) {
 			t.Fatalf("kernel %q missing", name)
 		}
 	}
+}
+
+// fuzzScalar folds an arbitrary fuzzed float64 into a well-behaved scalar in
+// [-2, 2] (NaN/Inf become 1) so α/β stress the accumulation paths without
+// making the error bound vacuous.
+func fuzzScalar(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Remainder(x, 4)
+}
+
+// fuzzOracle is the naive O(mnk) reference for C ← α·op(A)·op(B) + β·C₀.
+func fuzzOracle(transA, transB Transpose, alpha float64, a, b *Matrix, beta float64, c0 *Matrix) *Matrix {
+	m, n := c0.Rows, c0.Cols
+	k := a.Cols
+	if transA == Trans {
+		k = a.Rows
+	}
+	opA := func(i, l int) float64 {
+		if transA == Trans {
+			return a.At(l, i)
+		}
+		return a.At(i, l)
+	}
+	opB := func(l, j int) float64 {
+		if transB == Trans {
+			return b.At(j, l)
+		}
+		return b.At(l, j)
+	}
+	out := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += opA(i, l) * opB(l, j)
+			}
+			out.Set(i, j, alpha*sum+beta*c0.At(i, j))
+		}
+	}
+	return out
+}
+
+// FuzzDGEFMM is the differential fuzz harness for the headline export: for
+// arbitrary (including odd and rectangular) shapes, all four op(A)/op(B)
+// combinations and random α/β, DGEFMM must stay within the Brent/Higham
+// forward-error bound of the naive triple-loop oracle. The seed corpus in
+// testdata/fuzz/FuzzDGEFMM pins odd sizes, transposes and β ≠ 0.
+func FuzzDGEFMM(f *testing.F) {
+	f.Add(int64(1), byte(31), byte(31), byte(31), false, false, 1.0, 0.0)
+	f.Add(int64(2), byte(64), byte(16), byte(40), true, false, -1.5, 0.5)
+	f.Add(int64(3), byte(9), byte(63), byte(27), false, true, 2.0, -1.0)
+	f.Add(int64(4), byte(33), byte(33), byte(33), true, true, 0.5, 1.0)
+	f.Add(int64(5), byte(1), byte(7), byte(2), false, false, 3.0, 0.25)
+	f.Fuzz(func(t *testing.T, seed int64, mb, nb, kb byte, ta, tb bool, alpha, beta float64) {
+		m, n, k := int(mb)%64+1, int(nb)%64+1, int(kb)%64+1
+		alpha, beta = fuzzScalar(alpha), fuzzScalar(beta)
+		transA, transB := NoTrans, NoTrans
+		if ta {
+			transA = Trans
+		}
+		if tb {
+			transB = Trans
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rowsA, colsA := m, k
+		if ta {
+			rowsA, colsA = k, m
+		}
+		rowsB, colsB := k, n
+		if tb {
+			rowsB, colsB = n, k
+		}
+		a := NewRandomMatrix(rowsA, colsA, rng)
+		b := NewRandomMatrix(rowsB, colsB, rng)
+		c0 := NewRandomMatrix(m, n, rng)
+		want := fuzzOracle(transA, transB, alpha, a, b, beta, c0)
+
+		cfg := DefaultConfig(KernelByName("naive"))
+		cfg.Criterion = SimpleCriterion{Tau: 8}
+		c := c0.Clone()
+		DGEFMM(cfg, transA, transB, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+
+		// Recursion depth under Simple{Tau: 8}: halve until a dimension hits τ.
+		depth := 0
+		for mm, kk, nn := m, k, n; mm > 8 && kk > 8 && nn > 8; depth++ {
+			mm, kk, nn = mm/2, kk/2, nn/2
+		}
+		// Higham §23.2.2: error grows like 6^d·k·u·‖A‖‖B‖; entries are in
+		// [-1, 1) and α, β in [-2, 2], so scale by the scalars and allow a
+		// generous constant — real bugs produce O(1) errors, not O(100u).
+		tol := stability.Unit * stability.HighamGrowth(depth) * float64(k+8) *
+			(math.Abs(alpha) + math.Abs(beta) + 1) * 64
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if d := math.Abs(c.At(i, j) - want.At(i, j)); !(d <= tol) {
+					t.Fatalf("m=%d n=%d k=%d ta=%v tb=%v α=%g β=%g: |Δ|=%g at (%d,%d) exceeds bound %g",
+						m, n, k, ta, tb, alpha, beta, d, i, j, tol)
+				}
+			}
+		}
+	})
 }

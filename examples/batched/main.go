@@ -1,0 +1,68 @@
+// Batched DGEFMM: many independent multiplies through one worker pool.
+//
+// Real multiply-heavy workloads rarely make one huge DGEMM call; they make
+// many medium ones. The batch engine runs C_i ← α_i·op(A_i)·op(B_i) + β_i·C_i
+// across a fixed worker pool where each worker owns a reusable workspace
+// arena (sized by the paper's Table 1 bounds — per worker, not per batch)
+// and same-shape calls share one frozen recursion plan. After the first
+// batch warms the arenas, steady-state batches allocate no fresh workspace
+// at all.
+//
+// Run with: go run ./examples/batched
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const order, calls = 256, 32
+	rng := rand.New(rand.NewSource(7))
+
+	// One shared A (e.g. a fixed model matrix), per-call B_i and C_i.
+	a := repro.NewRandomMatrix(order, order, rng)
+	batch := make([]repro.BatchCall, calls)
+	for i := range batch {
+		b := repro.NewRandomMatrix(order, order, rng)
+		c := repro.NewMatrix(order, order)
+		batch[i] = repro.NewBatchCall(c, repro.NoTrans, repro.NoTrans, 1, a, b, 0)
+	}
+
+	// One-shot form: BatchedMultiply runs the batch through a transient pool
+	// and is bit-for-bit identical to calling Multiply in a loop.
+	if err := repro.BatchedMultiply(nil, batch); err != nil {
+		panic(err)
+	}
+
+	// Persistent form: keep the pool when batches repeat, so plans and
+	// arenas are reused across batches.
+	pool := repro.NewBatchPool(&repro.BatchOptions{Collector: repro.NewCollector()})
+	defer pool.Close()
+
+	for round := 1; round <= 3; round++ {
+		start := time.Now()
+		if err := pool.Execute(batch); err != nil {
+			panic(err)
+		}
+		s := pool.Stats()
+		var fresh, reused int64
+		for _, ar := range s.Arenas {
+			fresh += ar.Allocs
+			reused += ar.Reused
+		}
+		fmt.Printf("batch %d: %d calls in %7.1fms  (workers %d, arena fresh allocs %d, reuses %d)\n",
+			round, calls, float64(time.Since(start).Microseconds())/1000, s.Workers, fresh, reused)
+	}
+
+	s := pool.Stats()
+	fmt.Printf("\nshape buckets planned: %d; planned per-worker workspace: %d words\n", s.Buckets, s.PlanWords)
+	fmt.Printf("paper Table 1 bound for %d×%d at β=0: 2m²/3 = %d words per worker\n",
+		order, order, 2*order*order/3)
+	fmt.Printf("GOMAXPROCS=%d — batched speedup over a sequential loop needs >1 CPU;\n", runtime.GOMAXPROCS(0))
+	fmt.Println("the arenas' zero steady-state allocation holds on any machine (fresh allocs stop growing after batch 1).")
+}

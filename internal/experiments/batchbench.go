@@ -1,0 +1,174 @@
+// Batched-DGEFMM throughput: the batch engine (worker pool + per-worker
+// workspace arenas + shape plans) versus the naive usage it replaces — a
+// sequential loop of independent Multiply calls, each paying its own
+// workspace allocation and cutoff decisions. This is the production-scale
+// batching item of the roadmap, quantified; cmd/dgefmm-bench -batch drives
+// it and writes the BENCH_PR2.json artifact.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/strassen"
+)
+
+// BatchResult is the machine-readable outcome of one batch-vs-loop
+// comparison (the BENCH_PR2.json schema).
+type BatchResult struct {
+	// TakenAt stamps the run (RFC 3339).
+	TakenAt string `json:"taken_at"`
+	// Order is the square matrix order of every call; Calls the batch size.
+	Order int `json:"order"`
+	Calls int `json:"calls"`
+	// Workers is the pool size used; GOMAXPROCS the machine parallelism the
+	// run actually had (speedup beyond ~1 needs GOMAXPROCS > 1).
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Kernel names the DGEMM kernel under the recursion.
+	Kernel string `json:"kernel"`
+	// Reps is the number of repetitions the times are the best of.
+	Reps int `json:"reps"`
+	// LoopSeconds is the best sequential-loop time for the whole batch;
+	// BatchSeconds the best warm-pool time. Speedup = loop/batch.
+	LoopSeconds  float64 `json:"loop_seconds"`
+	BatchSeconds float64 `json:"batch_seconds"`
+	Speedup      float64 `json:"speedup"`
+	// LoopGFLOPS and BatchGFLOPS are the corresponding 2mnk·calls rates.
+	LoopGFLOPS  float64 `json:"loop_gflops"`
+	BatchGFLOPS float64 `json:"batch_gflops"`
+	// PlanWords is the planned per-worker workspace requirement and
+	// WorkspaceBound the paper's analytic Table 1 figure it sits under.
+	PlanWords      int64 `json:"plan_words"`
+	WorkspaceBound int64 `json:"workspace_bound"`
+	// ArenaPeakWords is the largest observed per-worker arena peak, and
+	// SteadyStateFreshAllocs the number of fresh workspace allocations the
+	// arenas performed across all timed (post-warmup) batches — the
+	// zero-steady-state-allocation claim, measured.
+	ArenaPeakWords         int64 `json:"arena_peak_words"`
+	SteadyStateFreshAllocs int64 `json:"steady_state_fresh_allocs"`
+	ArenaReuses            int64 `json:"arena_reuses"`
+}
+
+// BatchBench times a batch of independent order×order DGEFMM calls (β = 0,
+// shared A, distinct B_i and C_i) two ways: a sequential loop of Multiply
+// calls with a plain configuration, and a warm batch.Pool. calls, order,
+// workers and reps ≤ 0 select defaults (64 calls of order 512, GOMAXPROCS
+// workers, 3 reps; quick scale shrinks to 16 calls of order 128).
+func BatchBench(w io.Writer, calls, order, workers, reps int, kernelName string, sc Scale) BatchResult {
+	if calls <= 0 {
+		calls = sc.sq(64, 16)
+	}
+	if order <= 0 {
+		order = sc.sq(512, 128)
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	kern := kernelOf(kernelName)
+	base := strassen.DefaultConfig(kern)
+
+	rng := rngFor(2026)
+	a := matrix.NewRandom(order, order, rng)
+	bs := make([]*matrix.Dense, calls)
+	cs := make([]*matrix.Dense, calls)
+	for i := range bs {
+		bs[i] = matrix.NewRandom(order, order, rng)
+		cs[i] = matrix.NewDense(order, order)
+	}
+	mkCalls := func() []batch.Call {
+		out := make([]batch.Call, calls)
+		for i := range out {
+			out[i] = batch.NewCall(cs[i], blas.NoTrans, blas.NoTrans, 1, a, bs[i], 0)
+		}
+		return out
+	}
+
+	// Baseline: the loop a caller writes without the pool — one Multiply
+	// after another on a plain config, workspace allocated per call.
+	loopBest := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			strassen.Multiply(base, cs[i], blas.NoTrans, blas.NoTrans, 1, a, bs[i], 0)
+		}
+		if sec := time.Since(start).Seconds(); loopBest == 0 || sec < loopBest {
+			loopBest = sec
+		}
+	}
+
+	// Treatment: the batch pool, warmed by one untimed batch so plans and
+	// arenas exist, then timed over the same repetitions.
+	pool := batch.NewPool(&batch.Options{Workers: workers, Config: base})
+	defer pool.Close()
+	if err := pool.Execute(mkCalls()); err != nil {
+		fprintln(w, "batch warmup failed: "+err.Error())
+		return BatchResult{}
+	}
+	warm := pool.Stats()
+	batchBest := 0.0
+	for r := 0; r < reps; r++ {
+		cb := mkCalls()
+		start := time.Now()
+		if err := pool.Execute(cb); err != nil {
+			fprintln(w, "batch run failed: "+err.Error())
+			return BatchResult{}
+		}
+		if sec := time.Since(start).Seconds(); batchBest == 0 || sec < batchBest {
+			batchBest = sec
+		}
+	}
+	steady := pool.Stats()
+
+	flops := 2 * float64(order) * float64(order) * float64(order) * float64(calls)
+	res := BatchResult{
+		TakenAt:        time.Now().UTC().Format(time.RFC3339),
+		Order:          order,
+		Calls:          calls,
+		Workers:        steady.Workers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Kernel:         kernelName,
+		Reps:           reps,
+		LoopSeconds:    loopBest,
+		BatchSeconds:   batchBest,
+		Speedup:        loopBest / batchBest,
+		LoopGFLOPS:     flops / loopBest / 1e9,
+		BatchGFLOPS:    flops / batchBest / 1e9,
+		PlanWords:      steady.PlanWords,
+		WorkspaceBound: strassen.WorkspaceBound(base.Schedule, order, order, order, true),
+	}
+	for i, ar := range steady.Arenas {
+		if ar.Peak > res.ArenaPeakWords {
+			res.ArenaPeakWords = ar.Peak
+		}
+		res.SteadyStateFreshAllocs += ar.Allocs - warm.Arenas[i].Allocs
+		res.ArenaReuses += ar.Reused
+	}
+
+	fprintln(w, fmt.Sprintf("batched DGEFMM: %d calls of order %d (%s kernel, %d workers, GOMAXPROCS=%d, best of %d)",
+		calls, order, kernelName, res.Workers, res.GOMAXPROCS, reps))
+	fprintln(w, fmt.Sprintf("  sequential loop: %8.3fs  %7.2f GFLOPS", res.LoopSeconds, res.LoopGFLOPS))
+	fprintln(w, fmt.Sprintf("  batch pool:      %8.3fs  %7.2f GFLOPS  (speedup %.2fx)", res.BatchSeconds, res.BatchGFLOPS, res.Speedup))
+	fprintln(w, fmt.Sprintf("  per-worker arena: peak %d words (plan %d, Table 1 bound %d = 2m²/3)",
+		res.ArenaPeakWords, res.PlanWords, res.WorkspaceBound))
+	fprintln(w, fmt.Sprintf("  steady state: %d fresh workspace allocations across %d timed batches, %d reuses",
+		res.SteadyStateFreshAllocs, reps, res.ArenaReuses))
+	return res
+}
+
+// WriteFile writes the comparison as indented JSON (BENCH_PR2.json).
+func (r BatchResult) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,72 @@
+package strassen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/memtrack"
+)
+
+// FuzzPeel fuzzes the odd-dimension machinery: arbitrary (biased-odd) shapes
+// through both peeling strategies and all schedules must agree with the
+// naive reference within the depth-scaled tolerance, and the peel fixups
+// must never allocate beyond the even core's workspace. The seed corpus in
+// testdata/fuzz/FuzzPeel pins fully-odd, mixed-parity and degenerate shapes.
+func FuzzPeel(f *testing.F) {
+	f.Add(int64(1), byte(65), byte(65), byte(65), byte(0), byte(0), 0.0)
+	f.Add(int64(2), byte(33), byte(96), byte(57), byte(1), byte(1), 1.5)
+	f.Add(int64(3), byte(17), byte(3), byte(81), byte(2), byte(0), -0.5)
+	f.Add(int64(4), byte(63), byte(64), byte(63), byte(3), byte(1), 1.0)
+	f.Add(int64(5), byte(2), byte(95), byte(1), byte(0), byte(1), 0.25)
+	f.Fuzz(func(t *testing.T, seed int64, mb, kb, nb, schedb, oddb byte, beta float64) {
+		m, k, n := int(mb)%96+1, int(kb)%96+1, int(nb)%96+1
+		sched := []Schedule{ScheduleAuto, ScheduleStrassen1, ScheduleStrassen2, ScheduleOriginal}[int(schedb)%4]
+		odd := []OddStrategy{OddPeel, OddPeelFirst}[int(oddb)%2]
+		if math.IsNaN(beta) || math.IsInf(beta, 0) {
+			beta = 1
+		}
+		beta = math.Remainder(beta, 4)
+
+		rng := rand.New(rand.NewSource(seed))
+		a := matrix.NewRandom(m, k, rng)
+		b := matrix.NewRandom(k, n, rng)
+		c := matrix.NewRandom(m, n, rng)
+		want := refMul(blas.NoTrans, blas.NoTrans, 1, a, b, beta, c)
+
+		tr := memtrack.New()
+		cfg := &Config{
+			Kernel:    blas.NaiveKernel{},
+			Criterion: Simple{Tau: 8},
+			Schedule:  sched,
+			Odd:       odd,
+			Tracker:   tr,
+		}
+		DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, n, k, 1,
+			a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+
+		// Error bound: base tolerance scaled by Higham's 6^d growth for the
+		// depth Simple{Tau: 8} reaches, with headroom for β.
+		depth := 0
+		for mm, kk, nn := m, k, n; mm > 8 && kk > 8 && nn > 8; depth++ {
+			mm, kk, nn = mm/2, kk/2, nn/2
+		}
+		bound := tol(k) * math.Pow(6, float64(depth)) * (math.Abs(beta) + 1)
+		if d := matrix.MaxAbsDiff(c, want); !(d <= bound) {
+			t.Fatalf("m=%d k=%d n=%d sched=%v odd=%v β=%g: |Δ|=%g exceeds %g",
+				m, k, n, sched, odd, beta, d, bound)
+		}
+
+		// Peeling must not allocate beyond the even core (the paper's claim
+		// that odd fixups need no workspace), and nothing may leak.
+		if tr.Live() != 0 {
+			t.Fatalf("workspace leak: %d words live", tr.Live())
+		}
+		if peak, lim := tr.Peak(), WorkspaceBound(sched, m, k, n, beta == 0); peak > lim {
+			t.Fatalf("m=%d k=%d n=%d sched=%v odd=%v β=%g: peak %d exceeds analytic bound %d",
+				m, k, n, sched, odd, beta, peak, lim)
+		}
+	})
+}

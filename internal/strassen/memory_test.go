@@ -150,6 +150,33 @@ func TestDynamicPaddingUsesMoreMemoryThanPeeling(t *testing.T) {
 	}
 }
 
+func TestWorkspaceBoundCoversMeasuredPeaks(t *testing.T) {
+	// The public accessor used to size batched per-worker arenas must
+	// dominate every measured peak: WorkspaceBound is what internal/batch
+	// asserts its arenas against, per worker, so it has to agree with the
+	// memtrack measurements here, per call.
+	for _, sched := range []Schedule{ScheduleAuto, ScheduleStrassen1, ScheduleStrassen2} {
+		for _, dims := range [][3]int{{64, 64, 64}, {96, 96, 96}, {64, 32, 96}, {65, 65, 65}} {
+			m, k, n := dims[0], dims[1], dims[2]
+			for _, beta := range []float64{0, 0.5} {
+				peak := measurePeak(t, sched, m, k, n, beta)
+				bound := WorkspaceBound(sched, m, k, n, beta == 0)
+				if peak > bound {
+					t.Errorf("sched=%v dims=%v beta=%g: measured peak %d exceeds WorkspaceBound %d",
+						sched, dims, beta, peak, bound)
+				}
+			}
+		}
+	}
+	// And the square closed forms of Table 1 are exactly what it returns.
+	if got, want := WorkspaceBound(ScheduleAuto, 96, 96, 96, true), int64(2*96*96)/3; got != want {
+		t.Errorf("β=0 square bound = %d, want 2m²/3 = %d", got, want)
+	}
+	if got, want := WorkspaceBound(ScheduleAuto, 96, 96, 96, false), int64(96*96); got != want {
+		t.Errorf("β≠0 square bound = %d, want m² = %d", got, want)
+	}
+}
+
 func TestTrackerReuseAcrossLevels(t *testing.T) {
 	// The recursion must recycle temporaries instead of re-allocating.
 	rng := rand.New(rand.NewSource(100))

@@ -1,0 +1,307 @@
+package strassen
+
+// This file adds shape plans on top of the recursion: a Plan freezes every
+// decision DGEFMM would make for one (m, k, n, β-class) shape — the cutoff
+// verdict at each level, the peel/pad actions, the recursion depth and the
+// exact temporary-workspace peak in words — so repeated same-shape calls
+// (the batched workload of internal/batch) replay cached decisions instead
+// of re-deriving them, and so a workspace arena can be sized up front.
+//
+// The workspace figures mirror the allocation sites exactly: strassen1's
+// R1/R2 pair, strassen2's R1/R2/R3 triple (Figure 1), strassen1General's
+// m×n fold buffer, the original schedule's S/T/M triple, the padded copies
+// of the padding strategies, and the parallel schedule's S1..S4/T1..T4 plus
+// seven product buffers. Plan.Words therefore equals the measured
+// memtrack peak (memory_test.go asserts equality), while WorkspaceBound
+// gives the closed-form Table 1 bound the measurements sit under.
+
+// WorkspaceBound returns the paper's analytic bound (Table 1), in float64
+// words, on the temporary workspace DGEFMM needs for an m×k by k×n product
+// under the given schedule and β class:
+//
+//   - STRASSEN1 with β = 0 (and auto, which selects it):
+//     (m·max(k,n) + kn)/3 — 2m²/3 in the square case;
+//   - STRASSEN2 (and auto with β ≠ 0, and the original 1969 schedule, which
+//     uses the same three temporaries): (mk + kn + mn)/3 — m² square;
+//   - STRASSEN1 forced with β ≠ 0: mn on top of the β = 0 figure (the
+//     general case folds a β = 0 product through an m×n scratch), within
+//     the paper's 2m² square bound.
+//
+// The bound covers the peeling odd-dimension strategy (whose fixups
+// allocate nothing); the padding and parallel schedules trade extra
+// workspace for their benefits and are bounded by Plan.Words instead.
+func WorkspaceBound(sched Schedule, m, k, n int, betaZero bool) int64 {
+	mx := k
+	if n > mx {
+		mx = n
+	}
+	strassen1 := (int64(m)*int64(mx) + int64(k)*int64(n)) / 3
+	switch sched {
+	case ScheduleStrassen1:
+		if betaZero {
+			return strassen1
+		}
+		return int64(m)*int64(n) + strassen1
+	case ScheduleAuto:
+		if betaZero {
+			return strassen1
+		}
+	}
+	// STRASSEN2, the original schedule, and auto with β ≠ 0.
+	return (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n)) / 3
+}
+
+// Plan is a frozen set of recursion decisions for one DGEFMM shape class:
+// every (m, k, n) triple the recursion reaches, with the cutoff criterion's
+// verdict for it, plus the resulting recursion depth and the exact peak
+// temporary workspace in words. Same-shape calls share one Plan; its cached
+// criterion is read-only after construction and safe for concurrent use
+// from any number of goroutines.
+type Plan struct {
+	// M, N, K and BetaZero identify the planned shape class: C is M×N,
+	// the inner dimension is K, and BetaZero tells whether β = 0 (which
+	// selects STRASSEN1 under the auto schedule).
+	M, N, K  int
+	BetaZero bool
+	// Depth is the number of recursion levels the criterion produces.
+	Depth int
+	// Words is the exact peak temporary workspace, in float64 words, a
+	// call of this shape allocates (the figure a per-worker arena must
+	// hold to serve the shape with zero fresh allocations).
+	Words int64
+	// TopSchedule is the schedule the top level resolves to (auto resolved
+	// to STRASSEN1 or STRASSEN2 by β).
+	TopSchedule Schedule
+
+	decisions map[[3]int]bool
+	fallback  Criterion
+}
+
+// PlanFor simulates the recursion cfg would perform on an m×k by k×n
+// product (betaZero tells whether β = 0) and returns the frozen Plan.
+// A nil cfg plans the default configuration.
+func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
+	if cfg == nil {
+		cfg = DefaultConfig(nil)
+	}
+	parLevels := cfg.ParallelLevels
+	if cfg.Parallel > 1 && parLevels == 0 {
+		parLevels = 1
+	}
+	p := &Plan{
+		M: m, N: n, K: k, BetaZero: betaZero,
+		TopSchedule: resolveSchedule(cfg.Schedule, betaZero),
+		decisions:   make(map[[3]int]bool),
+		fallback:    cfg.criterion(),
+	}
+	s := &planSim{
+		crit:      p.fallback,
+		sched:     cfg.Schedule,
+		odd:       cfg.Odd,
+		maxDepth:  cfg.MaxDepth,
+		parallel:  cfg.Parallel,
+		parLevels: parLevels,
+		plan:      p,
+		memo:      make(map[planKey]int64),
+	}
+	if cfg.Odd == OddPadStatic {
+		p.Words = s.simStatic(m, k, n, betaZero)
+	} else {
+		p.Words = s.sim(m, k, n, betaZero, 0)
+	}
+	return p
+}
+
+// Criterion returns a cutoff criterion that replays the plan's cached
+// decisions by table lookup, falling back to the planned configuration's
+// live criterion for triples outside the plan (which a call of the planned
+// shape never produces). The returned value is safe for concurrent use.
+func (p *Plan) Criterion() Criterion {
+	return plannedCriterion{decisions: p.decisions, fallback: p.fallback}
+}
+
+// Apply returns a copy of cfg with the plan's cached criterion installed —
+// the hook batched execution uses to share one plan across workers.
+func (p *Plan) Apply(cfg *Config) *Config {
+	if cfg == nil {
+		cfg = DefaultConfig(nil)
+	}
+	out := *cfg
+	out.Criterion = p.Criterion()
+	return &out
+}
+
+// resolveSchedule maps the auto schedule to the concrete schedule β selects
+// (Table 1, last row); explicit schedules resolve to themselves.
+func resolveSchedule(sched Schedule, betaZero bool) Schedule {
+	if sched != ScheduleAuto {
+		return sched
+	}
+	if betaZero {
+		return ScheduleStrassen1
+	}
+	return ScheduleStrassen2
+}
+
+// plannedCriterion replays a Plan's decision table.
+type plannedCriterion struct {
+	decisions map[[3]int]bool
+	fallback  Criterion
+}
+
+// Name implements Criterion.
+func (c plannedCriterion) Name() string { return "planned(" + c.fallback.Name() + ")" }
+
+// Recurse implements Criterion.
+func (c plannedCriterion) Recurse(m, k, n int) bool {
+	if d, ok := c.decisions[[3]int{m, k, n}]; ok {
+		return d
+	}
+	return c.fallback.Recurse(m, k, n)
+}
+
+// planKey memoizes simulated subproblems. Depth participates because
+// MaxDepth and ParallelLevels make behavior depth-dependent.
+type planKey struct {
+	m, k, n  int
+	betaZero bool
+	depth    int
+}
+
+// planSim walks the recursion exactly as engine.mul would, recording
+// criterion verdicts and accumulating the peak workspace of each subtree.
+type planSim struct {
+	crit      Criterion
+	sched     Schedule
+	odd       OddStrategy
+	maxDepth  int
+	parallel  int
+	parLevels int
+	plan      *Plan
+	memo      map[planKey]int64
+}
+
+// decide evaluates (and records) the criterion's verdict for one triple.
+func (s *planSim) decide(m, k, n int) bool {
+	key := [3]int{m, k, n}
+	if d, ok := s.plan.decisions[key]; ok {
+		return d
+	}
+	d := s.crit.Recurse(m, k, n)
+	s.plan.decisions[key] = d
+	return d
+}
+
+// sim mirrors engine.mul: cutoff test, odd-dimension strategy, then one
+// schedule level. It returns the peak workspace of the subtree in words.
+func (s *planSim) sim(m, k, n int, betaZero bool, depth int) int64 {
+	if m == 0 || n == 0 || k == 0 {
+		return 0
+	}
+	key := planKey{m: m, k: k, n: n, betaZero: betaZero, depth: depth}
+	if w, ok := s.memo[key]; ok {
+		return w
+	}
+	var words int64
+	recurse := m > 1 && k > 1 && n > 1 &&
+		(s.maxDepth == 0 || depth < s.maxDepth) &&
+		s.decide(m, k, n)
+	if recurse {
+		if depth+1 > s.plan.Depth {
+			s.plan.Depth = depth + 1
+		}
+		switch s.odd {
+		case OddPadDynamic:
+			mp, kp, np := m+(m&1), k+(k&1), n+(n&1)
+			var pad int64
+			if mp != m || kp != k || np != n {
+				pad = int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(mp)*int64(np)
+			}
+			words = pad + s.schedWords(mp, kp, np, betaZero, depth)
+		default: // OddPeel, OddPeelFirst, OddPadStatic below the padded top
+			words = s.schedWords(m&^1, k&^1, n&^1, betaZero, depth)
+		}
+	}
+	s.memo[key] = words
+	return words
+}
+
+// schedWords accounts one level of the selected schedule on an all-even
+// problem: the level's own temporaries plus the worst concurrent child.
+func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) int64 {
+	m2, k2, n2 := m/2, k/2, n/2
+	if s.parallel > 1 && depth < s.parLevels {
+		// parallelWinograd: S1..S4 (4·mk/4), T1..T4 (4·kn/4), P1..P7
+		// (7·mn/4), with up to min(parallel, 7) β = 0 children live at once.
+		own := 4*int64(m2)*int64(k2) + 4*int64(k2)*int64(n2) + 7*int64(m2)*int64(n2)
+		conc := s.parallel
+		if conc > 7 {
+			conc = 7
+		}
+		return own + int64(conc)*s.sim(m2, k2, n2, true, depth+1)
+	}
+	switch resolveSchedule(s.sched, betaZero) {
+	case ScheduleStrassen1:
+		if !betaZero {
+			// strassen1General: an m×n fold buffer wrapping the β = 0
+			// schedule on the same (not halved) problem.
+			return int64(m)*int64(n) + s.schedWords(m, k, n, true, depth)
+		}
+		// strassen1: R1 is (m/2)·max(k/2, n/2), R2 is (k/2)·(n/2); the
+		// seven children run sequentially, all with β = 0.
+		mx := k2
+		if n2 > mx {
+			mx = n2
+		}
+		own := int64(m2)*int64(mx) + int64(k2)*int64(n2)
+		return own + s.sim(m2, k2, n2, true, depth+1)
+	case ScheduleOriginal:
+		// original: S (mk/4), T (kn/4), M (mn/4); children all β = 0.
+		own := int64(m2)*int64(k2) + int64(k2)*int64(n2) + int64(m2)*int64(n2)
+		return own + s.sim(m2, k2, n2, true, depth+1)
+	default: // ScheduleStrassen2
+		// strassen2: R1 (mk/4), R2 (kn/4), R3 (mn/4); sequential children
+		// of both β classes — take the worse.
+		own := int64(m2)*int64(k2) + int64(k2)*int64(n2) + int64(m2)*int64(n2)
+		w0 := s.sim(m2, k2, n2, true, depth+1)
+		w1 := s.sim(m2, k2, n2, false, depth+1)
+		if w0 > w1 {
+			w1 = w0
+		}
+		return own + w1
+	}
+}
+
+// simStatic mirrors staticPadMul: predict the depth, pad once to a multiple
+// of 2^depth, then run the recursion depth-bounded with no odd dimensions.
+func (s *planSim) simStatic(m, k, n int, betaZero bool) int64 {
+	d := 0
+	mm, kk, nn := m, k, n
+	for mm > 1 && kk > 1 && nn > 1 &&
+		(s.maxDepth == 0 || d < s.maxDepth) &&
+		s.decide(mm, kk, nn) {
+		mm, kk, nn = (mm+1)/2, (kk+1)/2, (nn+1)/2
+		d++
+	}
+	s.plan.Depth = d
+	if d == 0 {
+		return 0
+	}
+	unit := 1 << uint(d)
+	mp, kp, np := roundUp(m, unit), roundUp(k, unit), roundUp(n, unit)
+	inner := &planSim{
+		crit:      s.crit,
+		sched:     s.sched,
+		odd:       OddPeel,
+		maxDepth:  d,
+		parallel:  s.parallel,
+		parLevels: s.parLevels,
+		plan:      s.plan,
+		memo:      make(map[planKey]int64),
+	}
+	var pad int64
+	if mp != m || kp != k || np != n {
+		pad = int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(mp)*int64(np)
+	}
+	return pad + inner.sim(mp, kp, np, betaZero, 0)
+}
