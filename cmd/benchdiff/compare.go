@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Report is the benchmark-suite result format checked in as
+// BENCH_BASELINE.json and uploaded as a CI artifact. Every metric is
+// higher-is-better (GFLOPS or calls/s), which keeps the comparison rule
+// uniform: a regression is a relative drop beyond the tolerance.
+type Report struct {
+	// Go is the toolchain that produced the report (context only; the gate
+	// does not compare across toolchains' absolute numbers, the tolerance
+	// absorbs that).
+	Go string `json:"go"`
+	// Reps is the repetitions per metric; the recorded value is the median.
+	Reps int `json:"reps"`
+	// Metrics maps metric name to its median value.
+	Metrics map[string]float64 `json:"metrics"`
+	// Tolerances overrides the gate's default relative tolerance per
+	// metric, for benchmarks whose observed run-to-run spread exceeds it
+	// (the batch throughput metric schedules goroutines, so it is noisier
+	// than the single-threaded kernel timings; see EXPERIMENTS.md). Kept in
+	// the baseline file so the noise model travels with the numbers it was
+	// measured from.
+	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+}
+
+// Delta is one metric's baseline-to-current comparison.
+type Delta struct {
+	Name     string
+	Base     float64
+	Current  float64
+	Ratio    float64 // current/base; <1 is a slowdown
+	Tol      float64 // the tolerance this metric was judged against
+	Regress  bool    // ratio below 1-tol
+	Improved bool    // ratio above 1+tol
+	Missing  bool    // in the baseline but not measured now
+}
+
+// Compare evaluates the current metrics against a baseline with relative
+// tolerance tol (0.10 = fail on >10% drop); overrides, if non-nil, widens
+// (or narrows) the tolerance per metric. Metrics present only in the
+// current report are ignored (new benchmarks must not fail the gate before
+// the baseline is refreshed); metrics missing from the current report are
+// flagged, so a deleted benchmark cannot silently pass.
+func Compare(base, current map[string]float64, tol float64, overrides map[string]float64) []Delta {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Delta, 0, len(names))
+	for _, name := range names {
+		mtol := tol
+		if o, ok := overrides[name]; ok && o > 0 {
+			mtol = o
+		}
+		b := base[name]
+		c, ok := current[name]
+		d := Delta{Name: name, Base: b, Current: c, Tol: mtol}
+		switch {
+		case !ok:
+			d.Missing = true
+			d.Regress = true
+		case b <= 0:
+			// A non-positive baseline cannot anchor a relative rule; treat
+			// any positive measurement as fine.
+			d.Ratio = 1
+		default:
+			d.Ratio = c / b
+			d.Regress = d.Ratio < 1-mtol
+			d.Improved = d.Ratio > 1+mtol
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Regressions filters a comparison down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Metrics == nil {
+		return nil, fmt.Errorf("%s: no metrics", path)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func metricsLike(scale float64) (base, cur map[string]float64) {
+	base = map[string]float64{
+		"kernel.packed.512.gflops":  4.50,
+		"kernel.blocked.512.gflops": 3.60,
+		"multiply.512.gflops":       4.80,
+		"batch.192.calls_per_s":     310.0,
+	}
+	cur = make(map[string]float64, len(base))
+	for k, v := range base {
+		cur[k] = v * scale
+	}
+	return base, cur
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	for _, scale := range []float64{1.0, 0.95, 0.901, 1.3} {
+		base, cur := metricsLike(scale)
+		if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 0 {
+			t.Errorf("scale %g: unexpected regressions %v", scale, regs)
+		}
+	}
+}
+
+// TestCompareFailsOnInjectedSlowdown is the gate's acceptance check: a
+// synthetic 20% slowdown on every metric must fail a 10%-tolerance compare
+// (the CLI equivalent is `benchdiff -baseline ... -scale 0.8`).
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	base, cur := metricsLike(0.80)
+	regs := Regressions(Compare(base, cur, 0.10, nil))
+	if len(regs) != len(base) {
+		t.Fatalf("20%% slowdown: %d of %d metrics flagged", len(regs), len(base))
+	}
+	for _, d := range regs {
+		if !d.Regress || d.Ratio > 0.81 || d.Ratio < 0.79 {
+			t.Errorf("delta %+v: expected ratio ~0.80 flagged as regression", d)
+		}
+	}
+}
+
+func TestCompareSingleMetricSlowdown(t *testing.T) {
+	base, cur := metricsLike(1.0)
+	cur["multiply.512.gflops"] *= 0.8
+	regs := Regressions(Compare(base, cur, 0.10, nil))
+	if len(regs) != 1 || regs[0].Name != "multiply.512.gflops" {
+		t.Fatalf("want exactly multiply.512.gflops flagged, got %v", regs)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base, cur := metricsLike(1.0)
+	delete(cur, "batch.192.calls_per_s")
+	regs := Regressions(Compare(base, cur, 0.10, nil))
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("deleted metric must fail the gate, got %v", regs)
+	}
+}
+
+func TestCompareNewMetricIgnored(t *testing.T) {
+	base, cur := metricsLike(1.0)
+	cur["kernel.packed.1024.gflops"] = 4.2 // not yet in the baseline
+	if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 0 {
+		t.Fatalf("new metric must not fail the gate before a baseline refresh, got %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	base, _ := metricsLike(1.0)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := &Report{Go: "go1.24.0", Reps: 5, Metrics: base}
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Go != in.Go || out.Reps != in.Reps || len(out.Metrics) != len(in.Metrics) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for k, v := range in.Metrics {
+		if out.Metrics[k] != v {
+			t.Errorf("metric %s: %v != %v", k, out.Metrics[k], v)
+		}
+	}
+}
+
+func TestReadReportRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(path); err == nil {
+		t.Fatal("report without metrics must be rejected")
+	}
+}
+
+func TestComparePerMetricToleranceOverride(t *testing.T) {
+	base, cur := metricsLike(1.0)
+	cur["batch.192.calls_per_s"] *= 0.82 // within a 25% override, beyond the 10% default
+	overrides := map[string]float64{"batch.192.calls_per_s": 0.25}
+	if regs := Regressions(Compare(base, cur, 0.10, overrides)); len(regs) != 0 {
+		t.Fatalf("override not honored: %v", regs)
+	}
+	if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 1 {
+		t.Fatalf("without override the drop must fail, got %v", regs)
+	}
+	// The override must not loosen other metrics.
+	cur["multiply.512.gflops"] *= 0.85
+	if regs := Regressions(Compare(base, cur, 0.10, overrides)); len(regs) != 1 || regs[0].Name != "multiply.512.gflops" {
+		t.Fatalf("default tolerance lost: %v", regs)
+	}
+}

@@ -1,0 +1,220 @@
+// Command benchdiff runs the repository's pinned micro-benchmark suite and
+// gates on regressions against a checked-in baseline: every metric is
+// re-measured (median of -reps runs), compared to BENCH_BASELINE.json with
+// a relative noise tolerance, and any drop beyond -tol fails the run with
+// exit code 1. CI runs it on every pull request and uploads the fresh
+// report as an artifact; see EXPERIMENTS.md for the noise-tolerance
+// methodology.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_BASELINE.json            # gate (CI mode)
+//	benchdiff -out BENCH_PR4.json -update-baseline     # refresh both files
+//	benchdiff -baseline BENCH_BASELINE.json -scale 0.8 # gate self-test:
+//	                                                   # a synthetic 20%
+//	                                                   # slowdown must fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/blas"
+	"repro/internal/kernel"
+	"repro/internal/strassen"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "baseline report to gate against (empty = measure only)")
+		out      = flag.String("out", "", "write the measured report to this file")
+		update   = flag.Bool("update-baseline", false, "rewrite the baseline file with the fresh measurements")
+		tol      = flag.Float64("tol", 0.10, "relative drop tolerated before a metric fails (0.10 = 10%)")
+		reps     = flag.Int("reps", 5, "repetitions per metric; the median is recorded")
+		scale    = flag.Float64("scale", 1.0, "scale measured metrics before comparing (gate self-test hook)")
+	)
+	flag.Parse()
+
+	report := &Report{Go: runtime.Version(), Reps: *reps, Metrics: runSuite(*reps)}
+	if *scale != 1.0 {
+		for name := range report.Metrics {
+			report.Metrics[name] *= *scale
+		}
+		fmt.Printf("note: metrics scaled by %g (self-test mode)\n", *scale)
+	}
+
+	names := make([]string, 0, len(report.Metrics))
+	for name := range report.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("measured (%s, median of %d):\n", report.Go, *reps)
+	for _, name := range names {
+		fmt.Printf("  %-28s %10.2f\n", name, report.Metrics[name])
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *update && *baseline != "" {
+		// Carry the noise model over: per-metric tolerances belong to the
+		// benchmark's behavior, not to one baseline's numbers.
+		if old, err := readReport(*baseline); err == nil {
+			report.Tolerances = old.Tolerances
+		}
+		if err := writeReport(*baseline, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline %s refreshed\n", *baseline)
+		return
+	}
+	if *baseline == "" {
+		return
+	}
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	deltas := Compare(base.Metrics, report.Metrics, *tol, base.Tolerances)
+	fmt.Printf("vs %s (default tolerance %.0f%%):\n", *baseline, *tol*100)
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Printf("  %-28s MISSING (baseline %.2f)\n", d.Name, d.Base)
+		case d.Regress:
+			fmt.Printf("  %-28s %10.2f -> %8.2f  %.1f%%  REGRESSION (tol %.0f%%)\n", d.Name, d.Base, d.Current, (d.Ratio-1)*100, d.Tol*100)
+		case d.Improved:
+			fmt.Printf("  %-28s %10.2f -> %8.2f  %+.1f%%  improved\n", d.Name, d.Base, d.Current, (d.Ratio-1)*100)
+		default:
+			fmt.Printf("  %-28s %10.2f -> %8.2f  %+.1f%%\n", d.Name, d.Base, d.Current, (d.Ratio-1)*100)
+		}
+	}
+	if regs := Regressions(deltas); len(regs) > 0 {
+		fmt.Printf("FAIL: %d metric(s) regressed beyond %.0f%%\n", len(regs), *tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("ok: no regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// runSuite measures the pinned suite. Metric names are stable identifiers:
+// renaming one orphans its baseline entry and fails the gate until the
+// baseline is refreshed deliberately.
+func runSuite(reps int) map[string]float64 {
+	m := map[string]float64{
+		"kernel.packed.512.gflops":  kernelGflops(kernel.Default(), 512, reps),
+		"kernel.packed.256.gflops":  kernelGflops(kernel.Default(), 256, reps),
+		"kernel.blocked.512.gflops": kernelGflops(&blas.BlockedKernel{}, 512, reps),
+		"multiply.256.gflops":       multiplyGflops(256, reps),
+		"multiply.512.gflops":       multiplyGflops(512, reps),
+		"batch.192.calls_per_s":     batchThroughput(192, 24, reps),
+	}
+	// The leaf-kernel speedup itself is a gated metric: the packed kernel
+	// falling back toward the legacy blocked kernel is a regression even if
+	// both moved with machine noise.
+	m["kernel.packed_vs_blocked.512.ratio"] = m["kernel.packed.512.gflops"] / m["kernel.blocked.512.gflops"]
+	return m
+}
+
+// median of the per-rep measurements; each rep re-times the same closure.
+func median(reps int, measure func() float64) float64 {
+	vals := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		vals = append(vals, measure())
+	}
+	sort.Float64s(vals)
+	if n := len(vals); n%2 == 1 {
+		return vals[n/2]
+	} else {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}
+
+func randomSquare(n int, seed int64) (a, b, c []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	c = make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()*2 - 1
+		b[i] = rng.Float64()*2 - 1
+	}
+	return a, b, c
+}
+
+// kernelGflops times one leaf-kernel MulAdd at order n.
+func kernelGflops(k blas.Kernel, n, reps int) float64 {
+	a, b, c := randomSquare(n, 101)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, c, n) // warm caches and arena
+	return median(reps, func() float64 {
+		start := time.Now()
+		k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, c, n)
+		return flops / time.Since(start).Seconds() / 1e9
+	})
+}
+
+// multiplyGflops times a full DGEFMM call (default configuration: packed
+// kernel under the hybrid cutoff) at order n.
+func multiplyGflops(n, reps int) float64 {
+	a, b, c := randomSquare(n, 103)
+	cfg := strassen.DefaultConfig(nil)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	run := func() {
+		strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+	}
+	run() // warm
+	return median(reps, func() float64 {
+		start := time.Now()
+		run()
+		return flops / time.Since(start).Seconds() / 1e9
+	})
+}
+
+// batchThroughput times a pool executing `count` independent order-n
+// multiplies and reports calls per second.
+func batchThroughput(n, count, reps int) float64 {
+	rng := rand.New(rand.NewSource(107))
+	mk := func() []float64 {
+		v := make([]float64, n*n)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		return v
+	}
+	a, b := mk(), mk()
+	calls := make([]batch.Call, count)
+	for i := range calls {
+		calls[i] = batch.Call{
+			TransA: blas.NoTrans, TransB: blas.NoTrans,
+			M: n, N: n, K: n, Alpha: 1, Beta: 0,
+			A: a, Lda: n, B: b, Ldb: n, C: mk(), Ldc: n,
+		}
+	}
+	pool := batch.NewPool(nil)
+	defer pool.Close()
+	if err := pool.Execute(calls); err != nil { // warm plans and arenas
+		fatal(err)
+	}
+	return median(reps, func() float64 {
+		start := time.Now()
+		if err := pool.Execute(calls); err != nil {
+			fatal(err)
+		}
+		return float64(count) / time.Since(start).Seconds()
+	})
+}

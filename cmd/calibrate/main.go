@@ -4,28 +4,40 @@
 // for one or all DGEMM kernels. The output is the parameter set to feed to
 // strassen.SetDefaultParams (or to hardcode as this machine's defaults).
 //
+// A second calibration mode, -blocks, tunes the packed kernel's cache
+// blocking instead of the Strassen cutoff: it sweeps (MC, KC) around the
+// cache-derived analytic seeds and prints the kernel.SetDefaultBlocks call
+// that installs the winner.
+//
 // Usage:
 //
-//	calibrate                        # calibrate all kernels
-//	calibrate -kernel blocked -v     # one kernel, with the ratio curve
+//	calibrate                        # calibrate all kernels' cutoffs
+//	calibrate -kernel packed -v      # one kernel, with the ratio curve
 //	calibrate -sq-hi 512 -fixed 1024 # wider sweeps (slower, finer)
+//	calibrate -blocks                # tune the packed kernel's MC/KC/NC
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/cutoff"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/strassen"
 )
 
 func main() {
 	var (
-		kernel     = flag.String("kernel", "", "kernel to calibrate (blocked|vector|naive); empty = all")
+		kernName   = flag.String("kernel", "", "kernel to calibrate (packed|blocked|vector|naive); empty = all")
+		blocks     = flag.Bool("blocks", false, "tune the packed kernel's cache blocking instead of the cutoff")
+		blockN     = flag.Int("block-n", 512, "-blocks: problem order timed per candidate")
+		blockReps  = flag.Int("block-reps", 3, "-blocks: timing repetitions per candidate (best kept)")
 		sqLo       = flag.Int("sq-lo", 16, "square sweep: low order")
 		sqHi       = flag.Int("sq-hi", 256, "square sweep: high order")
 		sqStep     = flag.Int("sq-step", 8, "square sweep: step")
@@ -39,6 +51,11 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *blocks {
+		calibrateBlocks(*blockN, *blockReps, *seed)
+		return
+	}
 
 	// The sweeps build their one-level configurations internally, so the
 	// collector reaches them through the package's config hook. Note the
@@ -60,12 +77,12 @@ func main() {
 	}
 
 	names := blas.KernelNames()
-	if *kernel != "" {
-		if blas.KernelByName(*kernel) == nil {
-			fmt.Fprintf(os.Stderr, "unknown kernel %q; known: %v\n", *kernel, blas.KernelNames())
+	if *kernName != "" {
+		if blas.KernelByName(*kernName) == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q; known: %v\n", *kernName, blas.KernelNames())
 			os.Exit(2)
 		}
-		names = []string{*kernel}
+		names = []string{*kernName}
 	}
 
 	for _, name := range names {
@@ -109,4 +126,64 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// calibrateBlocks times the packed kernel over a grid of (MC, KC)
+// candidates around the cache-derived analytic seeds (NC is held at the
+// derived value: it only matters once problems exceed the L3-scale panel,
+// where its influence is flat) and prints the winning blocking plus the
+// kernel.SetDefaultBlocks call that installs it — the block-size analogue
+// of the cutoff-parameter workflow above.
+func calibrateBlocks(n, reps int, seed int64) {
+	caches := kernel.DetectCaches()
+	dmc, dkc, dnc := kernel.DeriveBlocks(caches)
+	fmt.Printf("caches: L1d=%dK L2=%dK L3=%dK\n", caches.L1D>>10, caches.L2>>10, caches.L3>>10)
+	fmt.Printf("analytic seeds: MC=%d KC=%d NC=%d\n", dmc, dkc, dnc)
+
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+
+	grid := func(center, lo int, unit int) []int {
+		var out []int
+		for _, f := range []float64{0.5, 0.75, 1, 1.25, 1.5} {
+			v := int(float64(center) * f)
+			v = v / unit * unit
+			if v >= lo {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	type result struct {
+		mc, kc int
+		gflops float64
+	}
+	var best result
+	for _, kc := range grid(dkc, 32, 32) {
+		for _, mc := range grid(dmc, kernel.MR, kernel.MR) {
+			k := &kernel.Packed{MC: mc, KC: kc, NC: dnc}
+			var top float64
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, c, n)
+				if g := flops / time.Since(start).Seconds() / 1e9; g > top {
+					top = g
+				}
+			}
+			fmt.Printf("  MC=%-4d KC=%-4d  %.2f GFLOPS\n", mc, kc, top)
+			if top > best.gflops {
+				best = result{mc: mc, kc: kc, gflops: top}
+			}
+		}
+	}
+	fmt.Printf("best: MC=%d KC=%d NC=%d (%.2f GFLOPS at order %d)\n", best.mc, best.kc, dnc, best.gflops, n)
+	fmt.Printf("apply with: kernel.SetDefaultBlocks(%d, %d, %d)\n", best.mc, best.kc, dnc)
 }

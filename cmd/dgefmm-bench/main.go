@@ -35,7 +35,7 @@ func main() {
 		mFlag        = flag.Int("m", 0, "matrix order override for table1")
 		nFlag        = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
 		samples      = flag.Int("samples", 0, "sample-count override for table4/fig6")
-		kernel       = flag.String("kernel", "blocked", "kernel for fig2 (blocked|vector|naive)")
+		kernel       = flag.String("kernel", "blocked", "kernel for fig2 (packed|blocked|vector|naive)")
 		batchMode    = flag.Bool("batch", false, "run the batched-vs-loop throughput comparison instead of the paper experiments")
 		batchCalls   = flag.Int("batch-calls", 0, "batch size for -batch (0 = 64, quick 16)")
 		batchOrder   = flag.Int("batch-order", 0, "matrix order for -batch (0 = 512, quick 128)")

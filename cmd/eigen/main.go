@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		n      = flag.Int("n", 384, "matrix order (paper used 1000 on the RS/6000)")
-		kernel = flag.String("kernel", "blocked", "DGEMM kernel (blocked|vector|naive)")
+		kernel = flag.String("kernel", "blocked", "DGEMM kernel (packed|blocked|vector|naive)")
 		base   = flag.Int("base", 48, "Jacobi base-case size")
 		seed   = flag.Int64("seed", 1, "RNG seed")
 	)

@@ -12,7 +12,7 @@
 //	matmul -random 2048 -trace-out t.json        # timed recursion tree (Perfetto)
 //
 // Engines: dgefmm (default), dgemm, both (times the two and checks
-// agreement). Kernels: blocked (default), vector, naive.
+// agreement). Kernels: packed (default), blocked, vector, naive.
 package main
 
 import (
@@ -37,7 +37,7 @@ func main() {
 		random     = flag.Int("random", 0, "generate random square operands of this order instead of reading files")
 		seed       = flag.Int64("seed", 1, "seed for -random")
 		engine     = flag.String("engine", "dgefmm", "dgefmm | dgemm | both")
-		kernel     = flag.String("kernel", "blocked", "blocked | vector | naive")
+		kernel     = flag.String("kernel", "packed", "packed | blocked | vector | naive")
 		ta         = flag.Bool("ta", false, "use Aᵀ")
 		tb         = flag.Bool("tb", false, "use Bᵀ")
 		alpha      = flag.Float64("alpha", 1, "alpha scalar")

@@ -13,8 +13,9 @@
 //     empirically per machine/kernel.
 //
 // The package also exposes the supporting systems the paper's evaluation
-// needs: a reference BLAS subset with three DGEMM kernels standing in for
-// the paper's three machines, the comparison codes DGEMMS/SGEMMS/DGEMMW,
+// needs: a reference BLAS subset whose three classic DGEMM kernels stand in
+// for the paper's three machines (plus the packed cache-blocked kernel of
+// internal/kernel, the default), the comparison codes DGEMMS/SGEMMS/DGEMMW,
 // cutoff calibration, and an ISDA symmetric eigensolver whose kernel
 // operation is matrix multiplication (Section 4.4).
 //
@@ -36,6 +37,7 @@ import (
 	"repro/internal/cutoff"
 	"repro/internal/eigen"
 	"repro/internal/fastlevel3"
+	"repro/internal/kernel"
 	"repro/internal/linsolve"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
@@ -138,11 +140,19 @@ func NewRandomMatrix(r, c int, rng *rand.Rand) *Matrix { return matrix.NewRandom
 // NewRandomSymmetric allocates an n×n random symmetric matrix.
 func NewRandomSymmetric(n int, rng *rand.Rand) *Matrix { return matrix.NewRandomSymmetric(n, rng) }
 
-// KernelByName returns one of the built-in DGEMM kernels: "blocked" (cache
-// blocked with packing, the default), "vector" (column/AXPY oriented) or
-// "naive" (untuned triple loop). The three stand in for the paper's three
-// machines; nil is returned for unknown names.
+// KernelByName returns one of the built-in DGEMM kernels: "packed" (the
+// packed cache-blocked micro-kernel of internal/kernel, the DGEFMM
+// default), "blocked" (cache blocked with packing), "vector" (column/AXPY
+// oriented) or "naive" (untuned triple loop). The latter three stand in
+// for the paper's three machines; nil is returned for unknown names.
 func KernelByName(name string) blas.Kernel { return blas.KernelByName(name) }
+
+// PackedKernel returns a fresh instance of the packed cache-blocked kernel
+// (the base-case engine DGEFMM uses by default). With compat true its block
+// sizes are pinned to the legacy blocked kernel's, making its results
+// bit-for-bit identical to DGEMM's — at some cost in speed on hosts whose
+// caches want different blocking.
+func PackedKernel(compat bool) blas.Kernel { return &kernel.Packed{Compat: compat} }
 
 // DGEMM computes C ← alpha*op(A)*op(B) + beta*C with the standard algorithm
 // on the default (blocked) kernel — the routine DGEFMM replaces.
@@ -168,8 +178,9 @@ func Multiply(cfg *Config, c *Matrix, transA, transB Transpose, alpha float64, a
 }
 
 // DefaultConfig returns the paper's DGEFMM configuration for a kernel
-// (nil = the blocked default): auto schedule (STRASSEN1 for β=0, STRASSEN2
-// otherwise), dynamic peeling, hybrid cutoff with calibrated parameters.
+// (nil = the packed cache-blocked default): auto schedule (STRASSEN1 for
+// β=0, STRASSEN2 otherwise), dynamic peeling, hybrid cutoff with
+// calibrated parameters.
 func DefaultConfig(kern blas.Kernel) *Config { return strassen.DefaultConfig(kern) }
 
 // Calibrate reruns the paper's Section 4.2 cutoff measurement on this

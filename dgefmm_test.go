@@ -167,9 +167,29 @@ func TestKernelByNameUnknown(t *testing.T) {
 	if KernelByName("no-such-kernel") != nil {
 		t.Fatal("unknown kernel should be nil")
 	}
-	for _, name := range []string{"blocked", "vector", "naive"} {
+	for _, name := range []string{"packed", "blocked", "vector", "naive"} {
 		if KernelByName(name) == nil {
 			t.Fatalf("kernel %q missing", name)
+		}
+	}
+}
+
+// TestPackedKernelCompatMatchesDGEMM pins the public compat contract: a
+// DGEFMM run below the cutoff on PackedKernel(true) is bit-for-bit the
+// DGEMM result.
+func TestPackedKernelCompatMatchesDGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 63 // below every cutoff → one base-case kernel call
+	a := NewRandomMatrix(n, n, rng)
+	b := NewRandomMatrix(n, n, rng)
+	want := NewMatrix(n, n)
+	got := NewMatrix(n, n)
+	DGEMM(NoTrans, NoTrans, n, n, n, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0, want.Data, want.Stride)
+	cfg := DefaultConfig(PackedKernel(true))
+	DGEFMM(cfg, NoTrans, NoTrans, n, n, n, 1.5, a.Data, a.Stride, b.Data, b.Stride, 0, got.Data, got.Stride)
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("element %d: %v != %v (compat mode must be bit-identical)", i, got.Data[i], want.Data[i])
 		}
 	}
 }

@@ -149,11 +149,34 @@ var kernels = map[string]Kernel{
 	"blocked": &BlockedKernel{},
 }
 
+// kernelOrder is the report order; registered kernels are prepended so the
+// fastest (most recently contributed) kernel leads reports.
+var kernelOrder = []string{"blocked", "vector", "naive"}
+
+// RegisterKernel adds a kernel to the name registry (internal/kernel
+// registers its packed kernel here at init, keeping the dependency arrow
+// pointing from the kernel package to blas). Registration must happen
+// during package initialization: the registry is read without locking
+// afterwards. Re-registering a name replaces it without changing the
+// report order.
+func RegisterKernel(k Kernel) {
+	name := k.Name()
+	if _, exists := kernels[name]; !exists {
+		kernelOrder = append([]string{name}, kernelOrder...)
+	}
+	kernels[name] = k
+}
+
 // KernelByName returns a registered kernel, or nil if the name is unknown.
-// Known names: "naive", "vector", "blocked".
+// Known names: "packed" (once internal/kernel is linked), "naive",
+// "vector", "blocked".
 func KernelByName(name string) Kernel {
 	return kernels[name]
 }
 
-// KernelNames lists the registered kernel names in a fixed report order.
-func KernelNames() []string { return []string{"blocked", "vector", "naive"} }
+// KernelNames lists the registered kernel names in report order.
+func KernelNames() []string {
+	out := make([]string, len(kernelOrder))
+	copy(out, kernelOrder)
+	return out
+}

@@ -163,8 +163,10 @@ func AblationCutoffs(w io.Writer, sc Scale) []AblationRow {
 	return rows
 }
 
-// AblationKernels reports plain DGEMM throughput of the three machine
-// stand-in kernels, grounding the machine mapping of DESIGN.md.
+// AblationKernels reports plain DGEMM throughput of every registered
+// kernel: the three machine stand-ins plus the packed cache-blocked kernel
+// (the default base-case multiplier), grounding the machine mapping of
+// DESIGN.md.
 func AblationKernels(w io.Writer, sc Scale) []AblationRow {
 	m := sc.sq(384, 128)
 	rng := rngFor(289)

@@ -203,17 +203,24 @@ func TestAblationsQuick(t *testing.T) {
 		t.Fatal("parallel rows")
 	}
 	rows := AblationKernels(io.Discard, quick)
-	if len(rows) != 3 {
+	if len(rows) != 4 {
 		t.Fatal("kernel rows")
 	}
-	// The blocked kernel must be the fastest — that ordering is what the
-	// machine mapping relies on.
+	// The cache-aware kernels must beat naive — that ordering is what the
+	// machine mapping relies on — and packed must be in the report now that
+	// it is the default base-case multiplier.
 	byName := map[string]float64{}
 	for _, r := range rows {
 		byName[r.Name] = r.Seconds
 	}
 	if byName["blocked"] >= byName["naive"] {
 		t.Errorf("blocked (%v) should beat naive (%v)", byName["blocked"], byName["naive"])
+	}
+	if _, ok := byName["packed"]; !ok {
+		t.Error("packed kernel missing from the kernel ablation")
+	}
+	if byName["packed"] >= byName["naive"] {
+		t.Errorf("packed (%v) should beat naive (%v)", byName["packed"], byName["naive"])
 	}
 }
 

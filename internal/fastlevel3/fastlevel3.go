@@ -23,6 +23,7 @@ package fastlevel3
 
 import (
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/strassen"
 )
@@ -51,14 +52,20 @@ func (s StrassenEngine) GEMM(transA, transB blas.Transpose, m, n, k int, alpha f
 // GemmEngine runs the GEMM parts through the standard algorithm (the
 // control arm for the ablation benches).
 type GemmEngine struct {
-	// Kernel below; nil selects blas.DefaultKernel.
+	// Kernel below; nil selects the packed cache-blocked kernel, matching
+	// the StrassenEngine default so the two arms differ only in the
+	// algorithm above the kernel.
 	Kernel blas.Kernel
 }
 
 // GEMM implements Engine.
 func (g GemmEngine) GEMM(transA, transB blas.Transpose, m, n, k int, alpha float64,
 	a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
-	blas.DgemmKernel(g.Kernel, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	kern := g.Kernel
+	if kern == nil {
+		kern = kernel.Default()
+	}
+	blas.DgemmKernel(kern, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 // Options configures the fast Level 3 routines.

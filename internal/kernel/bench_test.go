@@ -1,0 +1,34 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+)
+
+// benchMulAdd reports MB/s == MFLOP/s by setting bytes to the 2·m·n·k flop
+// count, so `go test -bench` output reads directly as a flop rate.
+func benchMulAdd(b *testing.B, k blas.Kernel, n int) {
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		bb[i] = rng.Float64()
+	}
+	b.SetBytes(int64(2 * n * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, bb, n, c, n)
+	}
+}
+
+func BenchmarkPacked256(b *testing.B)  { benchMulAdd(b, &Packed{}, 256) }
+func BenchmarkPacked512(b *testing.B)  { benchMulAdd(b, &Packed{}, 512) }
+func BenchmarkBlocked256(b *testing.B) { benchMulAdd(b, &blas.BlockedKernel{}, 256) }
+func BenchmarkBlocked512(b *testing.B) { benchMulAdd(b, &blas.BlockedKernel{}, 512) }
+func BenchmarkPackedCompat512(b *testing.B) {
+	benchMulAdd(b, &Packed{Compat: true}, 512)
+}

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Cache geometry drives the packed kernel's block sizes the same way the
+// paper's τ calibration drives the Strassen cutoff: measured once per
+// machine, with analytic defaults good enough to start from. The rules are
+// GotoBLAS's (Goto & van de Geijn, "Anatomy of High-Performance Matrix
+// Multiplication"):
+//
+//   - KC: a KC×NR micro-panel of B̃ plus an MR×KC micro-panel of Ã must sit
+//     in L1d with room left for the streamed C tile, so KC ≈ L1d/(2·8·(MR+NR));
+//   - MC: the MC×KC packed Ã panel should occupy about half of L2, leaving
+//     the other half for B̃ micro-panels and C traffic;
+//   - NC: the KC×NC packed B̃ panel should not evict Ã from L2's parent
+//     level, so it is bounded by a fraction of L3.
+//
+// cmd/calibrate -blocks re-derives the values empirically by sweeping around
+// these analytic seeds, mirroring the paper's cutoff-parameter workflow.
+
+// Caches holds the per-core data-cache capacities in bytes.
+type Caches struct {
+	L1D, L2, L3 int64
+}
+
+// fallbackCaches is used when detection fails (non-Linux, masked sysfs):
+// a conservative modern x86 core.
+var fallbackCaches = Caches{L1D: 32 << 10, L2: 1 << 20, L3: 8 << 20}
+
+// DetectCaches reads the per-core cache hierarchy from Linux sysfs, falling
+// back to conservative defaults when the information is unavailable.
+func DetectCaches() Caches {
+	c := Caches{}
+	for idx := 0; idx < 8; idx++ {
+		base := "/sys/devices/system/cpu/cpu0/cache/index" + strconv.Itoa(idx)
+		level, err1 := os.ReadFile(base + "/level")
+		typ, err2 := os.ReadFile(base + "/type")
+		size, err3 := os.ReadFile(base + "/size")
+		if err1 != nil || err2 != nil || err3 != nil {
+			break
+		}
+		ty := strings.TrimSpace(string(typ))
+		if ty != "Data" && ty != "Unified" {
+			continue
+		}
+		bytes := parseCacheSize(strings.TrimSpace(string(size)))
+		if bytes <= 0 {
+			continue
+		}
+		switch strings.TrimSpace(string(level)) {
+		case "1":
+			c.L1D = bytes
+		case "2":
+			c.L2 = bytes
+		case "3":
+			c.L3 = bytes
+		}
+	}
+	if c.L1D <= 0 {
+		c.L1D = fallbackCaches.L1D
+	}
+	if c.L2 <= 0 {
+		c.L2 = fallbackCaches.L2
+	}
+	if c.L3 <= 0 {
+		c.L3 = fallbackCaches.L3
+	}
+	return c
+}
+
+// parseCacheSize parses sysfs cache sizes like "48K", "2048K", "16M".
+func parseCacheSize(s string) int64 {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v * mult
+}
+
+// DeriveBlocks maps a cache geometry to (MC, KC, NC) by the rules above,
+// clamped to ranges that measured well across the micro-kernel prototypes
+// (very large KC overflows L1d once both micro-panels and the C tile
+// contend; very large MC makes the Ã pack dominate small leaves).
+func DeriveBlocks(c Caches) (mc, kc, nc int) {
+	const wordBytes = 8
+	kc = int(c.L1D / (2 * wordBytes * (MR + NR)))
+	// The 256 cap matters beyond cache arithmetic: it divides the
+	// power-of-two leaf sizes the Strassen recursion produces evenly (a
+	// 512-deep k split into 256+256 beats 384+128 measurably), and larger
+	// KC gains nothing once both micro-panels already fit L1d.
+	kc = clampRound(kc, 128, 256, 32)
+	mc = int(c.L2 / 2 / int64(kc*wordBytes))
+	mc = clampRound(mc, 64, 256, MR)
+	nc = int(c.L3 / 4 / int64(kc*wordBytes))
+	nc = clampRound(nc, 512, 4096, NR)
+	return mc, kc, nc
+}
+
+func clampRound(v, lo, hi, unit int) int {
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v / unit * unit
+}
+
+var (
+	blocksOnce sync.Once
+	blocksMu   sync.RWMutex
+	defMC      int
+	defKC      int
+	defNC      int
+)
+
+// DefaultBlocks returns the process-wide default (MC, KC, NC), derived from
+// the detected cache hierarchy on first use and overridable with
+// SetDefaultBlocks (the hook cmd/calibrate -blocks uses).
+func DefaultBlocks() (mc, kc, nc int) {
+	blocksOnce.Do(func() {
+		mc, kc, nc := DeriveBlocks(DetectCaches())
+		blocksMu.Lock()
+		if defMC == 0 {
+			defMC = mc
+		}
+		if defKC == 0 {
+			defKC = kc
+		}
+		if defNC == 0 {
+			defNC = nc
+		}
+		blocksMu.Unlock()
+	})
+	blocksMu.RLock()
+	defer blocksMu.RUnlock()
+	return defMC, defKC, defNC
+}
+
+// SetDefaultBlocks overrides the derived defaults, the programmatic
+// equivalent of re-running the block calibration on a new machine. Values
+// are rounded to micro-tile multiples; non-positive values are ignored.
+func SetDefaultBlocks(mc, kc, nc int) {
+	blocksMu.Lock()
+	defer blocksMu.Unlock()
+	if mc > 0 {
+		defMC = clampRound(mc, MR, 1<<20, MR)
+	}
+	if kc > 0 {
+		defKC = clampRound(kc, 1, 1<<20, 1)
+	}
+	if nc > 0 {
+		defNC = clampRound(nc, NR, 1<<20, NR)
+	}
+}

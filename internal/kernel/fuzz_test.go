@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+)
+
+// FuzzKernel differential-fuzzes the packed kernel against the naive oracle
+// over shape, transposes, scaling, blocking, and matrix content (generated
+// from the seed). CI runs a short smoke (-fuzz with a deadline); the nightly
+// workflow runs longer sessions.
+func FuzzKernel(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1), false, false, 1.0, 1.0, int64(1), uint8(0))
+	f.Add(uint8(4), uint8(4), uint8(4), false, false, 1.0, 0.0, int64(2), uint8(1))
+	f.Add(uint8(5), uint8(3), uint8(7), true, false, -0.5, 1.0, int64(3), uint8(2))
+	f.Add(uint8(9), uint8(9), uint8(9), false, true, 2.0, -1.0, int64(4), uint8(3))
+	f.Add(uint8(17), uint8(33), uint8(25), true, true, 1.5, 0.5, int64(5), uint8(0))
+	f.Add(uint8(64), uint8(64), uint8(64), false, false, 1.0, 1.0, int64(6), uint8(3))
+	f.Add(uint8(31), uint8(1), uint8(63), true, false, 3.0, 0.0, int64(7), uint8(2))
+
+	f.Fuzz(func(t *testing.T, m8, n8, k8 uint8, ta, tb bool, alpha, beta float64, seed int64, blk uint8) {
+		m, n, kk := int(m8%80)+1, int(n8%80)+1, int(k8%80)+1
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
+			t.Skip()
+		}
+		if math.Abs(alpha) > 1e6 || math.Abs(beta) > 1e6 {
+			t.Skip()
+		}
+		// Vary the blocking so block-boundary logic is fuzzed too.
+		var k *Packed
+		switch blk % 4 {
+		case 0:
+			k = &Packed{} // cache-derived defaults
+		case 1:
+			k = &Packed{Compat: true}
+		case 2:
+			k = &Packed{MC: 2 * MR, KC: 3, NC: 2 * NR}
+		default:
+			k = &Packed{MC: 16, KC: 8, NC: 12}
+		}
+		transOf := func(tr bool) blas.Transpose {
+			if tr {
+				return blas.Trans
+			}
+			return blas.NoTrans
+		}
+		dims := func(tr bool, r, c int) (int, int) {
+			if tr {
+				return c, r
+			}
+			return r, c
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ar, ac := dims(ta, m, kk)
+		br, bc := dims(tb, kk, n)
+		mk := func(rows, cols int) []float64 {
+			v := make([]float64, rows*cols)
+			for i := range v {
+				v[i] = rng.Float64()*2 - 1
+			}
+			return v
+		}
+		a := mk(ar, ac)
+		b := mk(br, bc)
+		c0 := mk(m, n)
+		got := append([]float64(nil), c0...)
+		want := append([]float64(nil), c0...)
+		blas.DgemmKernel(k, transOf(ta), transOf(tb), m, n, kk, alpha, a, ar, b, br, beta, got, m)
+		blas.DgemmKernel(blas.NaiveKernel{}, transOf(ta), transOf(tb), m, n, kk, alpha, a, ar, b, br, beta, want, m)
+		scale := math.Abs(alpha)*float64(kk) + math.Abs(beta) + 1
+		tol := 1e-13 * scale
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > tol {
+				t.Fatalf("m=%d n=%d k=%d ta=%v tb=%v alpha=%g beta=%g blk=%d: diff %g at %d",
+					m, n, kk, ta, tb, alpha, beta, blk%4, d, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package kernel provides the packed, cache-blocked, register-tiled DGEMM
+// micro-kernel that serves as DGEFMM's base-case multiplier below the
+// Strassen cutoff. The paper's speedups are multiplicative over whatever
+// DGEMM runs at the leaves (its machines used vendor BLAS); this package is
+// the reproduction's equivalent of that tuned substrate, in the style of
+// Huang et al., "Implementing Strassen's Algorithm with BLIS"
+// (arXiv:1605.01078): a GotoBLAS loop nest (NC/KC/MC blocking), operands
+// repacked into contiguous zero-padded panels, and an unrolled MR×NR
+// register kernel with edge-case handlers, covering alpha and all four
+// transpose combinations.
+//
+// Packing buffers are drawn from an internal/memtrack arena, so workspace
+// stays measurable and bounded the same way the Strassen temporaries are
+// (Boyer et al., arXiv:0707.2347 motivate keeping scratch inside the
+// accounted budget): LeafWorkspace gives the closed-form words per call and
+// tests assert the measured arena peak equals it. The arena's free list
+// makes the steady state allocation-free, and because every MulAdd draws
+// its own buffers, a single *Packed is safe for concurrent use — unlike
+// blas.BlockedKernel, whose packing buffers are per-instance state.
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/memtrack"
+)
+
+// Compat block sizes: blas.BlockedKernel's defaults. Rounding of a C
+// element depends only on where the k dimension is split into KC blocks
+// (alpha is applied per block), not on MR/NR/MC/NC, so pinning KC to the
+// legacy kernel's value makes results bit-for-bit identical to it.
+const (
+	compatMC = 128
+	compatKC = 256
+	compatNC = 1024
+)
+
+// Packed is the packed cache-blocked kernel. The zero value is ready to
+// use: block sizes default to the cache-derived DefaultBlocks and the
+// packing arena is created on first use. All methods are safe for
+// concurrent use.
+type Packed struct {
+	// MC×KC is the packed Ã panel (sized for L2); KC×NC is the packed B̃
+	// panel (sized against L3). Zero values select DefaultBlocks.
+	MC, KC, NC int
+	// Compat pins the blocking to blas.BlockedKernel's defaults, making
+	// results bit-for-bit identical to the legacy blocked leaf (at some
+	// speed cost on machines whose caches want other block sizes). Off by
+	// default: the tuned blocking changes the KC split and therefore
+	// rounding, while staying within the same error bounds.
+	Compat bool
+
+	mu    sync.Mutex
+	arena *memtrack.Tracker
+
+	mulAdds    atomic.Int64
+	packAWords atomic.Int64
+	packBWords atomic.Int64
+}
+
+// Name implements blas.Kernel.
+func (k *Packed) Name() string { return "packed" }
+
+// Clone implements blas.Cloner. The clone shares the receiver's tuning but
+// owns a fresh arena, so per-worker clones (internal/batch) get per-worker
+// workspace accounting.
+func (k *Packed) Clone() blas.Kernel {
+	return &Packed{MC: k.MC, KC: k.KC, NC: k.NC, Compat: k.Compat}
+}
+
+// Arena returns the packing-buffer arena, creating it on first use.
+func (k *Packed) Arena() *memtrack.Tracker {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.arena == nil {
+		k.arena = memtrack.New()
+	}
+	return k.arena
+}
+
+// SetArena installs an externally owned arena (internal/batch points worker
+// kernels at observed arenas). Must be called before the first MulAdd.
+func (k *Packed) SetArena(t *memtrack.Tracker) {
+	k.mu.Lock()
+	k.arena = t
+	k.mu.Unlock()
+}
+
+// Counters reports cumulative work counters: MulAdd calls and the words
+// packed into Ã and B̃ panels. internal/obs snapshots them per kernel.
+func (k *Packed) Counters() (mulAdds, packAWords, packBWords int64) {
+	return k.mulAdds.Load(), k.packAWords.Load(), k.packBWords.Load()
+}
+
+// blocks resolves the effective (MC, KC, NC).
+func (k *Packed) blocks() (mc, kc, nc int) {
+	if k.Compat {
+		return compatMC, compatKC, compatNC
+	}
+	mc, kc, nc = k.MC, k.KC, k.NC
+	dmc, dkc, dnc := DefaultBlocks()
+	if mc <= 0 {
+		mc = dmc
+	}
+	if kc <= 0 {
+		kc = dkc
+	}
+	if nc <= 0 {
+		nc = dnc
+	}
+	mc = (mc + MR - 1) / MR * MR
+	nc = (nc + NR - 1) / NR * NR
+	return mc, kc, nc
+}
+
+// effBlocks clamps the blocking to the problem so small leaves draw small
+// buffers (a τ-sized Strassen leaf must not pay for an NC-wide panel).
+func (k *Packed) effBlocks(m, n, kk int) (mcE, kcE, ncE int) {
+	mc, kc, nc := k.blocks()
+	mcE = roundUpMul(m, MR)
+	if mcE > mc {
+		mcE = mc
+	}
+	kcE = kk
+	if kcE > kc {
+		kcE = kc
+	}
+	ncE = roundUpMul(n, NR)
+	if ncE > nc {
+		ncE = nc
+	}
+	return mcE, kcE, ncE
+}
+
+// LeafWorkspace returns the exact packing workspace, in float64 words, one
+// MulAdd of the given logical shape draws from the arena: the Ã panel plus
+// the B̃ panel at the clamped blocking. strassen.PlanFor folds the maximum
+// over a plan's base cases into Plan.KernelWords.
+func (k *Packed) LeafWorkspace(m, n, kk int) int64 {
+	if m <= 0 || n <= 0 || kk <= 0 {
+		return 0
+	}
+	mcE, kcE, ncE := k.effBlocks(m, n, kk)
+	return int64(mcE)*int64(kcE) + int64(kcE)*int64(ncE)
+}
+
+// MulAdd implements blas.Kernel: C ← C + alpha·op(A)·op(B) on column-major
+// storage, op(A) m×k, op(B) k×n. The caller (blas.DgemmKernel) has already
+// validated arguments and applied beta.
+func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if m <= 0 || n <= 0 || kk <= 0 || alpha == 0 {
+		return
+	}
+	mcE, kcE, ncE := k.effBlocks(m, n, kk)
+	ar := k.Arena()
+	apack := ar.AllocUninit(mcE * kcE)
+	bpack := ar.AllocUninit(kcE * ncE)
+	ta, tb := transA.IsTrans(), transB.IsTrans()
+
+	var packedA, packedB int64
+	for jc := 0; jc < n; jc += ncE {
+		nb := n - jc
+		if nb > ncE {
+			nb = ncE
+		}
+		for pc := 0; pc < kk; pc += kcE {
+			kb := kk - pc
+			if kb > kcE {
+				kb = kcE
+			}
+			packB(bpack, b, ldb, tb, pc, jc, kb, nb)
+			packedB += int64(kb) * int64(nb)
+			for ic := 0; ic < m; ic += mcE {
+				mb := m - ic
+				if mb > mcE {
+					mb = mcE
+				}
+				packA(apack, a, lda, ta, ic, pc, mb, kb)
+				packedA += int64(mb) * int64(kb)
+				macroKernel(apack, bpack, c, ldc, ic, jc, mb, nb, kb, alpha)
+			}
+		}
+	}
+	ar.Free(bpack)
+	ar.Free(apack)
+	k.mulAdds.Add(1)
+	k.packAWords.Add(packedA)
+	k.packBWords.Add(packedB)
+}
+
+// macroKernel sweeps the packed panels with the register micro-kernel:
+// for each NR-wide B̃ micro-panel (kept hot in L1), stream the Ã panel's
+// MR-row micro-panels from L2 through the register tile.
+func macroKernel(apack, bpack []float64, c []float64, ldc int, ic, jc, mb, nb, kb int, alpha float64) {
+	for jp := 0; jp < nb; jp += NR {
+		cols := nb - jp
+		if cols > NR {
+			cols = NR
+		}
+		bp := bpack[(jp/NR)*(NR*kb):]
+		ctile := c[(jc+jp)*ldc+ic:]
+		for ip := 0; ip < mb; ip += MR {
+			rows := mb - ip
+			if rows > MR {
+				rows = MR
+			}
+			ap := apack[(ip/MR)*(MR*kb):]
+			microTile(ap, bp, ctile[ip:], ldc, rows, cols, kb, alpha)
+		}
+	}
+}
+
+func roundUpMul(v, unit int) int {
+	return (v + unit - 1) / unit * unit
+}
+
+// defaultPacked is the shared process-wide instance; it is safe to share
+// because every MulAdd draws private buffers from the (mutex-guarded)
+// arena.
+var defaultPacked = &Packed{}
+
+// Default returns the shared packed kernel with cache-derived blocking —
+// the kernel internal/strassen installs as its default base-case
+// multiplier.
+func Default() blas.Kernel { return defaultPacked }
+
+func init() {
+	blas.RegisterKernel(defaultPacked)
+}

@@ -1,0 +1,118 @@
+package kernel
+
+// Panel packing. Ã holds an mb×kb block of op(A) as a sequence of MR-row
+// micro-panels (element (i, l) at dst[(i/MR)·MR·kb + l·MR + i%MR]); B̃ holds
+// a kb×nb block of op(B) as NR-column micro-panels (element (l, j) at
+// dst[(j/NR)·NR·kb + l·NR + j%NR]). Ragged final panels are zero-padded so
+// the micro-kernel never branches on panel height; padded lanes accumulate
+// into scratch accumulators that the edge scatter discards.
+//
+// Packing is what makes the four transpose cases uniform (the packers read
+// through op(A)/op(B); one micro-kernel serves all cases) and what turns
+// the inner loop's operand streams into contiguous, cache-resident reads.
+
+// packA copies the mb×kb block of op(A) with top-left (ic, pc) into dst.
+func packA(dst []float64, a []float64, lda int, ta bool, ic, pc, mb, kb int) {
+	for ip := 0; ip < mb; ip += MR {
+		rows := mb - ip
+		if rows > MR {
+			rows = MR
+		}
+		base := (ip / MR) * (MR * kb)
+		if !ta {
+			// op(A)(i, l) = A(ic+i, pc+l), column l contiguous in storage.
+			if rows == MR {
+				for l := 0; l < kb; l++ {
+					src := a[(pc+l)*lda+ic+ip:]
+					src = src[:MR:MR]
+					d := dst[base+l*MR : base+l*MR+MR : base+l*MR+MR]
+					d[0] = src[0]
+					d[1] = src[1]
+					d[2] = src[2]
+					d[3] = src[3]
+				}
+				continue
+			}
+			for l := 0; l < kb; l++ {
+				src := a[(pc+l)*lda+ic+ip:]
+				d := dst[base+l*MR : base+l*MR+MR : base+l*MR+MR]
+				for r := 0; r < rows; r++ {
+					d[r] = src[r]
+				}
+				for r := rows; r < MR; r++ {
+					d[r] = 0
+				}
+			}
+			continue
+		}
+		// op(A)(i, l) = A(pc+l, ic+i): row i of the block is a contiguous
+		// run of storage column ic+i, so copy k-runs row by row.
+		for r := 0; r < rows; r++ {
+			src := a[(ic+ip+r)*lda+pc:]
+			src = src[:kb]
+			d := dst[base+r:]
+			for l, v := range src {
+				d[l*MR] = v
+			}
+		}
+		for r := rows; r < MR; r++ {
+			d := dst[base+r:]
+			for l := 0; l < kb; l++ {
+				d[l*MR] = 0
+			}
+		}
+	}
+}
+
+// packB copies the kb×nb block of op(B) with top-left (pc, jc) into dst.
+func packB(dst []float64, b []float64, ldb int, tb bool, pc, jc, kb, nb int) {
+	for jp := 0; jp < nb; jp += NR {
+		cols := nb - jp
+		if cols > NR {
+			cols = NR
+		}
+		base := (jp / NR) * (NR * kb)
+		if !tb {
+			// op(B)(l, j) = B(pc+l, jc+j): column j of the block is a
+			// contiguous run of storage column jc+j.
+			for s := 0; s < cols; s++ {
+				src := b[(jc+jp+s)*ldb+pc:]
+				src = src[:kb]
+				d := dst[base+s:]
+				for l, v := range src {
+					d[l*NR] = v
+				}
+			}
+			for s := cols; s < NR; s++ {
+				d := dst[base+s:]
+				for l := 0; l < kb; l++ {
+					d[l*NR] = 0
+				}
+			}
+			continue
+		}
+		// op(B)(l, j) = B(jc+j, pc+l), row l of the block contiguous.
+		if cols == NR {
+			for l := 0; l < kb; l++ {
+				src := b[(pc+l)*ldb+jc+jp:]
+				src = src[:NR:NR]
+				d := dst[base+l*NR : base+l*NR+NR : base+l*NR+NR]
+				d[0] = src[0]
+				d[1] = src[1]
+				d[2] = src[2]
+				d[3] = src[3]
+			}
+			continue
+		}
+		for l := 0; l < kb; l++ {
+			src := b[(pc+l)*ldb+jc+jp:]
+			d := dst[base+l*NR : base+l*NR+NR : base+l*NR+NR]
+			for s := 0; s < cols; s++ {
+				d[s] = src[s]
+			}
+			for s := cols; s < NR; s++ {
+				d[s] = 0
+			}
+		}
+	}
+}

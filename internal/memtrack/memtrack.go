@@ -61,6 +61,34 @@ func (t *Tracker) Alloc(n int) []float64 {
 	return make([]float64, n)
 }
 
+// AllocUninit is Alloc without the zeroing guarantee: a recycled slice is
+// returned with its previous contents intact. It exists for workspace the
+// caller fully overwrites before reading — the packed GEMM kernel's panel
+// buffers — where zeroing would cost a full memory sweep per call. The
+// returned slice counts as live until Free is called.
+func (t *Tracker) AllocUninit(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("memtrack: AllocUninit(%d)", n))
+	}
+	if t == nil {
+		return make([]float64, n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.live += int64(n)
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+	if list := t.freelist[n]; len(list) > 0 {
+		s := list[len(list)-1]
+		t.freelist[n] = list[:len(list)-1]
+		t.reused++
+		return s
+	}
+	t.allocs++
+	return make([]float64, n)
+}
+
 // Free returns a slice obtained from Alloc to the tracker. The slice must
 // not be used afterwards.
 func (t *Tracker) Free(s []float64) {

@@ -27,8 +27,9 @@ const (
 // strassen.SpanTracer: every recursion event increments a named counter,
 // and every node's span is recorded (timed, parented) and its latency fed
 // to a per-action histogram. Bridges pull workspace accounting from
-// memtrack.Tracker and goroutine dispatch counts from blas.ParallelKernel
-// into every Snapshot.
+// memtrack.Tracker, goroutine dispatch counts from blas.ParallelKernel, and
+// packing-work counters plus arena accounting from packed-style kernels
+// (internal/kernel) into every Snapshot.
 //
 // A Collector is safe for concurrent use; attach one to many configs to
 // aggregate, or one per call to isolate.
@@ -41,6 +42,17 @@ type Collector struct {
 	mu       sync.Mutex
 	trackers []*memtrack.Tracker
 	kernels  []*blas.ParallelKernel
+	packed   []packedKernel
+}
+
+// packedKernel is the structural interface internal/kernel's Packed
+// satisfies: cumulative work counters plus a private packing arena. Kept
+// structural so the collector observes any future kernel with the same
+// shape without an import.
+type packedKernel interface {
+	blas.Kernel
+	Counters() (mulAdds, packAWords, packBWords int64)
+	Arena() *memtrack.Tracker
 }
 
 // NewCollector returns a Collector with a fresh registry and span recorder.
@@ -82,9 +94,24 @@ func (c *Collector) ObserveTracker(t *memtrack.Tracker) {
 	c.trackers = append(c.trackers, t)
 }
 
-// ObserveKernel registers a kernel for Snapshot reporting; only
-// *blas.ParallelKernel carries observable state, anything else is ignored.
+// ObserveKernel registers a kernel for Snapshot reporting. Two kernel
+// shapes carry observable state: *blas.ParallelKernel (dispatch counts) and
+// packed-style kernels with work counters and a packing arena (reported
+// under Snapshot.Packed, separate from Snapshot.Memory so the workspace
+// figure stays comparable to the paper's Table 1 bounds). Anything else is
+// ignored.
 func (c *Collector) ObserveKernel(k blas.Kernel) {
+	if pkd, ok := k.(packedKernel); ok {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, have := range c.packed {
+			if have == pkd {
+				return
+			}
+		}
+		c.packed = append(c.packed, pkd)
+		return
+	}
 	pk, ok := k.(*blas.ParallelKernel)
 	if !ok {
 		return
@@ -151,6 +178,19 @@ type KernelStats struct {
 	Goroutines int64  `json:"goroutines"`
 }
 
+// PackedStats is one observed packed kernel's work and arena accounting.
+// Arena is the kernel's private packing-buffer arena, reported apart from
+// Snapshot.Memory: the Strassen temporaries' accounting stays directly
+// comparable to the paper's Table 1 while the packing workspace is bounded
+// by strassen.Plan.KernelWords instead.
+type PackedStats struct {
+	Name       string         `json:"name"`
+	MulAdds    int64          `json:"mul_adds"`
+	PackAWords int64          `json:"pack_a_words"`
+	PackBWords int64          `json:"pack_b_words"`
+	Arena      memtrack.Stats `json:"arena"`
+}
+
 // SpanStats summarizes the recorded span forest.
 type SpanStats struct {
 	Total    int            `json:"total"`
@@ -172,6 +212,7 @@ type Snapshot struct {
 	Metrics MetricsSnapshot `json:"metrics"`
 	Memory  memtrack.Stats  `json:"memory"`
 	Kernels []KernelStats   `json:"kernels,omitempty"`
+	Packed  []PackedStats   `json:"packed,omitempty"`
 	Spans   SpanStats       `json:"spans"`
 }
 
@@ -182,6 +223,7 @@ func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	trackers := append([]*memtrack.Tracker(nil), c.trackers...)
 	kernels := append([]*blas.ParallelKernel(nil), c.kernels...)
+	packed := append([]packedKernel(nil), c.packed...)
 	c.mu.Unlock()
 
 	s := Snapshot{TakenAt: time.Now()}
@@ -195,6 +237,13 @@ func (c *Collector) Snapshot() Snapshot {
 	for _, k := range kernels {
 		d, g := k.Stats()
 		s.Kernels = append(s.Kernels, KernelStats{Name: k.Name(), Dispatches: d, Goroutines: g})
+	}
+	for _, k := range packed {
+		ma, pa, pb := k.Counters()
+		s.Packed = append(s.Packed, PackedStats{
+			Name: k.Name(), MulAdds: ma, PackAWords: pa, PackBWords: pb,
+			Arena: k.Arena().Stats(),
+		})
 	}
 
 	spans := c.Spans.Spans()
@@ -224,6 +273,17 @@ func (c *Collector) Snapshot() Snapshot {
 	if len(s.Kernels) > 0 {
 		c.Registry.Gauge("kernel.parallel.dispatches").Set(disp)
 		c.Registry.Gauge("kernel.parallel.goroutines").Set(gor)
+	}
+	if len(s.Packed) > 0 {
+		var ma, pw, arenaPeak int64
+		for _, ps := range s.Packed {
+			ma += ps.MulAdds
+			pw += ps.PackAWords + ps.PackBWords
+			arenaPeak += ps.Arena.Peak
+		}
+		c.Registry.Gauge("kernel.packed.mul_adds").Set(ma)
+		c.Registry.Gauge("kernel.packed.pack_words").Set(pw)
+		c.Registry.Gauge("kernel.packed.arena_peak_words").Set(arenaPeak)
 	}
 	s.Metrics = c.Registry.Snapshot()
 	s.Spans.MaxDepth = s.Metrics.Gauges[metricMaxDepth]

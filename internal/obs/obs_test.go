@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 	"repro/internal/strassen"
@@ -385,5 +386,39 @@ func TestAttachComposesWithExistingTracer(t *testing.T) {
 	}
 	if col.Spans.Len() != ref.Total() {
 		t.Fatalf("collector spans %d != tee'd events %d", col.Spans.Len(), ref.Total())
+	}
+}
+
+func TestSnapshotPackedKernelStats(t *testing.T) {
+	col := NewCollector()
+	pk := &kernel.Packed{}
+	cfg := strassen.DefaultConfig(pk)
+	col.Attach(cfg)
+	run(cfg, 128, 128, 128, 17)
+
+	s := col.Snapshot()
+	if len(s.Packed) != 1 {
+		t.Fatalf("got %d packed kernel entries, want 1", len(s.Packed))
+	}
+	ps := s.Packed[0]
+	if ps.Name != "packed" {
+		t.Errorf("packed entry name = %q", ps.Name)
+	}
+	if ps.MulAdds <= 0 || ps.PackAWords <= 0 || ps.PackBWords <= 0 {
+		t.Errorf("packed counters not collected: %+v", ps)
+	}
+	if ps.Arena.Peak <= 0 || ps.Arena.Live != 0 {
+		t.Errorf("packed arena accounting off: %+v", ps.Arena)
+	}
+	// The packing arena must NOT leak into the Strassen-workspace figure:
+	// Memory stays exactly the config tracker's stats (Table 1 comparable).
+	if got, want := s.Memory, cfg.Tracker.Stats(); got != want {
+		t.Errorf("Memory %+v != strassen tracker stats %+v (packing arena folded in?)", got, want)
+	}
+	if s.Metrics.Gauges["kernel.packed.mul_adds"] != ps.MulAdds {
+		t.Error("packed mul_adds gauge not folded into metrics")
+	}
+	if s.Metrics.Gauges["kernel.packed.arena_peak_words"] != ps.Arena.Peak {
+		t.Error("packed arena peak gauge not folded into metrics")
 	}
 }

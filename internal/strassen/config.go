@@ -19,6 +19,7 @@ package strassen
 
 import (
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/memtrack"
 )
 
@@ -93,7 +94,7 @@ func (o OddStrategy) String() string {
 // DGEFMM computation. The zero value is NOT usable; call DefaultConfig.
 type Config struct {
 	// Kernel is the DGEMM engine used below the cutoff and in fixups.
-	// Nil selects blas.DefaultKernel.
+	// Nil selects the packed cache-blocked kernel (internal/kernel).
 	Kernel blas.Kernel
 	// Criterion is the recursion cutoff test. Nil selects the hybrid
 	// condition (15) with DefaultParams for the kernel.
@@ -153,6 +154,7 @@ func (p Params) Hybrid() Criterion {
 // here is deliberately the "always better beyond this" end of the measured
 // crossover band, as the paper chose 199 from its 176–214 range.
 var defaultParams = map[string]Params{
+	"packed":  {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
 	"blocked": {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
 	"vector":  {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
 	"naive":   {Tau: 44, TauM: 16, TauK: 24, TauN: 16},
@@ -175,11 +177,13 @@ func SetDefaultParams(kernelName string, p Params) {
 }
 
 // DefaultConfig returns the paper's DGEFMM configuration for the given
-// kernel (nil = blas.DefaultKernel): auto schedule, dynamic peeling, hybrid
-// cutoff with the kernel's calibrated parameters.
+// kernel (nil = the packed cache-blocked kernel, the fastest base-case
+// multiplier; select "blocked"/"naive"/"vector" explicitly via
+// blas.KernelByName for the ablation arms): auto schedule, dynamic peeling,
+// hybrid cutoff with the kernel's calibrated parameters.
 func DefaultConfig(kern blas.Kernel) *Config {
 	if kern == nil {
-		kern = blas.DefaultKernel
+		kern = kernel.Default()
 	}
 	return &Config{
 		Kernel:    kern,
@@ -189,7 +193,7 @@ func DefaultConfig(kern blas.Kernel) *Config {
 
 func (cfg *Config) kernel() blas.Kernel {
 	if cfg.Kernel == nil {
-		return blas.DefaultKernel
+		return kernel.Default()
 	}
 	return cfg.Kernel
 }

@@ -66,9 +66,19 @@ type Plan struct {
 	// Depth is the number of recursion levels the criterion produces.
 	Depth int
 	// Words is the exact peak temporary workspace, in float64 words, a
-	// call of this shape allocates (the figure a per-worker arena must
-	// hold to serve the shape with zero fresh allocations).
+	// call of this shape allocates from Config.Tracker (the figure a
+	// per-worker arena must hold to serve the shape with zero fresh
+	// allocations). It excludes the base-case kernel's packing workspace,
+	// which lives in the kernel's own arena and is reported separately in
+	// KernelWords — keeping Words directly comparable to the paper's
+	// Table 1 bounds.
 	Words int64
+	// KernelWords is the peak packing workspace, in float64 words, the
+	// base-case kernel draws from its own arena while serving this shape:
+	// the worst leaf's requirement, times the number of concurrent leaves
+	// under the parallel schedule. Zero when the kernel keeps no accounted
+	// workspace (naive, vector, blocked).
+	KernelWords int64
 	// TopSchedule is the schedule the top level resolves to (auto resolved
 	// to STRASSEN1 or STRASSEN2 by β).
 	TopSchedule Schedule
@@ -102,14 +112,28 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 		parallel:  cfg.Parallel,
 		parLevels: parLevels,
 		plan:      p,
-		memo:      make(map[planKey]int64),
+		memo:      make(map[planKey]simResult),
 	}
+	if ls, ok := cfg.kernel().(leafSizer); ok {
+		s.leaf = ls.LeafWorkspace
+	}
+	var r simResult
 	if cfg.Odd == OddPadStatic {
-		p.Words = s.simStatic(m, k, n, betaZero)
+		r = s.simStatic(m, k, n, betaZero)
 	} else {
-		p.Words = s.sim(m, k, n, betaZero, 0)
+		r = s.sim(m, k, n, betaZero, 0)
 	}
+	p.Words, p.KernelWords = r.words, r.kernel
 	return p
+}
+
+// leafSizer is the structural interface a kernel implements to report its
+// per-call workspace (internal/kernel's Packed does): the exact words one
+// MulAdd of the given logical shape draws from the kernel's arena. Kept
+// structural so the strassen package does not choose a kernel
+// implementation for its callers.
+type leafSizer interface {
+	LeafWorkspace(m, n, k int) int64
 }
 
 // Criterion returns a cutoff criterion that replays the plan's cached
@@ -168,6 +192,14 @@ type planKey struct {
 	depth    int
 }
 
+// simResult is one subtree's workspace accounting: Strassen temporaries
+// (words) and base-case kernel packing workspace (kernel), tracked apart
+// because they come from different arenas.
+type simResult struct {
+	words  int64
+	kernel int64
+}
+
 // planSim walks the recursion exactly as engine.mul would, recording
 // criterion verdicts and accumulating the peak workspace of each subtree.
 type planSim struct {
@@ -178,7 +210,8 @@ type planSim struct {
 	parallel  int
 	parLevels int
 	plan      *Plan
-	memo      map[planKey]int64
+	leaf      func(m, n, k int) int64 // nil for kernels without accounted workspace
+	memo      map[planKey]simResult
 }
 
 // decide evaluates (and records) the criterion's verdict for one triple.
@@ -194,15 +227,15 @@ func (s *planSim) decide(m, k, n int) bool {
 
 // sim mirrors engine.mul: cutoff test, odd-dimension strategy, then one
 // schedule level. It returns the peak workspace of the subtree in words.
-func (s *planSim) sim(m, k, n int, betaZero bool, depth int) int64 {
+func (s *planSim) sim(m, k, n int, betaZero bool, depth int) simResult {
 	if m == 0 || n == 0 || k == 0 {
-		return 0
+		return simResult{}
 	}
 	key := planKey{m: m, k: k, n: n, betaZero: betaZero, depth: depth}
-	if w, ok := s.memo[key]; ok {
-		return w
+	if r, ok := s.memo[key]; ok {
+		return r
 	}
-	var words int64
+	var r simResult
 	recurse := m > 1 && k > 1 && n > 1 &&
 		(s.maxDepth == 0 || depth < s.maxDepth) &&
 		s.decide(m, k, n)
@@ -217,35 +250,46 @@ func (s *planSim) sim(m, k, n int, betaZero bool, depth int) int64 {
 			if mp != m || kp != k || np != n {
 				pad = int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(mp)*int64(np)
 			}
-			words = pad + s.schedWords(mp, kp, np, betaZero, depth)
+			r = s.schedWords(mp, kp, np, betaZero, depth)
+			r.words += pad
 		default: // OddPeel, OddPeelFirst, OddPadStatic below the padded top
-			words = s.schedWords(m&^1, k&^1, n&^1, betaZero, depth)
+			r = s.schedWords(m&^1, k&^1, n&^1, betaZero, depth)
 		}
+	} else if s.leaf != nil {
+		// Base case: one kernel MulAdd of this exact shape.
+		r.kernel = s.leaf(m, n, k)
 	}
-	s.memo[key] = words
-	return words
+	s.memo[key] = r
+	return r
 }
 
 // schedWords accounts one level of the selected schedule on an all-even
 // problem: the level's own temporaries plus the worst concurrent child.
-func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) int64 {
+func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) simResult {
 	m2, k2, n2 := m/2, k/2, n/2
 	if s.parallel > 1 && depth < s.parLevels {
 		// parallelWinograd: S1..S4 (4·mk/4), T1..T4 (4·kn/4), P1..P7
-		// (7·mn/4), with up to min(parallel, 7) β = 0 children live at once.
+		// (7·mn/4), with up to min(parallel, 7) β = 0 children live at once
+		// — each of which can be inside a kernel MulAdd simultaneously.
 		own := 4*int64(m2)*int64(k2) + 4*int64(k2)*int64(n2) + 7*int64(m2)*int64(n2)
 		conc := s.parallel
 		if conc > 7 {
 			conc = 7
 		}
-		return own + int64(conc)*s.sim(m2, k2, n2, true, depth+1)
+		child := s.sim(m2, k2, n2, true, depth+1)
+		return simResult{
+			words:  own + int64(conc)*child.words,
+			kernel: int64(conc) * child.kernel,
+		}
 	}
 	switch resolveSchedule(s.sched, betaZero) {
 	case ScheduleStrassen1:
 		if !betaZero {
 			// strassen1General: an m×n fold buffer wrapping the β = 0
 			// schedule on the same (not halved) problem.
-			return int64(m)*int64(n) + s.schedWords(m, k, n, true, depth)
+			r := s.schedWords(m, k, n, true, depth)
+			r.words += int64(m) * int64(n)
+			return r
 		}
 		// strassen1: R1 is (m/2)·max(k/2, n/2), R2 is (k/2)·(n/2); the
 		// seven children run sequentially, all with β = 0.
@@ -254,27 +298,32 @@ func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) int64 {
 			mx = n2
 		}
 		own := int64(m2)*int64(mx) + int64(k2)*int64(n2)
-		return own + s.sim(m2, k2, n2, true, depth+1)
+		child := s.sim(m2, k2, n2, true, depth+1)
+		return simResult{words: own + child.words, kernel: child.kernel}
 	case ScheduleOriginal:
 		// original: S (mk/4), T (kn/4), M (mn/4); children all β = 0.
 		own := int64(m2)*int64(k2) + int64(k2)*int64(n2) + int64(m2)*int64(n2)
-		return own + s.sim(m2, k2, n2, true, depth+1)
+		child := s.sim(m2, k2, n2, true, depth+1)
+		return simResult{words: own + child.words, kernel: child.kernel}
 	default: // ScheduleStrassen2
 		// strassen2: R1 (mk/4), R2 (kn/4), R3 (mn/4); sequential children
-		// of both β classes — take the worse.
+		// of both β classes — take the worse of each accounting axis.
 		own := int64(m2)*int64(k2) + int64(k2)*int64(n2) + int64(m2)*int64(n2)
 		w0 := s.sim(m2, k2, n2, true, depth+1)
 		w1 := s.sim(m2, k2, n2, false, depth+1)
-		if w0 > w1 {
-			w1 = w0
+		if w0.words > w1.words {
+			w1.words = w0.words
 		}
-		return own + w1
+		if w0.kernel > w1.kernel {
+			w1.kernel = w0.kernel
+		}
+		return simResult{words: own + w1.words, kernel: w1.kernel}
 	}
 }
 
 // simStatic mirrors staticPadMul: predict the depth, pad once to a multiple
 // of 2^depth, then run the recursion depth-bounded with no odd dimensions.
-func (s *planSim) simStatic(m, k, n int, betaZero bool) int64 {
+func (s *planSim) simStatic(m, k, n int, betaZero bool) simResult {
 	d := 0
 	mm, kk, nn := m, k, n
 	for mm > 1 && kk > 1 && nn > 1 &&
@@ -285,7 +334,11 @@ func (s *planSim) simStatic(m, k, n int, betaZero bool) int64 {
 	}
 	s.plan.Depth = d
 	if d == 0 {
-		return 0
+		var r simResult
+		if s.leaf != nil {
+			r.kernel = s.leaf(m, n, k)
+		}
+		return r
 	}
 	unit := 1 << uint(d)
 	mp, kp, np := roundUp(m, unit), roundUp(k, unit), roundUp(n, unit)
@@ -297,11 +350,14 @@ func (s *planSim) simStatic(m, k, n int, betaZero bool) int64 {
 		parallel:  s.parallel,
 		parLevels: s.parLevels,
 		plan:      s.plan,
-		memo:      make(map[planKey]int64),
+		leaf:      s.leaf,
+		memo:      make(map[planKey]simResult),
 	}
 	var pad int64
 	if mp != m || kp != k || np != n {
 		pad = int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(mp)*int64(np)
 	}
-	return pad + inner.sim(mp, kp, np, betaZero, 0)
+	r := inner.sim(mp, kp, np, betaZero, 0)
+	r.words += pad
+	return r
 }
