@@ -27,6 +27,20 @@ type Report struct {
 	// the baseline file so the noise model travels with the numbers it was
 	// measured from.
 	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+	// ISA is the micro-kernel instruction set dispatched on the measuring
+	// host ("avx2+fma", "neon", "scalar"). Context for readers of the
+	// report: absolute numbers from different ISAs are not comparable, and
+	// a report whose ISA says "scalar" must not be read as a SIMD
+	// regression.
+	ISA string `json:"isa,omitempty"`
+	// Requires maps a metric name to the dispatch capability its baseline
+	// number was measured under (currently only "simd"): kernel.simd.*
+	// exists only there, and multiply/batch throughput depends on which
+	// micro-kernel dispatched. When the gating host lacks the capability,
+	// the metric is SKIPPED rather than reported MISSING or REGRESSION —
+	// a fallback host must not fail the gate for lacking a vector unit,
+	// and the report says so explicitly instead of silently passing.
+	Requires map[string]string `json:"requires,omitempty"`
 }
 
 // Delta is one metric's baseline-to-current comparison.
@@ -39,6 +53,8 @@ type Delta struct {
 	Regress  bool    // ratio below 1-tol
 	Improved bool    // ratio above 1+tol
 	Missing  bool    // in the baseline but not measured now
+	Skipped  bool    // baseline requires a capability this host lacks
+	Needs    string  // the missing capability when Skipped
 }
 
 // Compare evaluates the current metrics against a baseline with relative
@@ -46,8 +62,12 @@ type Delta struct {
 // (or narrows) the tolerance per metric. Metrics present only in the
 // current report are ignored (new benchmarks must not fail the gate before
 // the baseline is refreshed); metrics missing from the current report are
-// flagged, so a deleted benchmark cannot silently pass.
-func Compare(base, current map[string]float64, tol float64, overrides map[string]float64) []Delta {
+// flagged, so a deleted benchmark cannot silently pass — unless the
+// baseline marks the metric as measured under a capability (requires) the
+// current host lacks (caps), in which case it is Skipped: numbers taken
+// under different micro-kernel dispatch are not comparable, and a missing
+// SIMD-only metric is conditional on hardware, not deleted.
+func Compare(base, current map[string]float64, tol float64, overrides map[string]float64, requires map[string]string, caps map[string]bool) []Delta {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -62,6 +82,15 @@ func Compare(base, current map[string]float64, tol float64, overrides map[string
 		b := base[name]
 		c, ok := current[name]
 		d := Delta{Name: name, Base: b, Current: c, Tol: mtol}
+		// A metric whose baseline was measured under a capability this
+		// host's dispatch lacks is skipped: even when re-measured, the
+		// numbers are not comparable across micro-kernels.
+		if need, gated := requires[name]; gated && !caps[need] {
+			d.Skipped = true
+			d.Needs = need
+			out = append(out, d)
+			continue
+		}
 		switch {
 		case !ok:
 			d.Missing = true

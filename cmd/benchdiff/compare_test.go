@@ -23,7 +23,7 @@ func metricsLike(scale float64) (base, cur map[string]float64) {
 func TestCompareWithinTolerancePasses(t *testing.T) {
 	for _, scale := range []float64{1.0, 0.95, 0.901, 1.3} {
 		base, cur := metricsLike(scale)
-		if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 0 {
+		if regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil)); len(regs) != 0 {
 			t.Errorf("scale %g: unexpected regressions %v", scale, regs)
 		}
 	}
@@ -34,7 +34,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 // (the CLI equivalent is `benchdiff -baseline ... -scale 0.8`).
 func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
 	base, cur := metricsLike(0.80)
-	regs := Regressions(Compare(base, cur, 0.10, nil))
+	regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil))
 	if len(regs) != len(base) {
 		t.Fatalf("20%% slowdown: %d of %d metrics flagged", len(regs), len(base))
 	}
@@ -48,7 +48,7 @@ func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
 func TestCompareSingleMetricSlowdown(t *testing.T) {
 	base, cur := metricsLike(1.0)
 	cur["multiply.512.gflops"] *= 0.8
-	regs := Regressions(Compare(base, cur, 0.10, nil))
+	regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil))
 	if len(regs) != 1 || regs[0].Name != "multiply.512.gflops" {
 		t.Fatalf("want exactly multiply.512.gflops flagged, got %v", regs)
 	}
@@ -57,7 +57,7 @@ func TestCompareSingleMetricSlowdown(t *testing.T) {
 func TestCompareMissingMetricFails(t *testing.T) {
 	base, cur := metricsLike(1.0)
 	delete(cur, "batch.192.calls_per_s")
-	regs := Regressions(Compare(base, cur, 0.10, nil))
+	regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil))
 	if len(regs) != 1 || !regs[0].Missing {
 		t.Fatalf("deleted metric must fail the gate, got %v", regs)
 	}
@@ -66,7 +66,7 @@ func TestCompareMissingMetricFails(t *testing.T) {
 func TestCompareNewMetricIgnored(t *testing.T) {
 	base, cur := metricsLike(1.0)
 	cur["kernel.packed.1024.gflops"] = 4.2 // not yet in the baseline
-	if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 0 {
+	if regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil)); len(regs) != 0 {
 		t.Fatalf("new metric must not fail the gate before a baseline refresh, got %v", regs)
 	}
 }
@@ -106,15 +106,87 @@ func TestComparePerMetricToleranceOverride(t *testing.T) {
 	base, cur := metricsLike(1.0)
 	cur["batch.192.calls_per_s"] *= 0.82 // within a 25% override, beyond the 10% default
 	overrides := map[string]float64{"batch.192.calls_per_s": 0.25}
-	if regs := Regressions(Compare(base, cur, 0.10, overrides)); len(regs) != 0 {
+	if regs := Regressions(Compare(base, cur, 0.10, overrides, nil, nil)); len(regs) != 0 {
 		t.Fatalf("override not honored: %v", regs)
 	}
-	if regs := Regressions(Compare(base, cur, 0.10, nil)); len(regs) != 1 {
+	if regs := Regressions(Compare(base, cur, 0.10, nil, nil, nil)); len(regs) != 1 {
 		t.Fatalf("without override the drop must fail, got %v", regs)
 	}
 	// The override must not loosen other metrics.
 	cur["multiply.512.gflops"] *= 0.85
-	if regs := Regressions(Compare(base, cur, 0.10, overrides)); len(regs) != 1 || regs[0].Name != "multiply.512.gflops" {
+	if regs := Regressions(Compare(base, cur, 0.10, overrides, nil, nil)); len(regs) != 1 || regs[0].Name != "multiply.512.gflops" {
 		t.Fatalf("default tolerance lost: %v", regs)
+	}
+}
+
+// TestCompareSkipsCapabilityGatedMetrics: a SIMD-only metric in the
+// baseline must SKIP (not MISSING-fail) on a host without the capability,
+// while still failing where the capability exists.
+func TestCompareSkipsCapabilityGatedMetrics(t *testing.T) {
+	base, cur := metricsLike(1.0)
+	base["kernel.simd.512.gflops"] = 30.0
+	requires := map[string]string{"kernel.simd.512.gflops": "simd"}
+
+	// Fallback host: metric unmeasured, capability absent -> skipped.
+	deltas := Compare(base, cur, 0.10, nil, requires, map[string]bool{"simd": false})
+	var skip *Delta
+	for i := range deltas {
+		if deltas[i].Name == "kernel.simd.512.gflops" {
+			skip = &deltas[i]
+		}
+	}
+	if skip == nil || !skip.Skipped || skip.Needs != "simd" || skip.Regress {
+		t.Fatalf("fallback host must skip the gated metric, got %+v", skip)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("fallback host must pass, got %v", regs)
+	}
+
+	// SIMD host that failed to measure it -> still a hard MISSING failure.
+	deltas = Compare(base, cur, 0.10, nil, requires, map[string]bool{"simd": true})
+	regs := Regressions(deltas)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("capable host must fail on the missing gated metric, got %v", regs)
+	}
+
+	// Fallback host that measured it anyway: still skipped — numbers
+	// taken under different dispatch are not comparable.
+	cur["kernel.simd.512.gflops"] = 20.0
+	deltas = Compare(base, cur, 0.10, nil, requires, map[string]bool{"simd": false})
+	for _, d := range deltas {
+		if d.Name == "kernel.simd.512.gflops" && (!d.Skipped || d.Regress) {
+			t.Fatalf("gated metric must skip regardless of measurement, got %+v", d)
+		}
+	}
+
+	// Engine-level metrics gated the same way: a SIMD-measured multiply
+	// baseline must not judge a scalar host's (slower) re-measurement.
+	base["multiply.512.gflops"] = 27.0
+	cur["multiply.512.gflops"] = 4.8
+	requires["multiply.512.gflops"] = "simd"
+	regs = Regressions(Compare(base, cur, 0.10, nil, requires, map[string]bool{"simd": false}))
+	if len(regs) != 0 {
+		t.Fatalf("scalar host vs SIMD baseline must not regress on dispatch-sensitive metrics, got %v", regs)
+	}
+}
+
+// TestReportRoundTripISARequires pins the new report fields through JSON.
+func TestReportRoundTripISARequires(t *testing.T) {
+	base, _ := metricsLike(1.0)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := &Report{
+		Go: "go1.24.0", Reps: 5, Metrics: base,
+		ISA:      "avx2+fma",
+		Requires: map[string]string{"kernel.simd.512.gflops": "simd"},
+	}
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ISA != in.ISA || out.Requires["kernel.simd.512.gflops"] != "simd" {
+		t.Fatalf("ISA/Requires lost in round trip: %+v", out)
 	}
 }

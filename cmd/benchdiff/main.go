@@ -41,7 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	report := &Report{Go: runtime.Version(), Reps: *reps, Metrics: runSuite(*reps)}
+	report := &Report{
+		Go:       runtime.Version(),
+		Reps:     *reps,
+		ISA:      dispatchedISA(),
+		Metrics:  runSuite(*reps),
+		Requires: suiteRequires(),
+	}
+	fmt.Printf("host micro-kernel ISA: %s\n", report.ISA)
 	if *scale != 1.0 {
 		for name := range report.Metrics {
 			report.Metrics[name] *= *scale
@@ -85,10 +92,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	deltas := Compare(base.Metrics, report.Metrics, *tol, base.Tolerances)
+	// Capability = "the suite measured it", not raw hardware: a
+	// DGEFMM_KERNEL=packed override (the CI fallback leg) must gate
+	// exactly like a scalar host.
+	caps := map[string]bool{"simd": blas.KernelByName("simd") != nil}
+	deltas := Compare(base.Metrics, report.Metrics, *tol, base.Tolerances, base.Requires, caps)
 	fmt.Printf("vs %s (default tolerance %.0f%%):\n", *baseline, *tol*100)
 	for _, d := range deltas {
 		switch {
+		case d.Skipped:
+			fmt.Printf("  %-28s SKIPPED (requires %s; dispatching %s)\n", d.Name, d.Needs, dispatchedISA())
 		case d.Missing:
 			fmt.Printf("  %-28s MISSING (baseline %.2f)\n", d.Name, d.Base)
 		case d.Regress:
@@ -106,6 +119,15 @@ func main() {
 	fmt.Println("ok: no regressions")
 }
 
+// dispatchedISA is the ISA the default kernel actually runs — "scalar"
+// under a DGEFMM_KERNEL=packed override even on AVX2 hardware.
+func dispatchedISA() string {
+	if ik, ok := kernel.Default().(interface{ ISA() string }); ok {
+		return ik.ISA()
+	}
+	return "go"
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchdiff:", err)
 	os.Exit(1)
@@ -113,11 +135,15 @@ func fatal(err error) {
 
 // runSuite measures the pinned suite. Metric names are stable identifiers:
 // renaming one orphans its baseline entry and fails the gate until the
-// baseline is refreshed deliberately.
+// baseline is refreshed deliberately. kernel.packed.* pins the scalar tile
+// explicitly (Mode, not dispatch) so those numbers stay comparable across
+// hosts; kernel.simd.* exists only where feature detection passes and is
+// marked capability-gated via suiteRequires.
 func runSuite(reps int) map[string]float64 {
+	scalar := blas.KernelByName("packed")
 	m := map[string]float64{
-		"kernel.packed.512.gflops":  kernelGflops(kernel.Default(), 512, reps),
-		"kernel.packed.256.gflops":  kernelGflops(kernel.Default(), 256, reps),
+		"kernel.packed.512.gflops":  kernelGflops(scalar, 512, reps),
+		"kernel.packed.256.gflops":  kernelGflops(scalar, 256, reps),
 		"kernel.blocked.512.gflops": kernelGflops(&blas.BlockedKernel{}, 512, reps),
 		"multiply.256.gflops":       multiplyGflops(256, reps),
 		"multiply.512.gflops":       multiplyGflops(512, reps),
@@ -127,7 +153,34 @@ func runSuite(reps int) map[string]float64 {
 	// falling back toward the legacy blocked kernel is a regression even if
 	// both moved with machine noise.
 	m["kernel.packed_vs_blocked.512.ratio"] = m["kernel.packed.512.gflops"] / m["kernel.blocked.512.gflops"]
+	if simd := blas.KernelByName("simd"); simd != nil {
+		m["kernel.simd.512.gflops"] = kernelGflops(simd, 512, reps)
+		m["kernel.simd.256.gflops"] = kernelGflops(simd, 256, reps)
+		// The SIMD-over-scalar speedup is the PR's headline invariant (the
+		// acceptance bar is 2x); gate the ratio, not just the absolutes.
+		m["kernel.simd_vs_packed.512.ratio"] = m["kernel.simd.512.gflops"] / m["kernel.packed.512.gflops"]
+	}
 	return m
+}
+
+// suiteRequires records which of this report's metrics are only
+// comparable under SIMD dispatch. The kernel.simd.* metrics exist only
+// there; the engine-level multiply/batch throughputs are measured
+// everywhere but their numbers follow the dispatched micro-kernel, so a
+// SIMD-measured baseline must not judge a fallback host (the scalar leaf
+// is gated separately by the always-scalar kernel.packed.* metrics).
+func suiteRequires() map[string]string {
+	req := map[string]string{
+		"kernel.simd.512.gflops":          "simd",
+		"kernel.simd.256.gflops":          "simd",
+		"kernel.simd_vs_packed.512.ratio": "simd",
+	}
+	if blas.KernelByName("simd") != nil {
+		req["multiply.256.gflops"] = "simd"
+		req["multiply.512.gflops"] = "simd"
+		req["batch.192.calls_per_s"] = "simd"
+	}
+	return req
 }
 
 // median of the per-rep measurements; each rep re-times the same closure.

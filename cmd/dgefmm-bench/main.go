@@ -35,7 +35,7 @@ func main() {
 		mFlag        = flag.Int("m", 0, "matrix order override for table1")
 		nFlag        = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
 		samples      = flag.Int("samples", 0, "sample-count override for table4/fig6")
-		kernel       = flag.String("kernel", "blocked", "kernel for fig2 (packed|blocked|vector|naive)")
+		kernelName   = flag.String("kernel", "auto", "kernel for fig2 and -batch (auto|simd|packed|blocked|vector|naive)")
 		batchMode    = flag.Bool("batch", false, "run the batched-vs-loop throughput comparison instead of the paper experiments")
 		batchCalls   = flag.Int("batch-calls", 0, "batch size for -batch (0 = 64, quick 16)")
 		batchOrder   = flag.Int("batch-order", 0, "matrix order for -batch (0 = 512, quick 128)")
@@ -66,9 +66,10 @@ func main() {
 
 	sc := experiments.Scale{Quick: *quick}
 	w := os.Stdout
+	fmt.Fprintf(os.Stderr, "kernel dispatch: %s\n", experiments.KernelInfo(*kernelName))
 
 	if *batchMode {
-		res := experiments.BatchBench(w, *batchCalls, *batchOrder, *batchWorkers, *batchReps, *kernel, sc)
+		res := experiments.BatchBench(w, *batchCalls, *batchOrder, *batchWorkers, *batchReps, *kernelName, sc)
 		if *batchOut != "" {
 			if err := res.WriteFile(*batchOut); err != nil {
 				fmt.Fprintf(os.Stderr, "write %s: %v\n", *batchOut, err)
@@ -89,7 +90,7 @@ func main() {
 				col.Registry.Gauge(fmt.Sprintf("table1.peak_words.%s.beta%d", slug(r.Impl), int(r.Beta))).Set(r.MeasuredWords)
 			}
 		},
-		"fig2":   func() { experiments.Figure2(w, *kernel, 0, 0, 0, sc) },
+		"fig2":   func() { experiments.Figure2(w, *kernelName, 0, 0, 0, sc) },
 		"table2": func() { experiments.Table2(w, sc) },
 		"table3": func() { experiments.Table3(w, sc) },
 		"table4": func() { experiments.Table4(w, *samples, sc) },

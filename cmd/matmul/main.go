@@ -12,7 +12,8 @@
 //	matmul -random 2048 -trace-out t.json        # timed recursion tree (Perfetto)
 //
 // Engines: dgefmm (default), dgemm, both (times the two and checks
-// agreement). Kernels: packed (default), blocked, vector, naive.
+// agreement). Kernels: auto (default: SIMD when the CPU has it, scalar
+// packed otherwise), simd, packed, blocked, vector, naive.
 package main
 
 import (
@@ -21,9 +22,11 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/strassen"
@@ -37,7 +40,7 @@ func main() {
 		random     = flag.Int("random", 0, "generate random square operands of this order instead of reading files")
 		seed       = flag.Int64("seed", 1, "seed for -random")
 		engine     = flag.String("engine", "dgefmm", "dgefmm | dgemm | both")
-		kernel     = flag.String("kernel", "packed", "packed | blocked | vector | naive")
+		kernelName = flag.String("kernel", "auto", "auto | simd | packed | blocked | vector | naive")
 		ta         = flag.Bool("ta", false, "use Aᵀ")
 		tb         = flag.Bool("tb", false, "use Bᵀ")
 		alpha      = flag.Float64("alpha", 1, "alpha scalar")
@@ -49,10 +52,13 @@ func main() {
 	)
 	flag.Parse()
 
-	kern := blas.KernelByName(*kernel)
-	if kern == nil {
-		fatalf("unknown kernel %q", *kernel)
+	var kern blas.Kernel
+	if *kernelName == "auto" || *kernelName == "" {
+		kern = kernel.Default()
+	} else if kern = blas.KernelByName(*kernelName); kern == nil {
+		fatalf("unknown kernel %q (have auto %s)", *kernelName, strings.Join(blas.KernelNames(), " "))
 	}
+	fmt.Fprintf(os.Stderr, "kernel: %s (ISA %s)\n", kern.Name(), kernelISA(kern))
 
 	var a, b *matrix.Dense
 	switch {
@@ -193,6 +199,15 @@ func mustRead(path string) *matrix.Dense {
 		fatalf("parse %s: %v", path, err)
 	}
 	return m
+}
+
+// kernelISA reports the instruction set a kernel's inner loop runs on:
+// the dispatched ISA for kernels that expose one, "go" for portable Go.
+func kernelISA(k blas.Kernel) string {
+	if ik, ok := k.(interface{ ISA() string }); ok {
+		return ik.ISA()
+	}
+	return "go"
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 	"repro/internal/obs"
@@ -227,13 +228,13 @@ func NewPool(opts *Options) *Pool {
 	}
 	p.kern = p.base.Kernel
 	if p.kern == nil {
-		p.kern = blas.DefaultKernel
+		p.kern = kernel.Default()
 	}
 	if pk, ok := p.kern.(*blas.ParallelKernel); ok && pk.Workers > perCall {
 		if perCall < 2 {
 			p.kern = pk.Base
 			if p.kern == nil {
-				p.kern = blas.DefaultKernel
+				p.kern = kernel.Default()
 			}
 		} else {
 			p.kern = &blas.ParallelKernel{Workers: perCall, Base: pk.Base}

@@ -12,10 +12,12 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/memtrack"
 	"repro/internal/obs"
 	"repro/internal/strassen"
@@ -56,11 +58,27 @@ func (s Scale) sq(v, q int) int {
 }
 
 func kernelOf(name string) blas.Kernel {
+	if name == "" || name == "auto" {
+		return kernel.Default()
+	}
 	k := blas.KernelByName(name)
 	if k == nil {
-		k = blas.DefaultKernel
+		k = kernel.Default()
 	}
 	return k
+}
+
+// KernelInfo describes what kernelOf(name) resolves to — the registry name
+// plus the instruction set its inner loop was dispatched to — so benchmark
+// output and logs state explicitly whether a host ran SIMD or the portable
+// fallback.
+func KernelInfo(name string) string {
+	k := kernelOf(name)
+	isa := "go"
+	if ik, ok := k.(interface{ ISA() string }); ok {
+		isa = ik.ISA()
+	}
+	return fmt.Sprintf("%s (ISA %s)", k.Name(), isa)
 }
 
 // collector, when installed via SetCollector, observes every

@@ -5,6 +5,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/kernel"
 )
 
 // Smoke tests run every experiment in quick mode, asserting structural
@@ -203,15 +206,27 @@ func TestAblationsQuick(t *testing.T) {
 		t.Fatal("parallel rows")
 	}
 	rows := AblationKernels(io.Discard, quick)
-	if len(rows) != 4 {
-		t.Fatal("kernel rows")
+	if len(rows) != len(blas.KernelNames()) {
+		t.Fatalf("kernel rows: got %d, want one per registered kernel (%d)", len(rows), len(blas.KernelNames()))
 	}
 	// The cache-aware kernels must beat naive — that ordering is what the
 	// machine mapping relies on — and packed must be in the report now that
-	// it is the default base-case multiplier.
+	// it is the default base-case multiplier. "simd" only registers on
+	// hosts whose CPU passes feature detection.
 	byName := map[string]float64{}
 	for _, r := range rows {
 		byName[r.Name] = r.Seconds
+	}
+	// The rows must mirror the registry exactly: "simd" appears iff it
+	// registered (hardware has it AND no DGEFMM_KERNEL override pinned the
+	// process to another path).
+	for _, name := range blas.KernelNames() {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("registered kernel %q missing from the ablation", name)
+		}
+	}
+	if _, simdRegistered := byName["simd"]; simdRegistered && !kernel.HasSIMD() {
+		t.Error("simd kernel reported on a host without SIMD")
 	}
 	if byName["blocked"] >= byName["naive"] {
 		t.Errorf("blocked (%v) should beat naive (%v)", byName["blocked"], byName["naive"])

@@ -25,8 +25,16 @@ func benchMulAdd(b *testing.B, k blas.Kernel, n int) {
 	}
 }
 
-func BenchmarkPacked256(b *testing.B)  { benchMulAdd(b, &Packed{}, 256) }
-func BenchmarkPacked512(b *testing.B)  { benchMulAdd(b, &Packed{}, 512) }
+func BenchmarkPacked256(b *testing.B) { benchMulAdd(b, &Packed{}, 256) }
+func BenchmarkPacked512(b *testing.B) { benchMulAdd(b, &Packed{}, 512) }
+func BenchmarkScalar256(b *testing.B) { benchMulAdd(b, &Packed{Mode: ModeScalar}, 256) }
+func BenchmarkScalar512(b *testing.B) { benchMulAdd(b, &Packed{Mode: ModeScalar}, 512) }
+func BenchmarkSIMD512(b *testing.B) {
+	if !HasSIMD() {
+		b.Skipf("no SIMD micro-kernel (ISA %s)", SIMDISA())
+	}
+	benchMulAdd(b, &Packed{Mode: ModeSIMD}, 512)
+}
 func BenchmarkBlocked256(b *testing.B) { benchMulAdd(b, &blas.BlockedKernel{}, 256) }
 func BenchmarkBlocked512(b *testing.B) { benchMulAdd(b, &blas.BlockedKernel{}, 512) }
 func BenchmarkPackedCompat512(b *testing.B) {

@@ -1,0 +1,45 @@
+package kernel
+
+// Runtime CPU-feature detection for the AVX2+FMA micro-kernel, via raw
+// CPUID/XGETBV (no dependency on golang.org/x/sys/cpu). The OS check
+// matters: AVX registers are usable only when the kernel saves YMM state
+// (OSXSAVE set and XCR0 enabling both XMM and YMM), so a hypervisor that
+// masks XSAVE correctly demotes us to the scalar tile.
+
+// cpuidex executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+//
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (extended control register 0). Only valid when
+// CPUID.1:ECX.OSXSAVE is set. Implemented in cpu_amd64.s.
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// detectSIMD reports whether the AVX2+FMA micro-kernel can run: the CPU
+// advertises AVX, AVX2 and FMA, and the OS saves the YMM register state.
+func detectSIMD() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12 // CPUID.1:ECX.FMA
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+	xcr0lo, _ := xgetbv0()
+	if xcr0lo&0x6 != 0x6 {
+		return false
+	}
+	const avx2Bit = 1 << 5 // CPUID.7.0:EBX.AVX2
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,45 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"os"
+	"runtime"
+)
+
+// Runtime CPU-feature detection for the NEON micro-kernel. On Linux the
+// kernel publishes HWCAP through the ELF auxiliary vector; AT_HWCAP bit 1
+// is ASIMD (AdvSIMD, i.e. NEON with double-precision lanes, mandatory in
+// the ARMv8-A AArch64 base profile). Reading /proc/self/auxv avoids both
+// cgo and a golang.org/x/sys dependency.
+
+const (
+	atHWCAP    = 16     // AT_HWCAP tag in the auxiliary vector
+	hwcapASIMD = 1 << 1 // HWCAP_ASIMD
+)
+
+// detectSIMD reports whether the NEON micro-kernel can run.
+func detectSIMD() bool {
+	if runtime.GOOS == "linux" {
+		if buf, err := os.ReadFile("/proc/self/auxv"); err == nil {
+			return auxvHasASIMD(buf)
+		}
+	}
+	// No auxv (non-Linux, or /proc masked off): every AArch64 profile Go
+	// supports — including darwin/arm64 — mandates AdvSIMD, so default on.
+	return true
+}
+
+// auxvHasASIMD scans an ELF auxiliary vector for AT_HWCAP and tests the
+// ASIMD bit. A missing AT_HWCAP entry defaults on (the capability is
+// architecturally mandatory; the probe exists to honor a kernel that says
+// otherwise).
+func auxvHasASIMD(auxv []byte) bool {
+	for i := 0; i+16 <= len(auxv); i += 16 {
+		tag := binary.LittleEndian.Uint64(auxv[i:])
+		val := binary.LittleEndian.Uint64(auxv[i+8:])
+		if tag == atHWCAP {
+			return val&hwcapASIMD != 0
+		}
+	}
+	return true
+}

@@ -29,17 +29,24 @@ func FuzzKernel(f *testing.F) {
 		if math.Abs(alpha) > 1e6 || math.Abs(beta) > 1e6 {
 			t.Skip()
 		}
-		// Vary the blocking so block-boundary logic is fuzzed too.
+		// Vary the blocking and dispatch mode so block-boundary logic and
+		// the SIMD/scalar tail split are fuzzed too. ModeSIMD degrades to
+		// the scalar tile on hosts without a vector unit, so every case is
+		// valid everywhere.
 		var k *Packed
-		switch blk % 4 {
+		switch blk % 6 {
 		case 0:
-			k = &Packed{} // cache-derived defaults
+			k = &Packed{} // cache-derived defaults, auto dispatch
 		case 1:
 			k = &Packed{Compat: true}
 		case 2:
 			k = &Packed{MC: 2 * MR, KC: 3, NC: 2 * NR}
-		default:
+		case 3:
 			k = &Packed{MC: 16, KC: 8, NC: 12}
+		case 4:
+			k = &Packed{Mode: ModeSIMD}
+		default:
+			k = &Packed{Mode: ModeScalar, MC: 16, KC: 8, NC: 12}
 		}
 		transOf := func(tr bool) blas.Transpose {
 			if tr {
@@ -75,7 +82,7 @@ func FuzzKernel(f *testing.F) {
 		for i := range got {
 			if d := math.Abs(got[i] - want[i]); d > tol {
 				t.Fatalf("m=%d n=%d k=%d ta=%v tb=%v alpha=%g beta=%g blk=%d: diff %g at %d",
-					m, n, kk, ta, tb, alpha, beta, blk%4, d, i)
+					m, n, kk, ta, tb, alpha, beta, blk%6, d, i)
 			}
 		}
 	})

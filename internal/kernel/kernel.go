@@ -9,6 +9,13 @@
 // register kernel with edge-case handlers, covering alpha and all four
 // transpose combinations.
 //
+// The register tile is dispatched at runtime (see dispatch.go): hosts with
+// AVX2+FMA (amd64) or AdvSIMD (arm64) run a hand-written 8×4 assembly tile
+// — Goto & van de Geijn's point that the micro-kernel is where the vector
+// ISA earns its multiple — while every other host, and every Compat
+// instance, runs the portable scalar 4×4 tile. The DGEFMM_KERNEL
+// environment variable forces either path.
+//
 // Packing buffers are drawn from an internal/memtrack arena, so workspace
 // stays measurable and bounded the same way the Strassen temporaries are
 // (Boyer et al., arXiv:0707.2347 motivate keeping scratch inside the
@@ -30,7 +37,9 @@ import (
 // Compat block sizes: blas.BlockedKernel's defaults. Rounding of a C
 // element depends only on where the k dimension is split into KC blocks
 // (alpha is applied per block), not on MR/NR/MC/NC, so pinning KC to the
-// legacy kernel's value makes results bit-for-bit identical to it.
+// legacy kernel's value — and the micro-kernel to the scalar tile, since
+// FMA contraction changes rounding — makes results bit-for-bit identical
+// to it.
 const (
 	compatMC = 128
 	compatKC = 256
@@ -38,36 +47,51 @@ const (
 )
 
 // Packed is the packed cache-blocked kernel. The zero value is ready to
-// use: block sizes default to the cache-derived DefaultBlocks and the
+// use: block sizes default to the cache-derived DefaultBlocks, the
+// micro-kernel to the best tile the host supports (ModeAuto), and the
 // packing arena is created on first use. All methods are safe for
 // concurrent use.
 type Packed struct {
 	// MC×KC is the packed Ã panel (sized for L2); KC×NC is the packed B̃
 	// panel (sized against L3). Zero values select DefaultBlocks.
 	MC, KC, NC int
-	// Compat pins the blocking to blas.BlockedKernel's defaults, making
-	// results bit-for-bit identical to the legacy blocked leaf (at some
-	// speed cost on machines whose caches want other block sizes). Off by
-	// default: the tuned blocking changes the KC split and therefore
-	// rounding, while staying within the same error bounds.
+	// Mode selects the micro-kernel dispatch policy; see Mode. The zero
+	// value auto-dispatches.
+	Mode Mode
+	// Compat pins the blocking to blas.BlockedKernel's defaults and the
+	// micro-kernel to the scalar tile, making results bit-for-bit
+	// identical to the legacy blocked leaf (at some speed cost). Off by
+	// default: the tuned blocking changes the KC split and the SIMD tile
+	// fuses multiply-adds, both changing rounding while staying within the
+	// same error bounds.
 	Compat bool
 
 	mu    sync.Mutex
 	arena *memtrack.Tracker
 
-	mulAdds    atomic.Int64
-	packAWords atomic.Int64
-	packBWords atomic.Int64
+	mulAdds     atomic.Int64
+	packAWords  atomic.Int64
+	packBWords  atomic.Int64
+	simdTiles   atomic.Int64
+	scalarTiles atomic.Int64
 }
 
-// Name implements blas.Kernel.
-func (k *Packed) Name() string { return "packed" }
+// Name implements blas.Kernel. A Packed whose inner loop dispatches to a
+// SIMD tile reports "simd" (its calibrated cutoff parameters differ from
+// the scalar kernel's — a faster leaf raises the crossover); the scalar
+// paths report "packed".
+func (k *Packed) Name() string {
+	if k.impl().isa != "scalar" {
+		return "simd"
+	}
+	return "packed"
+}
 
 // Clone implements blas.Cloner. The clone shares the receiver's tuning but
 // owns a fresh arena, so per-worker clones (internal/batch) get per-worker
 // workspace accounting.
 func (k *Packed) Clone() blas.Kernel {
-	return &Packed{MC: k.MC, KC: k.KC, NC: k.NC, Compat: k.Compat}
+	return &Packed{MC: k.MC, KC: k.KC, NC: k.NC, Mode: k.Mode, Compat: k.Compat}
 }
 
 // Arena returns the packing-buffer arena, creating it on first use.
@@ -94,8 +118,16 @@ func (k *Packed) Counters() (mulAdds, packAWords, packBWords int64) {
 	return k.mulAdds.Load(), k.packAWords.Load(), k.packBWords.Load()
 }
 
-// blocks resolves the effective (MC, KC, NC).
-func (k *Packed) blocks() (mc, kc, nc int) {
+// TileCounters reports how many register-tile invocations ran on the SIMD
+// micro-kernel versus the scalar one (full tiles dispatch; ragged fringe
+// tiles always run the scalar tail). internal/obs snapshots these so a
+// silently mis-dispatched host shows up as scalar-heavy traffic.
+func (k *Packed) TileCounters() (simd, scalar int64) {
+	return k.simdTiles.Load(), k.scalarTiles.Load()
+}
+
+// blocks resolves the effective (MC, KC, NC) for the active micro-kernel.
+func (k *Packed) blocks(mi *microImpl) (mc, kc, nc int) {
 	if k.Compat {
 		return compatMC, compatKC, compatNC
 	}
@@ -110,16 +142,16 @@ func (k *Packed) blocks() (mc, kc, nc int) {
 	if nc <= 0 {
 		nc = dnc
 	}
-	mc = (mc + MR - 1) / MR * MR
-	nc = (nc + NR - 1) / NR * NR
+	mc = roundUpMul(mc, mi.mr)
+	nc = roundUpMul(nc, mi.nr)
 	return mc, kc, nc
 }
 
 // effBlocks clamps the blocking to the problem so small leaves draw small
 // buffers (a τ-sized Strassen leaf must not pay for an NC-wide panel).
-func (k *Packed) effBlocks(m, n, kk int) (mcE, kcE, ncE int) {
-	mc, kc, nc := k.blocks()
-	mcE = roundUpMul(m, MR)
+func (k *Packed) effBlocks(mi *microImpl, m, n, kk int) (mcE, kcE, ncE int) {
+	mc, kc, nc := k.blocks(mi)
+	mcE = roundUpMul(m, mi.mr)
 	if mcE > mc {
 		mcE = mc
 	}
@@ -127,7 +159,7 @@ func (k *Packed) effBlocks(m, n, kk int) (mcE, kcE, ncE int) {
 	if kcE > kc {
 		kcE = kc
 	}
-	ncE = roundUpMul(n, NR)
+	ncE = roundUpMul(n, mi.nr)
 	if ncE > nc {
 		ncE = nc
 	}
@@ -136,13 +168,15 @@ func (k *Packed) effBlocks(m, n, kk int) (mcE, kcE, ncE int) {
 
 // LeafWorkspace returns the exact packing workspace, in float64 words, one
 // MulAdd of the given logical shape draws from the arena: the Ã panel plus
-// the B̃ panel at the clamped blocking. strassen.PlanFor folds the maximum
-// over a plan's base cases into Plan.KernelWords.
+// the B̃ panel at the clamped blocking (which follows the active tile's
+// panel shapes — an 8-row SIMD Ã panel rounds m up to 8, not 4).
+// strassen.PlanFor folds the maximum over a plan's base cases into
+// Plan.KernelWords.
 func (k *Packed) LeafWorkspace(m, n, kk int) int64 {
 	if m <= 0 || n <= 0 || kk <= 0 {
 		return 0
 	}
-	mcE, kcE, ncE := k.effBlocks(m, n, kk)
+	mcE, kcE, ncE := k.effBlocks(k.impl(), m, n, kk)
 	return int64(mcE)*int64(kcE) + int64(kcE)*int64(ncE)
 }
 
@@ -154,13 +188,15 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 	if m <= 0 || n <= 0 || kk <= 0 || alpha == 0 {
 		return
 	}
-	mcE, kcE, ncE := k.effBlocks(m, n, kk)
+	mi := k.impl()
+	mcE, kcE, ncE := k.effBlocks(mi, m, n, kk)
 	ar := k.Arena()
 	apack := ar.AllocUninit(mcE * kcE)
 	bpack := ar.AllocUninit(kcE * ncE)
 	ta, tb := transA.IsTrans(), transB.IsTrans()
 
 	var packedA, packedB int64
+	var fullTiles, edgeTiles int64
 	for jc := 0; jc < n; jc += ncE {
 		nb := n - jc
 		if nb > ncE {
@@ -171,16 +207,18 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 			if kb > kcE {
 				kb = kcE
 			}
-			packB(bpack, b, ldb, tb, pc, jc, kb, nb)
+			packB(mi.nr, bpack, b, ldb, tb, pc, jc, kb, nb)
 			packedB += int64(kb) * int64(nb)
 			for ic := 0; ic < m; ic += mcE {
 				mb := m - ic
 				if mb > mcE {
 					mb = mcE
 				}
-				packA(apack, a, lda, ta, ic, pc, mb, kb)
+				packA(mi.mr, apack, a, lda, ta, ic, pc, mb, kb)
 				packedA += int64(mb) * int64(kb)
-				macroKernel(apack, bpack, c, ldc, ic, jc, mb, nb, kb, alpha)
+				ft, et := macroKernel(mi, apack, bpack, c, ldc, ic, jc, mb, nb, kb, alpha)
+				fullTiles += ft
+				edgeTiles += et
 			}
 		}
 	}
@@ -189,44 +227,47 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 	k.mulAdds.Add(1)
 	k.packAWords.Add(packedA)
 	k.packBWords.Add(packedB)
+	if mi.isa != "scalar" {
+		k.simdTiles.Add(fullTiles)
+		k.scalarTiles.Add(edgeTiles)
+	} else {
+		k.scalarTiles.Add(fullTiles + edgeTiles)
+	}
 }
 
 // macroKernel sweeps the packed panels with the register micro-kernel:
-// for each NR-wide B̃ micro-panel (kept hot in L1), stream the Ã panel's
-// MR-row micro-panels from L2 through the register tile.
-func macroKernel(apack, bpack []float64, c []float64, ldc int, ic, jc, mb, nb, kb int, alpha float64) {
-	for jp := 0; jp < nb; jp += NR {
+// for each nr-wide B̃ micro-panel (kept hot in L1), stream the Ã panel's
+// mr-row micro-panels from L2 through the register tile. Full tiles run
+// the impl's fast path (the SIMD tile when dispatched); ragged boundary
+// tiles run its scalar edge handler. Returns the tile counts for the
+// dispatch counters.
+func macroKernel(mi *microImpl, apack, bpack []float64, c []float64, ldc int, ic, jc, mb, nb, kb int, alpha float64) (fullTiles, edgeTiles int64) {
+	mr, nr := mi.mr, mi.nr
+	for jp := 0; jp < nb; jp += nr {
 		cols := nb - jp
-		if cols > NR {
-			cols = NR
+		if cols > nr {
+			cols = nr
 		}
-		bp := bpack[(jp/NR)*(NR*kb):]
+		bp := bpack[(jp/nr)*(nr*kb):]
 		ctile := c[(jc+jp)*ldc+ic:]
-		for ip := 0; ip < mb; ip += MR {
+		for ip := 0; ip < mb; ip += mr {
 			rows := mb - ip
-			if rows > MR {
-				rows = MR
+			if rows > mr {
+				rows = mr
 			}
-			ap := apack[(ip/MR)*(MR*kb):]
-			microTile(ap, bp, ctile[ip:], ldc, rows, cols, kb, alpha)
+			ap := apack[(ip/mr)*(mr*kb):]
+			if rows == mr && cols == nr {
+				mi.full(ap, bp, ctile[ip:], ldc, kb, alpha)
+				fullTiles++
+			} else {
+				mi.edge(ap, bp, ctile[ip:], ldc, rows, cols, kb, alpha)
+				edgeTiles++
+			}
 		}
 	}
+	return fullTiles, edgeTiles
 }
 
 func roundUpMul(v, unit int) int {
 	return (v + unit - 1) / unit * unit
-}
-
-// defaultPacked is the shared process-wide instance; it is safe to share
-// because every MulAdd draws private buffers from the (mutex-guarded)
-// arena.
-var defaultPacked = &Packed{}
-
-// Default returns the shared packed kernel with cache-derived blocking —
-// the kernel internal/strassen installs as its default base-case
-// multiplier.
-func Default() blas.Kernel { return defaultPacked }
-
-func init() {
-	blas.RegisterKernel(defaultPacked)
 }

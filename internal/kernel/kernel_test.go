@@ -286,9 +286,35 @@ func TestRegisteredWithBlas(t *testing.T) {
 	if blas.KernelByName("packed") == nil {
 		t.Fatal(`blas.KernelByName("packed") = nil; init registration missing`)
 	}
+	// The scalar-pinned kernel owns the "packed" name regardless of host.
+	if pk, ok := blas.KernelByName("packed").(*Packed); !ok || pk.ISA() != "scalar" {
+		t.Fatalf(`KernelByName("packed") is not the scalar-pinned kernel`)
+	}
 	names := blas.KernelNames()
-	if len(names) == 0 || names[0] != "packed" {
-		t.Fatalf("KernelNames() = %v, want packed first", names)
+	if len(names) == 0 {
+		t.Fatal("KernelNames() empty")
+	}
+	// "simd" registers exactly when dispatch resolves it: the host has the
+	// extension AND DGEFMM_KERNEL does not pin another path. Keying on the
+	// effective state (not HasSIMD alone) keeps this test meaningful under
+	// the CI fallback leg's DGEFMM_KERNEL=packed.
+	env := envKernel()
+	wantSIMD := HasSIMD() && (env == "" || env == "auto" || env == "simd")
+	if wantSIMD {
+		// SIMD hosts lead reports with the dispatched kernel.
+		if names[0] != "simd" {
+			t.Fatalf("KernelNames() = %v, want simd first on a SIMD host", names)
+		}
+		if blas.KernelByName("simd") == nil {
+			t.Fatal(`blas.KernelByName("simd") = nil on a SIMD host`)
+		}
+	} else {
+		if names[0] != "packed" {
+			t.Fatalf("KernelNames() = %v, want packed first when dispatching scalar (env=%q)", names, env)
+		}
+		if blas.KernelByName("simd") != nil {
+			t.Fatalf(`blas.KernelByName("simd") registered while dispatch is pinned scalar (env=%q)`, env)
+		}
 	}
 }
 

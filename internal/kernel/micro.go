@@ -9,13 +9,26 @@ package kernel
 // the result is bitwise independent of the unroll factor and of MR/NR —
 // only the KC split (where alpha is applied per block) affects rounding.
 
-// Micro-tile dimensions. They are exported so tests can enumerate every
-// edge-remainder class relative to the register tile.
+// Micro-tile dimensions of the portable scalar tile. They are exported so
+// tests can enumerate every edge-remainder class relative to the register
+// tile; the active tile's dimensions (8×4 when a SIMD micro-kernel is
+// dispatched) are SIMDTileMR×SIMDTileNR.
 const (
-	// MR is the number of C rows an inner-kernel invocation computes.
+	// MR is the number of C rows a scalar inner-kernel invocation computes.
 	MR = 4
-	// NR is the number of C columns an inner-kernel invocation computes.
+	// NR is the number of C columns a scalar inner-kernel invocation
+	// computes.
 	NR = 4
+)
+
+// SIMD register-tile dimensions. Both supported ISAs use an 8×4 tile:
+// 8 rows fill two YMM registers (AVX2) or four 128-bit registers (NEON)
+// per column, and 4 columns keep all accumulators plus operands within
+// the architectural register file. Exported for tests and for
+// cmd/calibrate's block grids.
+const (
+	SIMDTileMR = 8
+	SIMDTileNR = 4
 )
 
 // microTile computes the MR×NR register tile
@@ -32,10 +45,12 @@ func microTile(ap, bp []float64, c []float64, ldc int, rows, cols, kb int, alpha
 	var c20, c21, c22, c23 float64
 	var c30, c31, c32, c33 float64
 
-	l := 0
-	for ; l+2 <= kb; l += 2 {
-		a := ap[l*MR : l*MR+2*MR : l*MR+2*MR]
-		b := bp[l*NR : l*NR+2*NR : l*NR+2*NR]
+	// Advance head-reslices instead of indexing at l·MR: the loop
+	// conditions carry the length facts the compiler needs to elide every
+	// bounds check in the k loop (verified with -d=ssa/check_bce; see
+	// EXPERIMENTS.md).
+	a, b := ap[:kb*MR], bp[:kb*NR]
+	for len(a) >= 2*MR && len(b) >= 2*NR {
 		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
 		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
 		c00 += a0 * b0
@@ -72,10 +87,9 @@ func microTile(ap, bp []float64, c []float64, ldc int, rows, cols, kb int, alpha
 		c31 += a3 * b1
 		c32 += a3 * b2
 		c33 += a3 * b3
+		a, b = a[2*MR:], b[2*NR:]
 	}
-	if l < kb {
-		a := ap[l*MR : l*MR+MR : l*MR+MR]
-		b := bp[l*NR : l*NR+NR : l*NR+NR]
+	if len(a) >= MR && len(b) >= NR {
 		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
 		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
 		c00 += a0 * b0
@@ -151,6 +165,37 @@ func microTile(ap, bp []float64, c []float64, ldc int, rows, cols, kb int, alpha
 		{c01, c11, c21, c31},
 		{c02, c12, c22, c32},
 		{c03, c13, c23, c33},
+	}
+	for s := 0; s < cols; s++ {
+		col := c[s*ldc : s*ldc+rows : s*ldc+rows]
+		for r := range col {
+			col[r] += alpha * acc[s][r]
+		}
+	}
+}
+
+// microTileEdge8x4 is the scalar tail for the 8×4 SIMD packed layout: it
+// computes the ragged rows×cols prefix of a full tile over micro-panels
+// packed for SIMDTileMR×SIMDTileNR. The zero padding the packers write
+// into ragged panels accumulates into scratch lanes the scatter discards,
+// exactly like the scalar tile's edge path. Fringe tiles are an O(n²)
+// sliver of an O(n³) computation, so this path stays simple rather than
+// unrolled.
+func microTileEdge8x4(ap, bp, c []float64, ldc, rows, cols, kb int, alpha float64) {
+	var acc [SIMDTileNR][SIMDTileMR]float64
+	// Length-guarded head-reslicing: the loop condition proves the array
+	// pointer conversions in range, so the k loop runs bounds-check free.
+	av, bv := ap[:kb*SIMDTileMR], bp[:kb*SIMDTileNR]
+	for len(av) >= SIMDTileMR && len(bv) >= SIMDTileNR {
+		a := (*[SIMDTileMR]float64)(av)
+		b := (*[SIMDTileNR]float64)(bv)
+		for j, bj := range b {
+			col := &acc[j]
+			for i := range a {
+				col[i] += a[i] * bj
+			}
+		}
+		av, bv = av[SIMDTileMR:], bv[SIMDTileNR:]
 	}
 	for s := 0; s < cols; s++ {
 		col := c[s*ldc : s*ldc+rows : s*ldc+rows]

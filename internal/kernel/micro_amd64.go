@@ -1,0 +1,36 @@
+package kernel
+
+// AVX2+FMA 8×4 micro-kernel glue. The assembly routine (micro_amd64.s)
+// computes full register tiles only; ragged edges fall back to the
+// generic scalar tail over the same packed layout.
+
+//go:noescape
+func microTile8x4AVX2(kb int, alpha float64, ap, bp, c *float64, ldc int)
+
+// avx2Full adapts the assembly tile to the microImpl signature. The slice
+// prefix re-slicings compile to bounds checks that document (and enforce)
+// the contract the macro kernel already guarantees.
+func avx2Full(ap, bp, c []float64, ldc, kb int, alpha float64) {
+	if kb <= 0 {
+		return
+	}
+	ap = ap[:SIMDTileMR*kb]
+	bp = bp[:SIMDTileNR*kb]
+	c = c[:3*ldc+SIMDTileMR]
+	microTile8x4AVX2(kb, alpha, &ap[0], &bp[0], &c[0], ldc)
+}
+
+// newSIMDImpl probes the CPU and returns the AVX2+FMA tile, or nil when
+// the host (or its OS) cannot run it.
+func newSIMDImpl() *microImpl {
+	if !detectSIMD() {
+		return nil
+	}
+	return &microImpl{
+		mr:   SIMDTileMR,
+		nr:   SIMDTileNR,
+		isa:  "avx2+fma",
+		full: avx2Full,
+		edge: microTileEdge8x4,
+	}
+}

@@ -1,0 +1,135 @@
+#include "textflag.h"
+
+// func microTile8x4AVX2(kb int, alpha float64, ap, bp, c *float64, ldc int)
+//
+// C[0:8, 0:4] += alpha · Ã·B̃ over a kb-deep packed micro-panel pair.
+// Ã is packed in 8-row micro-panels (element (i, l) at ap[l*8+i]), B̃ in
+// 4-column micro-panels (element (l, j) at bp[l*4+j]); C is column-major
+// with leading dimension ldc (in elements).
+//
+// Register plan: column j of the tile lives in Y(2j) (rows 0–3) and
+// Y(2j+1) (rows 4–7) — eight YMM accumulators that stay live across the
+// whole k loop. Each k step loads the 8-row Ã column into two YMM
+// registers, broadcasts the four B̃ elements, and issues 8 VFMADD231PD:
+// every C element is one FMA chain in strictly increasing k, the same
+// association as the scalar tile, so SIMD-vs-scalar differences come only
+// from FMA contraction (no intermediate product rounding).
+//
+// The k loop is unrolled by two with a second pair of Ã registers
+// (Y12/Y13) so the loads of step l+1 overlap the FMAs of step l.
+TEXT ·microTile8x4AVX2(SB), NOSPLIT, $0-48
+	MOVQ kb+0(FP), CX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), BX
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), DX
+	SHLQ $3, DX              // ldc in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, AX
+	SHRQ $1, AX
+	JZ   tail
+
+loop2:
+	// k step l
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (BX), Y10
+	VBROADCASTSD 8(BX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VFMADD231PD  Y10, Y8, Y4
+	VFMADD231PD  Y10, Y9, Y5
+	VFMADD231PD  Y11, Y8, Y6
+	VFMADD231PD  Y11, Y9, Y7
+
+	// k step l+1
+	VMOVUPD      64(SI), Y12
+	VMOVUPD      96(SI), Y13
+	VBROADCASTSD 32(BX), Y10
+	VBROADCASTSD 40(BX), Y11
+	VFMADD231PD  Y10, Y12, Y0
+	VFMADD231PD  Y10, Y13, Y1
+	VFMADD231PD  Y11, Y12, Y2
+	VFMADD231PD  Y11, Y13, Y3
+	VBROADCASTSD 48(BX), Y10
+	VBROADCASTSD 56(BX), Y11
+	VFMADD231PD  Y10, Y12, Y4
+	VFMADD231PD  Y10, Y13, Y5
+	VFMADD231PD  Y11, Y12, Y6
+	VFMADD231PD  Y11, Y13, Y7
+
+	ADDQ $128, SI
+	ADDQ $64, BX
+	DECQ AX
+	JNZ  loop2
+
+tail:
+	TESTQ $1, CX
+	JZ    scatter
+
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (BX), Y10
+	VBROADCASTSD 8(BX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VFMADD231PD  Y10, Y8, Y4
+	VFMADD231PD  Y10, Y9, Y5
+	VFMADD231PD  Y11, Y8, Y6
+	VFMADD231PD  Y11, Y9, Y7
+
+scatter:
+	// C[:, j] += alpha · acc_j. With alpha == 1 the FMA is exactly c + acc,
+	// so one path serves both cases.
+	VBROADCASTSD alpha+8(FP), Y14
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y0, Y8
+	VFMADD231PD Y14, Y1, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y2, Y8
+	VFMADD231PD Y14, Y3, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y4, Y8
+	VFMADD231PD Y14, Y5, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y6, Y8
+	VFMADD231PD Y14, Y7, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,107 @@
+#include "textflag.h"
+
+// func microTile8x4NEON(kb int, alpha float64, ap, bp, c *float64, ldc int)
+//
+// C[0:8, 0:4] += alpha · Ã·B̃ over a kb-deep packed micro-panel pair; the
+// packed layouts and semantics match microTile8x4AVX2 (micro_amd64.s).
+//
+// Register plan: column j of the tile lives in V(4j)..V(4j+3), two
+// float64 lanes each — sixteen 128-bit accumulators. Each k step loads
+// the 8-row Ã column into V16–V19 and the four B̃ elements into V20/V21,
+// duplicates each B̃ element across a vector (V22–V25), and issues 16
+// FMLA: every C element is a single FMA chain in increasing k, matching
+// the scalar tile's association with FMA contraction as the only
+// difference.
+TEXT ·microTile8x4NEON(SB), NOSPLIT, $0-48
+	MOVD kb+0(FP), R0
+	MOVD ap+16(FP), R1
+	MOVD bp+24(FP), R2
+	MOVD c+32(FP), R3
+	MOVD ldc+40(FP), R4
+	LSL  $3, R4              // ldc in bytes
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+	CBZ R0, scatter
+
+loop:
+	VLD1.P 64(R1), [V16.D2, V17.D2, V18.D2, V19.D2]
+	VLD1.P 32(R2), [V20.D2, V21.D2]
+
+	VDUP V20.D[0], V22.D2
+	VDUP V20.D[1], V23.D2
+	VDUP V21.D[0], V24.D2
+	VDUP V21.D[1], V25.D2
+
+	VFMLA V22.D2, V16.D2, V0.D2
+	VFMLA V22.D2, V17.D2, V1.D2
+	VFMLA V22.D2, V18.D2, V2.D2
+	VFMLA V22.D2, V19.D2, V3.D2
+	VFMLA V23.D2, V16.D2, V4.D2
+	VFMLA V23.D2, V17.D2, V5.D2
+	VFMLA V23.D2, V18.D2, V6.D2
+	VFMLA V23.D2, V19.D2, V7.D2
+	VFMLA V24.D2, V16.D2, V8.D2
+	VFMLA V24.D2, V17.D2, V9.D2
+	VFMLA V24.D2, V18.D2, V10.D2
+	VFMLA V24.D2, V19.D2, V11.D2
+	VFMLA V25.D2, V16.D2, V12.D2
+	VFMLA V25.D2, V17.D2, V13.D2
+	VFMLA V25.D2, V18.D2, V14.D2
+	VFMLA V25.D2, V19.D2, V15.D2
+
+	SUBS $1, R0, R0
+	BNE  loop
+
+scatter:
+	// C[:, j] += alpha · acc_j (FMA; exact for alpha == 1).
+	FMOVD alpha+8(FP), F26
+	VDUP  V26.D[0], V26.D2
+
+	VLD1  (R3), [V16.D2, V17.D2, V18.D2, V19.D2]
+	VFMLA V26.D2, V0.D2, V16.D2
+	VFMLA V26.D2, V1.D2, V17.D2
+	VFMLA V26.D2, V2.D2, V18.D2
+	VFMLA V26.D2, V3.D2, V19.D2
+	VST1  [V16.D2, V17.D2, V18.D2, V19.D2], (R3)
+	ADD   R4, R3
+
+	VLD1  (R3), [V16.D2, V17.D2, V18.D2, V19.D2]
+	VFMLA V26.D2, V4.D2, V16.D2
+	VFMLA V26.D2, V5.D2, V17.D2
+	VFMLA V26.D2, V6.D2, V18.D2
+	VFMLA V26.D2, V7.D2, V19.D2
+	VST1  [V16.D2, V17.D2, V18.D2, V19.D2], (R3)
+	ADD   R4, R3
+
+	VLD1  (R3), [V16.D2, V17.D2, V18.D2, V19.D2]
+	VFMLA V26.D2, V8.D2, V16.D2
+	VFMLA V26.D2, V9.D2, V17.D2
+	VFMLA V26.D2, V10.D2, V18.D2
+	VFMLA V26.D2, V11.D2, V19.D2
+	VST1  [V16.D2, V17.D2, V18.D2, V19.D2], (R3)
+	ADD   R4, R3
+
+	VLD1  (R3), [V16.D2, V17.D2, V18.D2, V19.D2]
+	VFMLA V26.D2, V12.D2, V16.D2
+	VFMLA V26.D2, V13.D2, V17.D2
+	VFMLA V26.D2, V14.D2, V18.D2
+	VFMLA V26.D2, V15.D2, V19.D2
+	VST1  [V16.D2, V17.D2, V18.D2, V19.D2], (R3)
+
+	RET

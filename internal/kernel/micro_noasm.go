@@ -1,0 +1,11 @@
+//go:build !amd64 && !arm64
+
+package kernel
+
+// No hand-written micro-kernel exists for this architecture: every Packed
+// instance runs the portable scalar 4×4 tile (ISA() == "scalar",
+// HasSIMD() == false). Adding a new ISA means an assembly tile plus a
+// platform glue file like micro_amd64.go; nothing above the micro-kernel
+// changes.
+
+func newSIMDImpl() *microImpl { return nil }

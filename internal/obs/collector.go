@@ -178,17 +178,34 @@ type KernelStats struct {
 	Goroutines int64  `json:"goroutines"`
 }
 
+// isaKernel is the optional structural interface through which a kernel
+// reports the instruction set its inner loop dispatches to ("avx2+fma",
+// "neon", "scalar"); internal/kernel's Packed implements it.
+type isaKernel interface{ ISA() string }
+
+// tileCountersKernel is the optional structural interface for kernels that
+// count register-tile invocations by dispatch path (SIMD fast path vs
+// scalar tail); a scalar-heavy ratio on a SIMD host flags a mis-dispatch.
+type tileCountersKernel interface {
+	TileCounters() (simd, scalar int64)
+}
+
 // PackedStats is one observed packed kernel's work and arena accounting.
 // Arena is the kernel's private packing-buffer arena, reported apart from
 // Snapshot.Memory: the Strassen temporaries' accounting stays directly
 // comparable to the paper's Table 1 while the packing workspace is bounded
-// by strassen.Plan.KernelWords instead.
+// by strassen.Plan.KernelWords instead. ISA and the tile counters record
+// which micro-kernel actually ran, so a report from a fallback host is
+// distinguishable from a SIMD host's.
 type PackedStats struct {
-	Name       string         `json:"name"`
-	MulAdds    int64          `json:"mul_adds"`
-	PackAWords int64          `json:"pack_a_words"`
-	PackBWords int64          `json:"pack_b_words"`
-	Arena      memtrack.Stats `json:"arena"`
+	Name        string         `json:"name"`
+	ISA         string         `json:"isa,omitempty"`
+	MulAdds     int64          `json:"mul_adds"`
+	PackAWords  int64          `json:"pack_a_words"`
+	PackBWords  int64          `json:"pack_b_words"`
+	SIMDTiles   int64          `json:"simd_tiles,omitempty"`
+	ScalarTiles int64          `json:"scalar_tiles,omitempty"`
+	Arena       memtrack.Stats `json:"arena"`
 }
 
 // SpanStats summarizes the recorded span forest.
@@ -240,10 +257,17 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for _, k := range packed {
 		ma, pa, pb := k.Counters()
-		s.Packed = append(s.Packed, PackedStats{
+		ps := PackedStats{
 			Name: k.Name(), MulAdds: ma, PackAWords: pa, PackBWords: pb,
 			Arena: k.Arena().Stats(),
-		})
+		}
+		if ik, ok := k.(isaKernel); ok {
+			ps.ISA = ik.ISA()
+		}
+		if tk, ok := k.(tileCountersKernel); ok {
+			ps.SIMDTiles, ps.ScalarTiles = tk.TileCounters()
+		}
+		s.Packed = append(s.Packed, ps)
 	}
 
 	spans := c.Spans.Spans()
@@ -275,15 +299,19 @@ func (c *Collector) Snapshot() Snapshot {
 		c.Registry.Gauge("kernel.parallel.goroutines").Set(gor)
 	}
 	if len(s.Packed) > 0 {
-		var ma, pw, arenaPeak int64
+		var ma, pw, arenaPeak, simdTiles, scalarTiles int64
 		for _, ps := range s.Packed {
 			ma += ps.MulAdds
 			pw += ps.PackAWords + ps.PackBWords
 			arenaPeak += ps.Arena.Peak
+			simdTiles += ps.SIMDTiles
+			scalarTiles += ps.ScalarTiles
 		}
 		c.Registry.Gauge("kernel.packed.mul_adds").Set(ma)
 		c.Registry.Gauge("kernel.packed.pack_words").Set(pw)
 		c.Registry.Gauge("kernel.packed.arena_peak_words").Set(arenaPeak)
+		c.Registry.Gauge("kernel.packed.simd_tiles").Set(simdTiles)
+		c.Registry.Gauge("kernel.packed.scalar_tiles").Set(scalarTiles)
 	}
 	s.Metrics = c.Registry.Snapshot()
 	s.Spans.MaxDepth = s.Metrics.Gauges[metricMaxDepth]

@@ -401,8 +401,22 @@ func TestSnapshotPackedKernelStats(t *testing.T) {
 		t.Fatalf("got %d packed kernel entries, want 1", len(s.Packed))
 	}
 	ps := s.Packed[0]
-	if ps.Name != "packed" {
-		t.Errorf("packed entry name = %q", ps.Name)
+	// The name follows the dispatched micro-kernel ("simd" on SIMD hosts,
+	// "packed" on scalar fallback); either way it must match the kernel's.
+	if ps.Name != pk.Name() {
+		t.Errorf("packed entry name = %q, kernel reports %q", ps.Name, pk.Name())
+	}
+	if ps.ISA != pk.ISA() || ps.ISA == "" {
+		t.Errorf("packed entry ISA = %q, kernel reports %q", ps.ISA, pk.ISA())
+	}
+	if ps.SIMDTiles+ps.ScalarTiles <= 0 {
+		t.Errorf("tile dispatch counters not collected: %+v", ps)
+	}
+	if ps.ISA == "scalar" && ps.SIMDTiles != 0 {
+		t.Errorf("scalar dispatch reported %d SIMD tiles", ps.SIMDTiles)
+	}
+	if s.Metrics.Gauges["kernel.packed.simd_tiles"] != ps.SIMDTiles {
+		t.Error("simd_tiles gauge not folded into metrics")
 	}
 	if ps.MulAdds <= 0 || ps.PackAWords <= 0 || ps.PackBWords <= 0 {
 		t.Errorf("packed counters not collected: %+v", ps)

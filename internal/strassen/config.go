@@ -153,7 +153,14 @@ func (p Params) Hybrid() Criterion {
 // recursion descend into sizes where the O(n²) overheads dominate; the τ
 // here is deliberately the "always better beyond this" end of the measured
 // crossover band, as the paper chose 199 from its 176–214 range.
+// The "simd" row illustrates that caution at its sharpest: the AVX2 tile
+// multiplies kernel GFLOPS by ~7, so the O(n²) add/partition overhead of a
+// Strassen step — unchanged by the tile — dominates until far larger n.
+// Calibration on the development host shows one recursion level only
+// breaking even around the top of the measured range (DGEMM/DGEFMM ≈ 0.94
+// at n=512), so τ sits at 512 and the rectangular cutoffs at 256.
 var defaultParams = map[string]Params{
+	"simd":    {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
 	"packed":  {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
 	"blocked": {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
 	"vector":  {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
