@@ -27,6 +27,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/blas"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/strassen"
 )
 
@@ -95,13 +96,17 @@ func main() {
 	// Capability = "the suite measured it", not raw hardware: a
 	// DGEFMM_KERNEL=packed override (the CI fallback leg) must gate
 	// exactly like a scalar host.
-	caps := map[string]bool{"simd": blas.KernelByName("simd") != nil}
+	caps := map[string]bool{
+		"simd":       blas.KernelByName("simd") != nil,
+		"perf_event": obs.PerfAvailable(),
+	}
 	deltas := Compare(base.Metrics, report.Metrics, *tol, base.Tolerances, base.Requires, caps)
 	fmt.Printf("vs %s (default tolerance %.0f%%):\n", *baseline, *tol*100)
 	for _, d := range deltas {
 		switch {
 		case d.Skipped:
-			fmt.Printf("  %-28s SKIPPED (requires %s; dispatching %s)\n", d.Name, d.Needs, dispatchedISA())
+			fmt.Printf("  %-28s SKIPPED (requires %s; host has isa=%s perf_event=%v)\n",
+				d.Name, d.Needs, dispatchedISA(), obs.PerfAvailable())
 		case d.Missing:
 			fmt.Printf("  %-28s MISSING (baseline %.2f)\n", d.Name, d.Base)
 		case d.Regress:
@@ -153,6 +158,13 @@ func runSuite(reps int) map[string]float64 {
 	// falling back toward the legacy blocked kernel is a regression even if
 	// both moved with machine noise.
 	m["kernel.packed_vs_blocked.512.ratio"] = m["kernel.packed.512.gflops"] / m["kernel.blocked.512.gflops"]
+	for name, v := range phaseMetrics(256, 2, reps) {
+		m[name] = v
+	}
+	m["obs.overhead.ratio"] = overheadRatio(256, reps)
+	if obs.PerfAvailable() {
+		m["perf.multiply.256.ipc"] = perfIPC(256, reps)
+	}
 	if simd := blas.KernelByName("simd"); simd != nil {
 		m["kernel.simd.512.gflops"] = kernelGflops(simd, 512, reps)
 		m["kernel.simd.256.gflops"] = kernelGflops(simd, 256, reps)
@@ -174,11 +186,19 @@ func suiteRequires() map[string]string {
 		"kernel.simd.512.gflops":          "simd",
 		"kernel.simd.256.gflops":          "simd",
 		"kernel.simd_vs_packed.512.ratio": "simd",
+		// Hardware-counter efficiency exists only where perf_event_open
+		// works; unprivileged CI containers SKIP it cleanly.
+		"perf.multiply.256.ipc": "perf_event",
 	}
 	if blas.KernelByName("simd") != nil {
 		req["multiply.256.gflops"] = "simd"
 		req["multiply.512.gflops"] = "simd"
 		req["batch.192.calls_per_s"] = "simd"
+		// The micro-phase rate follows the dispatched tile loop, exactly
+		// like the whole-multiply throughputs above. The addsub/quadrant
+		// phases are streaming passes whose rate tracks memory bandwidth,
+		// not the vector unit, so they gate on every host.
+		req["phase.kernel.micro.256.gflops"] = "simd"
 	}
 	return req
 }

@@ -20,12 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/cli"
 	"repro/internal/cutoff"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -49,8 +51,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
+	cli.InitLogging(*logLevel)
 
 	if *blocks {
 		calibrateBlocks(*blockN, *blockReps, *seed)
@@ -70,16 +74,17 @@ func main() {
 	if *httpAddr != "" {
 		_, bound, err := obs.StartDebugServer(*httpAddr, col)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "start debug server on %s: %v\n", *httpAddr, err)
+			slog.Error("start debug server", "addr", *httpAddr, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /debug/vars /debug/pprof/)\n", bound)
+		slog.Info("observability endpoints up", "url", "http://"+bound,
+			"paths", "/metrics /openmetrics /debug/vars /debug/pprof/")
 	}
 
 	names := blas.KernelNames()
 	if *kernName != "" {
 		if blas.KernelByName(*kernName) == nil {
-			fmt.Fprintf(os.Stderr, "unknown kernel %q; known: %v\n", *kernName, blas.KernelNames())
+			slog.Error("unknown kernel", "kernel", *kernName, "known", blas.KernelNames())
 			os.Exit(2)
 		}
 		names = []string{*kernName}
@@ -115,13 +120,13 @@ func main() {
 
 	if col != nil && *metricsOut != "" {
 		if err := col.WriteMetricsFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *metricsOut, err)
+			slog.Error("write metrics snapshot", "path", *metricsOut, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
 	if *httpAddr != "" {
-		fmt.Fprintln(os.Stderr, "calibration done; endpoints stay up until interrupt (Ctrl-C)")
+		slog.Info("calibration done; endpoints stay up until interrupt (Ctrl-C)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch

@@ -19,11 +19,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -45,8 +47,10 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		traceOut     = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr     = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		logLevel     = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
+	cli.InitLogging(*logLevel)
 
 	// The collector only exists when an observability flag asks for it; a
 	// nil collector keeps the experiments on the untraced fast path.
@@ -58,24 +62,25 @@ func main() {
 	if *httpAddr != "" {
 		_, bound, err := obs.StartDebugServer(*httpAddr, col)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "start debug server on %s: %v\n", *httpAddr, err)
+			slog.Error("start debug server", "addr", *httpAddr, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /trace /spans /debug/vars /debug/pprof/)\n", bound)
+		slog.Info("observability endpoints up", "url", "http://"+bound,
+			"paths", "/metrics /openmetrics /trace /spans /debug/vars /debug/pprof/")
 	}
 
 	sc := experiments.Scale{Quick: *quick}
 	w := os.Stdout
-	fmt.Fprintf(os.Stderr, "kernel dispatch: %s\n", experiments.KernelInfo(*kernelName))
+	slog.Info("kernel dispatch", "info", experiments.KernelInfo(*kernelName))
 
 	if *batchMode {
 		res := experiments.BatchBench(w, *batchCalls, *batchOrder, *batchWorkers, *batchReps, *kernelName, sc)
 		if *batchOut != "" {
 			if err := res.WriteFile(*batchOut); err != nil {
-				fmt.Fprintf(os.Stderr, "write %s: %v\n", *batchOut, err)
+				slog.Error("write batch comparison", "path", *batchOut, "err", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "wrote batch comparison to %s\n", *batchOut)
+			slog.Info("wrote batch comparison", "path", *batchOut)
 		}
 		return
 	}
@@ -138,7 +143,7 @@ func main() {
 		for _, name := range strings.Split(*expFlag, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := all[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", name, strings.Join(order, " "))
+				slog.Error("unknown experiment", "experiment", name, "known", strings.Join(order, " "))
 				os.Exit(2)
 			}
 			selected = append(selected, name)
@@ -148,7 +153,7 @@ func main() {
 	for i, name := range selected {
 		run, ok := all[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "internal error: experiment %q listed but not registered\n", name)
+			slog.Error("internal error: experiment listed but not registered", "experiment", name)
 			continue
 		}
 		if i > 0 {
@@ -167,21 +172,21 @@ func main() {
 	if col != nil {
 		if *metricsOut != "" {
 			if err := col.WriteMetricsFile(*metricsOut); err != nil {
-				fmt.Fprintf(os.Stderr, "write %s: %v\n", *metricsOut, err)
+				slog.Error("write metrics snapshot", "path", *metricsOut, "err", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+			slog.Info("wrote metrics snapshot", "path", *metricsOut)
 		}
 		if *traceOut != "" {
 			if err := col.WriteTraceFile(*traceOut); err != nil {
-				fmt.Fprintf(os.Stderr, "write %s: %v\n", *traceOut, err)
+				slog.Error("write Chrome trace", "path", *traceOut, "err", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *traceOut)
+			slog.Info("wrote Chrome trace", "path", *traceOut)
 		}
 	}
 	if *httpAddr != "" {
-		fmt.Fprintln(os.Stderr, "experiments done; endpoints stay up until interrupt (Ctrl-C)")
+		slog.Info("experiments done; endpoints stay up until interrupt (Ctrl-C)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/cli"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -49,8 +51,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
+	cli.InitLogging(*logLevel)
 
 	var kern blas.Kernel
 	if *kernelName == "auto" || *kernelName == "" {
@@ -58,7 +62,7 @@ func main() {
 	} else if kern = blas.KernelByName(*kernelName); kern == nil {
 		fatalf("unknown kernel %q (have auto %s)", *kernelName, strings.Join(blas.KernelNames(), " "))
 	}
-	fmt.Fprintf(os.Stderr, "kernel: %s (ISA %s)\n", kern.Name(), kernelISA(kern))
+	slog.Info("kernel selected", "name", kern.Name(), "isa", kernelISA(kern))
 
 	var a, b *matrix.Dense
 	switch {
@@ -103,13 +107,16 @@ func main() {
 	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
 		col = obs.NewCollector()
 		col.Attach(cfg) // composes with the -trace CountTracer if both are set
+		restore := col.EnablePhases()
+		defer restore()
 	}
 	if *httpAddr != "" {
 		_, bound, err := obs.StartDebugServer(*httpAddr, col)
 		if err != nil {
 			fatalf("start debug server on %s: %v", *httpAddr, err)
 		}
-		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /trace /spans /debug/vars /debug/pprof/)\n", bound)
+		slog.Info("observability endpoints up", "url", "http://"+bound,
+			"paths", "/metrics /openmetrics /trace /spans /debug/vars /debug/pprof/")
 	}
 
 	runDgefmm := func() (*matrix.Dense, time.Duration) {
@@ -181,7 +188,7 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		fmt.Fprintln(os.Stderr, "done; endpoints stay up until interrupt (Ctrl-C)")
+		slog.Info("done; endpoints stay up until interrupt (Ctrl-C)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
@@ -211,6 +218,6 @@ func kernelISA(k blas.Kernel) string {
 }
 
 func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	slog.Error(fmt.Sprintf(format, args...))
 	os.Exit(2)
 }

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/opcount"
+	"repro/internal/phase"
+)
+
+// Roofline is the machine model the attribution rows are positioned
+// against: a measured compute ceiling, a measured memory-bandwidth
+// ceiling, and the ridge intensity where they cross. The cache geometry
+// that sized the bandwidth working set rides along for the report.
+type Roofline struct {
+	PeakGFLOPS float64       `json:"peak_gflops"`
+	MemGBps    float64       `json:"mem_gbps"`
+	RidgeAI    float64       `json:"ridge_ai"` // FLOP/byte where the roofs meet
+	Caches     kernel.Caches `json:"caches"`
+}
+
+// Attainable returns the roofline ceiling (GFLOPS) at intensity ai.
+func (r Roofline) Attainable(ai float64) float64 {
+	if bw := ai * r.MemGBps; bw < r.PeakGFLOPS {
+		return bw
+	}
+	return r.PeakGFLOPS
+}
+
+// PhaseRow is one phase's attribution: the raw counters plus derived
+// rates and its roofline position. Phase byte counters measure traffic
+// at the touched-operand level (every word the phase reads or writes),
+// not DRAM lines, so AI is a lower bound on the true DRAM intensity and
+// cache-resident phases can legitimately exceed 100% of the DRAM-fed
+// roof — that excess is itself the signal that the blocking is working.
+type PhaseRow struct {
+	phase.Stat
+	GFLOPS     float64 `json:"gflops"`
+	GBps       float64 `json:"gbps"`
+	AI         float64 `json:"ai"` // arithmetic intensity, FLOP/byte
+	Attainable float64 `json:"attainable_gflops"`
+	PctRoof    float64 `json:"pct_of_roof"`
+	Bound      string  `json:"bound"` // "compute" | "memory" | "-" (no FLOPs)
+}
+
+// FlopCheck records the cross-check of measured phase FLOPs against the
+// analytic per-phase Winograd decomposition (internal/opcount).
+type FlopCheck struct {
+	MeasuredMul      int64 `json:"measured_mul"`
+	MeasuredAddSub   int64 `json:"measured_addsub"`
+	MeasuredQuadrant int64 `json:"measured_quadrant"`
+	AnalyticMul      int64 `json:"analytic_mul"`
+	AnalyticAddSub   int64 `json:"analytic_addsub"`
+	AnalyticQuadrant int64 `json:"analytic_quadrant"`
+	Exact            bool  `json:"exact"`
+}
+
+// Report is the full attribution report for one problem size.
+type Report struct {
+	N        int             `json:"n"`
+	Depth    int             `json:"depth"`
+	Reps     int             `json:"reps"`
+	WallNS   int64           `json:"wall_ns"`
+	GFLOPS   float64         `json:"gflops"` // whole-multiply effective rate
+	Roofline *Roofline       `json:"roofline,omitempty"`
+	Phases   []PhaseRow      `json:"phases"`
+	Check    *FlopCheck      `json:"flop_check,omitempty"`
+	Perf     *obs.PerfCounts `json:"perf,omitempty"`
+}
+
+// buildRows derives attribution rows from a phase snapshot, dropping
+// phases that never fired.
+func buildRows(stats []phase.Stat, roof *Roofline) []PhaseRow {
+	rows := make([]PhaseRow, 0, len(stats))
+	for _, st := range stats {
+		if st.Count == 0 {
+			continue
+		}
+		row := PhaseRow{
+			Stat:   st,
+			GFLOPS: st.GFLOPS(),
+			GBps:   st.GBps(),
+			AI:     st.Intensity(),
+			Bound:  "-",
+		}
+		if st.Flops > 0 && roof != nil {
+			row.Attainable = roof.Attainable(row.AI)
+			if row.Attainable > 0 {
+				row.PctRoof = 100 * row.GFLOPS / row.Attainable
+			}
+			if row.AI >= roof.RidgeAI {
+				row.Bound = "compute"
+			} else {
+				row.Bound = "memory"
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// crossCheck compares measured phase FLOPs (over reps repetitions of an
+// n×n×n depth-d STRASSEN1 multiply) against the analytic decomposition.
+func crossCheck(stats []phase.Stat, n, depth, reps int) *FlopCheck {
+	want := opcount.Strassen1Counts(depth, n, n, n)
+	r := int64(reps)
+	c := &FlopCheck{
+		MeasuredMul:      stats[phase.KernelMicro].Flops + stats[phase.KernelFringe].Flops,
+		MeasuredAddSub:   stats[phase.StrassenAddSub].Flops,
+		MeasuredQuadrant: stats[phase.StrassenQuadrant].Flops,
+		AnalyticMul:      want.Mul * r,
+		AnalyticAddSub:   want.AddSub * r,
+		AnalyticQuadrant: want.Quadrant * r,
+	}
+	c.Exact = c.MeasuredMul == c.AnalyticMul &&
+		c.MeasuredAddSub == c.AnalyticAddSub &&
+		c.MeasuredQuadrant == c.AnalyticQuadrant
+	return c
+}
+
+// writeText renders the report as a fixed-width attribution table.
+func (r Report) writeText(w io.Writer) {
+	fmt.Fprintf(w, "n=%d  depth=%d  reps=%d  wall=%v  %.2f GFLOPS effective\n",
+		r.N, r.Depth, r.Reps, time.Duration(r.WallNS), r.GFLOPS)
+	if r.Roofline != nil {
+		fmt.Fprintf(w, "roofline: peak %.2f GFLOPS, mem %.2f GB/s, ridge at %.2f FLOP/byte (L1d=%dK L2=%dK L3=%dK)\n",
+			r.Roofline.PeakGFLOPS, r.Roofline.MemGBps, r.Roofline.RidgeAI,
+			r.Roofline.Caches.L1D>>10, r.Roofline.Caches.L2>>10, r.Roofline.Caches.L3>>10)
+	}
+	fmt.Fprintf(w, "%-22s %10s %12s %9s %9s %8s %9s %8s\n",
+		"phase", "count", "time", "GFLOPS", "GB/s", "AI", "%roof", "bound")
+	var totNS, totFlops int64
+	for _, row := range r.Phases {
+		pct := "-"
+		if row.Bound != "-" {
+			pct = fmt.Sprintf("%.1f", row.PctRoof)
+		}
+		fmt.Fprintf(w, "%-22s %10d %12v %9.2f %9.2f %8.3f %9s %8s\n",
+			row.Name, row.Count, time.Duration(row.NS).Round(time.Microsecond),
+			row.GFLOPS, row.GBps, row.AI, pct, row.Bound)
+		totNS += row.NS
+		totFlops += row.Flops
+	}
+	fmt.Fprintf(w, "%-22s %10s %12v  (%.1f%% of wall attributed, %d FLOPs)\n",
+		"total", "", time.Duration(totNS).Round(time.Microsecond),
+		100*float64(totNS)/float64(r.WallNS), totFlops)
+	if r.Check != nil {
+		status := "EXACT"
+		if !r.Check.Exact {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(w, "flop cross-check vs opcount.Strassen1Counts: %s (mul %d/%d, addsub %d/%d, quadrant %d/%d)\n",
+			status,
+			r.Check.MeasuredMul, r.Check.AnalyticMul,
+			r.Check.MeasuredAddSub, r.Check.AnalyticAddSub,
+			r.Check.MeasuredQuadrant, r.Check.AnalyticQuadrant)
+	}
+	if r.Perf != nil {
+		scaled := ""
+		if r.Perf.Scaled {
+			scaled = " (multiplexed, scaled)"
+		}
+		fmt.Fprintf(w, "hardware: %d cycles, %d instructions (IPC %.2f), %d LLC misses (%.2f MPKI)%s\n",
+			r.Perf.Cycles, r.Perf.Instructions, r.Perf.IPC(),
+			r.Perf.LLCMisses, r.Perf.MissesPerKiloInstruction(), scaled)
+	}
+}
+
+// writeJSON renders one or more reports as an indented JSON array.
+func writeJSON(w io.Writer, reports []Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// offlineReport rebuilds an attribution table from a saved obs.Snapshot
+// (as written by -metrics-out here or in cmd/calibrate). No roofline or
+// cross-check: the machine and run shape that produced the file are
+// unknown.
+func offlineReport(data []byte) (Report, error) {
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Report{}, fmt.Errorf("not an obs snapshot: %w", err)
+	}
+	if len(snap.Phases) == 0 {
+		return Report{}, fmt.Errorf("snapshot has no phase stats (run with phases enabled)")
+	}
+	var wall int64
+	for _, st := range snap.Phases {
+		wall += st.NS
+	}
+	return Report{WallNS: wall, Phases: buildRows(snap.Phases, nil)}, nil
+}
+
+// rooflineNote explains a phase's position in prose, for -v output.
+func rooflineNote(row PhaseRow, roof Roofline) string {
+	if row.Bound == "-" {
+		return fmt.Sprintf("%s: no FLOPs (data movement only, %.2f GB/s)", row.Name, row.GBps)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: AI %.3f FLOP/byte is %s-bound (ridge %.2f); ", row.Name, row.AI, row.Bound, roof.RidgeAI)
+	fmt.Fprintf(&b, "achieved %.2f of attainable %.2f GFLOPS (%.1f%%)", row.GFLOPS, row.Attainable, row.PctRoof)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/phase"
+)
+
+func TestRooflineAttainable(t *testing.T) {
+	r := Roofline{PeakGFLOPS: 40, MemGBps: 10, RidgeAI: 4}
+	if got := r.Attainable(1); got != 10 {
+		t.Errorf("Attainable(1) = %v, want 10 (memory roof)", got)
+	}
+	if got := r.Attainable(8); got != 40 {
+		t.Errorf("Attainable(8) = %v, want 40 (compute roof)", got)
+	}
+	if got := r.Attainable(4); got != 40 {
+		t.Errorf("Attainable(ridge) = %v, want 40", got)
+	}
+}
+
+func TestBuildRowsClassifiesBound(t *testing.T) {
+	roof := &Roofline{PeakGFLOPS: 40, MemGBps: 10, RidgeAI: 4}
+	stats := []phase.Stat{
+		{Name: "compute-heavy", Count: 1, NS: 1e9, Flops: 80e9, Bytes: 10e9}, // AI 8
+		{Name: "stream", Count: 1, NS: 1e9, Flops: 5e9, Bytes: 10e9},         // AI 0.5
+		{Name: "copy-only", Count: 1, NS: 1e9, Flops: 0, Bytes: 10e9},
+		{Name: "never-fired", Count: 0},
+	}
+	rows := buildRows(stats, roof)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (zero-count dropped)", len(rows))
+	}
+	if rows[0].Bound != "compute" || rows[0].Attainable != 40 {
+		t.Errorf("compute-heavy row: %+v", rows[0])
+	}
+	if rows[1].Bound != "memory" || rows[1].Attainable != 5 {
+		t.Errorf("stream row: bound=%q attainable=%v, want memory/5", rows[1].Bound, rows[1].Attainable)
+	}
+	if rows[1].PctRoof != 100 {
+		t.Errorf("stream row achieves exactly its roof: PctRoof = %v", rows[1].PctRoof)
+	}
+	if rows[2].Bound != "-" {
+		t.Errorf("zero-FLOP row bound = %q, want -", rows[2].Bound)
+	}
+}
+
+func TestRunOneCrossChecksExactly(t *testing.T) {
+	if !phase.Enabled {
+		t.Skip("phase accounting compiled out (-tags phaseoff)")
+	}
+	col := obs.NewCollector()
+	rep := runOne(col, 128, 2, 2, 1, nil)
+	if rep.Check == nil || !rep.Check.Exact {
+		t.Fatalf("flop cross-check not exact: %+v", rep.Check)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("no phase rows")
+	}
+	if rep.WallNS <= 0 || rep.GFLOPS <= 0 {
+		t.Errorf("implausible wall/GFLOPS: %d ns, %v", rep.WallNS, rep.GFLOPS)
+	}
+	// Counters were reset for the next size.
+	for _, st := range col.Phases().Snapshot() {
+		if st.Count != 0 {
+			t.Errorf("phase %s not reset between sizes: %+v", st.Name, st)
+		}
+	}
+}
+
+func TestTextAndJSONRendering(t *testing.T) {
+	if !phase.Enabled {
+		t.Skip("phase accounting compiled out (-tags phaseoff)")
+	}
+	col := obs.NewCollector()
+	rep := runOne(col, 64, 1, 1, 1, &Roofline{PeakGFLOPS: 40, MemGBps: 10, RidgeAI: 4})
+
+	var sb strings.Builder
+	rep.writeText(&sb)
+	out := sb.String()
+	for _, want := range []string{"kernel.micro", "strassen.addsub", "EXACT", "roofline:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := writeJSON(&sb, []Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("JSON report does not round-trip: %v", err)
+	}
+	if len(back) != 1 || back[0].N != 64 || !back[0].Check.Exact {
+		t.Errorf("round-tripped report: %+v", back)
+	}
+}
+
+func TestOfflineReportFromSnapshot(t *testing.T) {
+	if !phase.Enabled {
+		t.Skip("phase accounting compiled out (-tags phaseoff)")
+	}
+	col := obs.NewCollector()
+	runOne(col, 64, 1, 1, 1, nil)
+	// runOne resets the profiler; rebuild some state and snapshot it the
+	// way -metrics-out would.
+	restore := col.EnablePhases()
+	s := phase.Active().Begin(phase.KernelMicro)
+	s.End(1<<20, 1<<16)
+	restore()
+	data, err := json.Marshal(col.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := offlineReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "kernel.micro" {
+		t.Errorf("offline phases: %+v", rep.Phases)
+	}
+	if rep.Roofline != nil || rep.Check != nil {
+		t.Error("offline report must not invent roofline or cross-check")
+	}
+
+	if _, err := offlineReport([]byte(`{"metrics":{}}`)); err == nil {
+		t.Error("snapshot without phases must error")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("256, 512,64")
+	if err != nil || len(got) != 3 || got[0] != 256 || got[2] != 64 {
+		t.Errorf("parseSizes: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", "256,,512", "0"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}

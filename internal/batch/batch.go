@@ -42,6 +42,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 	"repro/internal/obs"
+	"repro/internal/phase"
 	"repro/internal/strassen"
 )
 
@@ -155,12 +156,15 @@ type bucket struct {
 	hist *obs.Histogram // per-bucket call latency (nil without a collector)
 }
 
-// job is one queued call plus its batch's completion state.
+// job is one queued call plus its batch's completion state. enqueued is
+// stamped only while a phase profiler is installed; a worker attributes
+// the dequeue latency to phase.BatchQueueWait.
 type job struct {
-	call *Call
-	bkt  *bucket
-	wg   *sync.WaitGroup
-	err  *errSlot
+	call     *Call
+	bkt      *bucket
+	wg       *sync.WaitGroup
+	err      *errSlot
+	enqueued time.Time
 }
 
 // errSlot records the first failure of a batch.
@@ -273,9 +277,14 @@ func (p *Pool) Execute(calls []Call) error {
 	var wg sync.WaitGroup
 	var slot errSlot
 	wg.Add(len(calls))
+	prof := phase.Active()
 	for i := range calls {
 		c := &calls[i]
-		p.jobs <- job{call: c, bkt: p.bucketFor(c), wg: &wg, err: &slot}
+		j := job{call: c, bkt: p.bucketFor(c), wg: &wg, err: &slot}
+		if prof != nil {
+			j.enqueued = time.Now()
+		}
+		p.jobs <- j
 		if p.queueDepth != nil {
 			p.queueDepth.Set(int64(len(p.jobs)))
 		}
@@ -322,6 +331,9 @@ func (p *Pool) run(w *worker, j job) {
 	}()
 	if p.queueDepth != nil {
 		p.queueDepth.Set(int64(len(p.jobs)))
+	}
+	if !j.enqueued.IsZero() {
+		phase.Active().Add(phase.BatchQueueWait, int64(time.Since(j.enqueued)), 0, 0)
 	}
 	cfg := j.bkt.cfg
 	cfg.Kernel = w.kern

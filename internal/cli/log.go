@@ -1,0 +1,52 @@
+// Package cli holds the small pieces shared by this repo's commands:
+// structured logging setup behind a common -log-level flag.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogLevelFlag registers -log-level on the given FlagSet (nil means
+// flag.CommandLine) and returns the destination string. Call InitLogging
+// after flag parsing to apply it.
+func LogLevelFlag(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+}
+
+// ParseLevel maps a -log-level value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// InitLogging installs a text slog handler writing to stderr at the
+// given level and returns the logger. Diagnostics go through slog so
+// they carry levels and key-value context; measurement output (tables,
+// JSON reports) stays on stdout, so piping results remains clean. An
+// unknown level falls back to info with a warning rather than aborting
+// a long run over a typo.
+func InitLogging(level string) *slog.Logger {
+	lv, err := ParseLevel(level)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(logger)
+	if err != nil {
+		logger.Warn("bad -log-level, using info", "err", err)
+	}
+	return logger
+}

@@ -29,9 +29,11 @@ package kernel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/memtrack"
+	"repro/internal/phase"
 )
 
 // Compat block sizes: blas.BlockedKernel's defaults. Rounding of a C
@@ -195,8 +197,16 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 	bpack := ar.AllocUninit(kcE * ncE)
 	ta, tb := transA.IsTrans(), transB.IsTrans()
 
+	// Phase attribution is hoisted to one Active() load per MulAdd; with no
+	// profiler installed the loop nest below takes the prof==nil branches
+	// only. Pack and macro-kernel durations accumulate locally and fold into
+	// the profiler in one Add per phase at the end of the call.
+	prof := phase.Active()
+	var acct phaseAcct
+
 	var packedA, packedB int64
 	var fullTiles, edgeTiles int64
+	var t0 time.Time
 	for jc := 0; jc < n; jc += ncE {
 		nb := n - jc
 		if nb > ncE {
@@ -207,16 +217,32 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 			if kb > kcE {
 				kb = kcE
 			}
+			if prof != nil {
+				t0 = time.Now()
+			}
 			packB(mi.nr, bpack, b, ldb, tb, pc, jc, kb, nb)
+			if prof != nil {
+				acct.packBNS += int64(time.Since(t0))
+			}
 			packedB += int64(kb) * int64(nb)
 			for ic := 0; ic < m; ic += mcE {
 				mb := m - ic
 				if mb > mcE {
 					mb = mcE
 				}
+				if prof != nil {
+					t0 = time.Now()
+				}
 				packA(mi.mr, apack, a, lda, ta, ic, pc, mb, kb)
+				if prof != nil {
+					acct.packANS += int64(time.Since(t0))
+					t0 = time.Now()
+				}
 				packedA += int64(mb) * int64(kb)
 				ft, et := macroKernel(mi, apack, bpack, c, ldc, ic, jc, mb, nb, kb, alpha)
+				if prof != nil {
+					acct.macro(mi, int64(time.Since(t0)), mb, nb, kb, ft, et)
+				}
 				fullTiles += ft
 				edgeTiles += et
 			}
@@ -224,6 +250,9 @@ func (k *Packed) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float
 	}
 	ar.Free(bpack)
 	ar.Free(apack)
+	if prof != nil {
+		acct.flush(prof, packedA, packedB)
+	}
 	k.mulAdds.Add(1)
 	k.packAWords.Add(packedA)
 	k.packBWords.Add(packedB)

@@ -9,6 +9,9 @@ package memtrack
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/phase"
 )
 
 // Tracker hands out float64 scratch slices and records the high-water mark
@@ -42,23 +45,13 @@ func (t *Tracker) Alloc(n int) []float64 {
 	if t == nil {
 		return make([]float64, n)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.live += int64(n)
-	if t.live > t.peak {
-		t.peak = t.live
-	}
-	if list := t.freelist[n]; len(list) > 0 {
-		s := list[len(list)-1]
-		t.freelist[n] = list[:len(list)-1]
-		t.reused++
-		for i := range s {
-			s[i] = 0
-		}
+	if prof := phase.Active(); prof != nil {
+		t0 := time.Now()
+		s := t.alloc(n, true)
+		prof.Add(phase.ArenaDraw, int64(time.Since(t0)), 0, int64(n)*8)
 		return s
 	}
-	t.allocs++
-	return make([]float64, n)
+	return t.alloc(n, true)
 }
 
 // AllocUninit is Alloc without the zeroing guarantee: a recycled slice is
@@ -73,6 +66,21 @@ func (t *Tracker) AllocUninit(n int) []float64 {
 	if t == nil {
 		return make([]float64, n)
 	}
+	if prof := phase.Active(); prof != nil {
+		t0 := time.Now()
+		s := t.alloc(n, false)
+		prof.Add(phase.ArenaDraw, int64(time.Since(t0)), 0, int64(n)*8)
+		return s
+	}
+	return t.alloc(n, false)
+}
+
+// alloc is the shared locked draw path; zero selects Alloc's zeroing
+// guarantee. The bytes a draw accounts to phase.ArenaDraw are the words
+// handed out (n·8), whether fresh or recycled — the phase exists to show
+// how much workspace traffic the schedules induce, and zeroing/recycling
+// cost shows up in the phase's wall time, not its byte count.
+func (t *Tracker) alloc(n int, zero bool) []float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.live += int64(n)
@@ -83,6 +91,11 @@ func (t *Tracker) AllocUninit(n int) []float64 {
 		s := list[len(list)-1]
 		t.freelist[n] = list[:len(list)-1]
 		t.reused++
+		if zero {
+			for i := range s {
+				s[i] = 0
+			}
+		}
 		return s
 	}
 	t.allocs++

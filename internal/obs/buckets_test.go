@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// bucketIndex returns the index of the single populated bucket after one
+// observation, and -1 if the histogram is empty or multiply populated.
+func bucketIndex(t *testing.T, d time.Duration) int {
+	t.Helper()
+	var h Histogram
+	h.Observe(d)
+	idx := -1
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if n != 1 || idx != -1 {
+				t.Fatalf("Observe(%d): bucket %d has count %d (prev hit %d)", d, i, n, idx)
+			}
+			idx = i
+		}
+	}
+	if idx == -1 {
+		t.Fatalf("Observe(%d): no bucket populated", d)
+	}
+	return idx
+}
+
+// TestBucketBoundariesAtPowersOfTwo pins the log2 bucket assignment,
+// especially at the exact powers of two where an off-by-one would
+// silently misattribute latencies: bucket i covers [2^(i-1), 2^i), so an
+// exact 2^k lands in bucket k+1, and 2^k−1 in bucket k.
+func TestBucketBoundariesAtPowersOfTwo(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1025, 11},
+		{1 << 20, 21},
+		{(1 << 20) - 1, 20},
+		{1 << 40, 41},
+		{1 << 62, 63},
+		{(1 << 62) - 1, 62},
+		{math.MaxInt64, 63},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(t, time.Duration(tc.ns)); got != tc.want {
+			t.Errorf("Observe(%d ns): bucket %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+// TestBucketNegativeDurationClampsToZero: callers subtracting timestamps
+// can hand a histogram a negative duration under clock steps; it must
+// clamp into bucket 0, not index out of range or wrap.
+func TestBucketNegativeDurationClampsToZero(t *testing.T) {
+	if got := bucketIndex(t, -time.Second); got != 0 {
+		t.Errorf("Observe(-1s): bucket %d, want 0", got)
+	}
+	var h Histogram
+	h.Observe(-5)
+	if h.sumNS.Load() != 0 {
+		t.Errorf("negative observation contributed %d ns to sum, want 0", h.sumNS.Load())
+	}
+}
+
+// TestBucketSnapshotBoundsArePowersOfTwo pins the snapshot's [Lo, Hi)
+// bounds: Lo = 2^(i-1) (0 for bucket 0) and Hi = 2^i, except the
+// overflow bucket 63, whose upper bound is capped at MaxInt64 — 1<<63
+// would wrap negative and poison Quantile.
+func TestBucketSnapshotBoundsArePowersOfTwo(t *testing.T) {
+	var h Histogram
+	h.Observe(0)               // bucket 0
+	h.Observe(1)               // bucket 1
+	h.Observe(1024)            // bucket 11
+	h.Observe(math.MaxInt64)   // bucket 63 (overflow)
+	h.Observe((1 << 62) - 100) // bucket 62
+
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	want := []HistogramBucket{
+		{LoNanos: 0, HiNanos: 1, Count: 1},
+		{LoNanos: 1, HiNanos: 2, Count: 1},
+		{LoNanos: 1 << 10, HiNanos: 1 << 11, Count: 1},
+		{LoNanos: 1 << 61, HiNanos: 1 << 62, Count: 1},
+		{LoNanos: 1 << 62, HiNanos: math.MaxInt64, Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d: %+v", len(s.Buckets), len(want), s.Buckets)
+	}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+		if b.HiNanos <= b.LoNanos {
+			t.Errorf("bucket %d has non-positive width: [%d, %d)", i, b.LoNanos, b.HiNanos)
+		}
+	}
+}
+
+// TestQuantileOverflowBucketIsFinite is the regression test for the
+// 1<<63 wrap: an observation in the top bucket must yield a positive
+// quantile bound.
+func TestQuantileOverflowBucketIsFinite(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	s := h.snapshot()
+	if q := s.Quantile(1.0); q != math.MaxInt64 {
+		t.Errorf("Quantile(1.0) = %d, want MaxInt64", q)
+	}
+	if q := s.Quantile(0.5); q <= 0 {
+		t.Errorf("Quantile(0.5) = %d, want positive", q)
+	}
+}
+
+// TestBucketAdjacentDurationsSplit verifies that durations one nanosecond
+// apart across a power-of-two boundary land in adjacent buckets.
+func TestBucketAdjacentDurationsSplit(t *testing.T) {
+	for _, k := range []int{1, 4, 10, 20, 30, 40, 50, 61} {
+		lo := bucketIndex(t, time.Duration(int64(1)<<k-1))
+		hi := bucketIndex(t, time.Duration(int64(1)<<k))
+		if hi != lo+1 {
+			t.Errorf("2^%d boundary: %d ns → bucket %d, %d ns → bucket %d; want adjacent",
+				k, int64(1)<<k-1, lo, int64(1)<<k, hi)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/memtrack"
+	"repro/internal/phase"
 	"repro/internal/strassen"
 )
 
@@ -43,6 +44,7 @@ type Collector struct {
 	trackers []*memtrack.Tracker
 	kernels  []*blas.ParallelKernel
 	packed   []packedKernel
+	phases   *phase.Profiler
 }
 
 // packedKernel is the structural interface internal/kernel's Packed
@@ -153,6 +155,29 @@ func (c *Collector) Attach(cfg *strassen.Config) *strassen.Config {
 	return cfg
 }
 
+// Phases returns the collector's phase profiler, creating it on first
+// use. The profiler only accumulates while installed as the process-wide
+// active profiler — use EnablePhases for the common scoped pattern.
+func (c *Collector) Phases() *phase.Profiler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phases == nil {
+		c.phases = &phase.Profiler{}
+	}
+	return c.phases
+}
+
+// EnablePhases installs the collector's profiler as the process-wide phase
+// profiler (package internal/phase) so kernel packing, Strassen add/sub
+// and quadrant traffic, peeling fixups, batch queue wait and arena draws
+// are attributed into this collector's snapshots. The returned function
+// restores the previously active profiler; defer it around the measured
+// region. Under -tags phaseoff this is a no-op.
+func (c *Collector) EnablePhases() (restore func()) {
+	prev := phase.SetActive(c.Phases())
+	return func() { phase.SetActive(prev) }
+}
+
 // teeTracer fans the event stream out to a pre-existing tracer while the
 // collector keeps span duty (spans need a single ID authority).
 type teeTracer struct {
@@ -230,6 +255,7 @@ type Snapshot struct {
 	Memory  memtrack.Stats  `json:"memory"`
 	Kernels []KernelStats   `json:"kernels,omitempty"`
 	Packed  []PackedStats   `json:"packed,omitempty"`
+	Phases  []phase.Stat    `json:"phases,omitempty"`
 	Spans   SpanStats       `json:"spans"`
 }
 
@@ -241,6 +267,7 @@ func (c *Collector) Snapshot() Snapshot {
 	trackers := append([]*memtrack.Tracker(nil), c.trackers...)
 	kernels := append([]*blas.ParallelKernel(nil), c.kernels...)
 	packed := append([]packedKernel(nil), c.packed...)
+	prof := c.phases
 	c.mu.Unlock()
 
 	s := Snapshot{TakenAt: time.Now()}
@@ -312,6 +339,22 @@ func (c *Collector) Snapshot() Snapshot {
 		c.Registry.Gauge("kernel.packed.arena_peak_words").Set(arenaPeak)
 		c.Registry.Gauge("kernel.packed.simd_tiles").Set(simdTiles)
 		c.Registry.Gauge("kernel.packed.scalar_tiles").Set(scalarTiles)
+	}
+	if prof != nil {
+		s.Phases = prof.Snapshot()
+		for _, ps := range s.Phases {
+			if ps.Count == 0 {
+				continue
+			}
+			// phase.* gauge family: raw totals plus the derived rates
+			// cmd/benchdiff and the OpenMetrics exposition consume.
+			c.Registry.Gauge("phase." + ps.Name + ".count").Set(ps.Count)
+			c.Registry.Gauge("phase." + ps.Name + ".ns").Set(ps.NS)
+			c.Registry.Gauge("phase." + ps.Name + ".flops").Set(ps.Flops)
+			c.Registry.Gauge("phase." + ps.Name + ".bytes").Set(ps.Bytes)
+			c.Registry.FloatGauge("phase." + ps.Name + ".gflops").Set(ps.GFLOPS())
+			c.Registry.FloatGauge("phase." + ps.Name + ".intensity").Set(ps.Intensity())
+		}
 	}
 	s.Metrics = c.Registry.Snapshot()
 	s.Spans.MaxDepth = s.Metrics.Gauges[metricMaxDepth]

@@ -47,6 +47,7 @@ var expvarTargets sync.Map
 //	/debug/vars          expvar (includes the collector if published)
 //	/debug/pprof/...     net/http/pprof profiles (cpu, heap, goroutine, ...)
 //	/metrics             the collector's Snapshot as JSON
+//	/openmetrics         the registry in OpenMetrics/Prometheus text format
 //	/trace               the recorded spans in Chrome trace-event format
 //	/spans               the recursion forest as nested JSON
 //
@@ -63,6 +64,11 @@ func DebugMux(c *Collector) *http.ServeMux {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = c.Snapshot().WriteJSON(w)
+		})
+		mux.HandleFunc("/openmetrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type",
+				"application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = c.Snapshot().Metrics.WriteOpenMetrics(w)
 		})
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")

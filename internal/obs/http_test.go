@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/strassen"
+)
+
+// liveCollector builds a collector with enough recorded state that every
+// endpoint has something non-trivial to serve.
+func liveCollector() *Collector {
+	c := NewCollector()
+	c.Registry.Counter("dgefmm.calls").Add(2)
+	c.Registry.Histogram("dgefmm.latency.ns").Observe(42 * time.Microsecond)
+	id := c.Spans.BeginSpan(0, strassen.TraceEvent{M: 256, K: 256, N: 256, Action: "base"})
+	c.Spans.EndSpan(id)
+	prof := c.Phases()
+	s := prof.Begin(0)
+	s.End(1<<20, 1<<16)
+	return c
+}
+
+func get(t *testing.T, base, path string) (status int, contentType, body string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+// TestDebugServerPhaseAndOpenMetrics covers the endpoints the original
+// TestDebugServerEndpoints (obs_test.go) does not: the OpenMetrics
+// exposition, the /spans forest, and the phase bridge surfacing in both
+// JSON and scrape forms.
+func TestDebugServerPhaseAndOpenMetrics(t *testing.T) {
+	c := liveCollector()
+	srv, bound, err := StartDebugServer("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + bound
+
+	t.Run("metrics_json", func(t *testing.T) {
+		status, ct, body := get(t, base, "/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("Content-Type %q", ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("body not a Snapshot: %v", err)
+		}
+		if snap.Metrics.Counters["dgefmm.calls"] != 2 {
+			t.Errorf("snapshot counters = %v", snap.Metrics.Counters)
+		}
+		if len(snap.Phases) == 0 {
+			t.Error("snapshot has no phase stats")
+		}
+	})
+
+	t.Run("openmetrics", func(t *testing.T) {
+		status, ct, body := get(t, base, "/openmetrics")
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if !strings.HasPrefix(ct, "application/openmetrics-text") {
+			t.Errorf("Content-Type %q", ct)
+		}
+		samples, types := parseExposition(t, body)
+		if samples["dgefmm_calls_total"] != 2 {
+			t.Errorf("dgefmm_calls_total = %v, want 2", samples["dgefmm_calls_total"])
+		}
+		if types["dgefmm_latency_seconds"] != "histogram" {
+			t.Errorf("histogram family missing: %v", types)
+		}
+		// The collector's phase bridge must surface in the scrape.
+		if _, ok := samples["phase_kernel_pack_a_flops"]; !ok {
+			t.Errorf("phase gauge family missing from exposition; samples: %d", len(samples))
+		}
+	})
+
+	t.Run("spans_json", func(t *testing.T) {
+		status, _, body := get(t, base, "/spans")
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("body not JSON: %v", err)
+		}
+	})
+
+}
+
+func TestDebugMuxNilCollector(t *testing.T) {
+	mux := DebugMux(nil)
+	// A nil collector must not register the collector endpoints; hitting
+	// them through the mux yields 404, and building the mux must not panic.
+	for _, path := range []string{"/metrics", "/openmetrics", "/trace", "/spans"} {
+		req, _ := http.NewRequest("GET", path, nil)
+		_, pattern := mux.Handler(req)
+		if pattern != "" {
+			t.Errorf("nil collector registered %s (pattern %q)", path, pattern)
+		}
+	}
+}
+
+// TestDebugServerShutdownLeaksNoGoroutines starts and stops a server and
+// verifies the goroutine count returns to baseline, so long calibration
+// runs can cycle debug servers without accumulating leaked acceptors.
+// Run under -race in CI.
+func TestDebugServerShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		srv, bound, err := StartDebugServer("127.0.0.1:0", liveCollector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exercise a request so keep-alive/conn goroutines exist, then close.
+		if status, _, _ := get(t, "http://"+bound, "/metrics"); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after server shutdowns", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

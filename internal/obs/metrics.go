@@ -142,7 +142,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if i > 0 {
 			lo = int64(1) << (i - 1)
 		}
-		hi := int64(1) << i
+		// Bucket 63 is the overflow bucket [2^62, MaxInt64]: 1<<63 would
+		// wrap to MinInt64 and report a negative upper bound (and poison
+		// Quantile), so cap it at the largest representable duration.
+		hi := int64(math.MaxInt64)
+		if i < histBuckets-1 {
+			hi = int64(1) << i
+		}
 		s.Buckets = append(s.Buckets, HistogramBucket{LoNanos: lo, HiNanos: hi, Count: n})
 	}
 	return s

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics/Prometheus text exposition for a MetricsSnapshot, so the
+// debug server's registry can be scraped by any Prometheus-compatible
+// agent without adding a client-library dependency.
+//
+// Mapping: registry counters become OpenMetrics counters (a "_total"
+// sample), gauges and float gauges become gauges, and the log2 latency
+// histograms become OpenMetrics histograms with cumulative "le" buckets
+// at their power-of-two upper bounds (converted to seconds, the
+// Prometheus base unit for time) plus "_sum" and "_count". Metric names
+// are mangled to the [a-zA-Z_:][a-zA-Z0-9_:]* charset: dots and every
+// other illegal rune become underscores ("phase.kernel.pack_a.ns" →
+// "phase_kernel_pack_a_ns").
+
+// writeOpenMetricsName mangles a registry name into the exposition charset.
+func openMetricsName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// fmtFloat renders a sample value; OpenMetrics uses decimal or scientific
+// notation and forbids NaN-as-blank (NaN is spelled "NaN").
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteOpenMetrics writes the snapshot in the OpenMetrics text format,
+// terminated by the required "# EOF" line.
+func (s MetricsSnapshot) WriteOpenMetrics(w io.Writer) error {
+	// Deterministic order: sort each family's names.
+	sorted := func(m map[string]int64) []string {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	for _, name := range sorted(s.Counters) {
+		n := openMetricsName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sorted(s.Gauges) {
+		n := openMetricsName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	fgNames := make([]string, 0, len(s.FloatGauges))
+	for n := range s.FloatGauges {
+		fgNames = append(fgNames, n)
+	}
+	sort.Strings(fgNames)
+	for _, name := range fgNames {
+		n := openMetricsName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, fmtFloat(s.FloatGauges[name])); err != nil {
+			return err
+		}
+	}
+
+	histNames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		// Registry histogram names end in ".ns"; the exposition is in
+		// seconds, so swap the unit suffix rather than exposing _ns_seconds.
+		base := strings.TrimSuffix(name, ".ns") + ".seconds"
+		n := openMetricsName(base)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := fmtFloat(float64(b.HiNanos) / 1e9)
+			if b.HiNanos == math.MaxInt64 {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		// The exposition's +Inf bucket must equal _count.
+		if cum < h.Count || len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].HiNanos != math.MaxInt64 {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			n, fmtFloat(float64(h.SumNanos)/1e9), n, h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

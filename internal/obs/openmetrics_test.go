@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseExposition is a minimal OpenMetrics text parser: it returns the
+// sample name→value map and the TYPE declarations, and fails the test on
+// any line that is neither a comment nor "name value" / "name{labels} value".
+func parseExposition(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = map[string]float64{}
+	types = map[string]string{}
+	sawEOF := false
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if sawEOF {
+			t.Fatalf("content after # EOF: %q", line)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		for _, r := range strings.SplitN(name, "{", 2)[0] {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("illegal rune %q in metric name %q", r, name)
+			}
+		}
+		samples[name] = v
+	}
+	if !sawEOF {
+		t.Fatal("exposition not terminated by # EOF")
+	}
+	return samples, types
+}
+
+func TestOpenMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dgefmm.calls").Add(3)
+	r.Gauge("phase.kernel.micro.flops").Set(1 << 30)
+	r.FloatGauge("phase.kernel.micro.gflops").Set(12.5)
+	h := r.Histogram("dgefmm.latency.ns")
+	h.Observe(900 * time.Nanosecond)  // bucket [512, 1024)
+	h.Observe(1024 * time.Nanosecond) // bucket [1024, 2048)
+	h.Observe(time.Duration(1 << 62)) // overflow bucket [2^62, MaxInt64]
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, sb.String())
+
+	if got := samples["dgefmm_calls_total"]; got != 3 {
+		t.Errorf("dgefmm_calls_total = %v, want 3", got)
+	}
+	if types["dgefmm_calls"] != "counter" {
+		t.Errorf("dgefmm_calls TYPE = %q, want counter", types["dgefmm_calls"])
+	}
+	if got := samples["phase_kernel_micro_flops"]; got != float64(int64(1)<<30) {
+		t.Errorf("phase_kernel_micro_flops = %v", got)
+	}
+	if got := samples["phase_kernel_micro_gflops"]; got != 12.5 {
+		t.Errorf("phase_kernel_micro_gflops = %v, want 12.5", got)
+	}
+
+	// Histogram: ".ns" renamed to "_seconds", cumulative le buckets, the
+	// +Inf bucket equals _count, and _sum is in seconds.
+	if types["dgefmm_latency_seconds"] != "histogram" {
+		t.Errorf("dgefmm_latency_seconds TYPE = %q, want histogram", types["dgefmm_latency_seconds"])
+	}
+	if got := samples["dgefmm_latency_seconds_count"]; got != 3 {
+		t.Errorf("_count = %v, want 3", got)
+	}
+	wantSum := (900 + 1024 + float64(int64(1)<<62)) / 1e9
+	if got := samples["dgefmm_latency_seconds_sum"]; math.Abs(got-wantSum)/wantSum > 1e-12 {
+		t.Errorf("_sum = %v, want ≈%v", got, wantSum)
+	}
+	if got := samples[`dgefmm_latency_seconds_bucket{le="+Inf"}`]; got != 3 {
+		t.Errorf(`+Inf bucket = %v, want 3 (must equal _count)`, got)
+	}
+	// 900 ns falls in the [512, 1024) bucket → cumulative count at
+	// le=1024ns (1.024e-06 s) includes it; the exact rendered le string
+	// comes from %g on 1024/1e9.
+	le := fmt.Sprintf(`dgefmm_latency_seconds_bucket{le="%g"}`, 1024.0/1e9)
+	if got, ok := samples[le]; !ok || got != 1 {
+		t.Errorf("bucket %s = %v (present=%v), want 1", le, got, ok)
+	}
+	// Cumulative monotonicity across every rendered bucket.
+	prev := -1.0
+	for _, suffix := range []string{fmt.Sprintf("%g", 1024.0/1e9), fmt.Sprintf("%g", 2048.0/1e9), "+Inf"} {
+		name := fmt.Sprintf(`dgefmm_latency_seconds_bucket{le="%s"}`, suffix)
+		v, ok := samples[name]
+		if !ok {
+			continue
+		}
+		if v < prev {
+			t.Errorf("bucket %s = %v < previous %v: not cumulative", name, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOpenMetricsEmptyRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry().Snapshot().WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "# EOF\n" {
+		t.Errorf("empty registry exposition = %q, want just # EOF", got)
+	}
+}
+
+func TestOpenMetricsNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"phase.kernel.pack_a.ns": "phase_kernel_pack_a_ns",
+		"a-b c/d":                "a_b_c_d",
+		"9lives":                 "_lives", // leading digit is illegal
+		"ok_name:42":             "ok_name:42",
+	}
+	for in, want := range cases {
+		if got := openMetricsName(in); got != want {
+			t.Errorf("openMetricsName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+// PerfCounts is one measured interval of hardware counters. The zero
+// value means "nothing counted". TimeEnabled/TimeRunning expose the
+// kernel's multiplexing accounting; when the PMU was shared and the group
+// only ran part-time, values are linearly rescaled and Scaled is set.
+type PerfCounts struct {
+	// Cycles is unhalted CPU cycles (user space only).
+	Cycles int64 `json:"cycles"`
+	// Instructions is retired instructions (user space only).
+	Instructions int64 `json:"instructions"`
+	// LLCMisses is last-level-cache misses — the roofline's "did this
+	// region stream from DRAM" signal.
+	LLCMisses int64 `json:"llc_misses"`
+	// TimeEnabled and TimeRunning are the kernel's scheduling times (ns).
+	TimeEnabled int64 `json:"time_enabled_ns"`
+	TimeRunning int64 `json:"time_running_ns"`
+	// Scaled reports that values were extrapolated due to multiplexing.
+	Scaled bool `json:"scaled,omitempty"`
+}
+
+// IPC returns instructions per cycle (0 when nothing was counted).
+func (c PerfCounts) IPC() float64 {
+	if c.Cycles <= 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// MissesPerKiloInstruction returns LLC misses per 1000 retired
+// instructions, the usual normalized locality figure.
+func (c PerfCounts) MissesPerKiloInstruction() float64 {
+	if c.Instructions <= 0 {
+		return 0
+	}
+	return 1000 * float64(c.LLCMisses) / float64(c.Instructions)
+}

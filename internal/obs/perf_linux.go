@@ -1,0 +1,268 @@
+//go:build linux
+
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Hardware-counter sampling via perf_event_open(2), implemented as a raw
+// syscall so no dependency outside the standard library is needed. One
+// PerfReader owns a counter group — CPU cycles (leader), retired
+// instructions, and LLC misses — measured for the calling thread across
+// all CPUs it migrates over, user space only. Reading the group is a
+// single read(2), so bracketing a region costs two syscalls plus two
+// ioctls; that is cheap around a whole multiply but far too hot for a
+// per-span bracket, which is why the span tree carries phase counters
+// (package internal/phase) and hardware counts are sampled around regions:
+// cmd/obsreport and cmd/benchdiff wrap each repetition in MeasurePerf.
+//
+// Degradation is part of the contract: unprivileged containers (ENOENT on
+// an unmounted perf subsystem, EPERM/EACCES under perf_event_paranoid,
+// ENOSYS under seccomp) must observe a clean error from OpenPerf and
+// false from PerfAvailable, never a crash — CI's perf leg SKIPs on it.
+
+// perf_event_open ABI constants (include/uapi/linux/perf_event.h).
+const (
+	perfTypeHardware = 0
+
+	perfCountHWCPUCycles    = 0
+	perfCountHWInstructions = 1
+	perfCountHWCacheMisses  = 3 // LLC misses on most platforms
+
+	perfFormatTotalTimeEnabled = 1 << 0
+	perfFormatTotalTimeRunning = 1 << 1
+	perfFormatGroup            = 1 << 3
+
+	// attrBits flag bits (perf_event_attr bitfield, LSB first).
+	attrDisabled      = 1 << 0
+	attrExcludeKernel = 1 << 5
+	attrExcludeHV     = 1 << 6
+
+	perfIOCEnable    = 0x2400
+	perfIOCDisable   = 0x2401
+	perfIOCReset     = 0x2403
+	perfIOCFlagGroup = 1
+
+	perfFlagFDCloexec = 1 << 3
+)
+
+// perfEventAttr mirrors struct perf_event_attr through
+// PERF_ATTR_SIZE_VER7 (128 bytes); unused trailing fields stay zero.
+type perfEventAttr struct {
+	typ              uint32
+	size             uint32
+	config           uint64
+	samplePeriod     uint64
+	sampleType       uint64
+	readFormat       uint64
+	bits             uint64
+	wakeupEvents     uint32
+	bpType           uint32
+	config1          uint64
+	config2          uint64
+	branchSampleType uint64
+	sampleRegsUser   uint64
+	sampleStackUser  uint32
+	clockID          int32
+	sampleRegsIntr   uint64
+	auxWatermark     uint32
+	sampleMaxStack   uint16
+	reserved2        uint16
+	auxSampleSize    uint32
+	reserved3        uint32
+	sigData          uint64
+}
+
+// ErrPerfUnavailable wraps every "this host cannot count" failure mode so
+// callers can branch on one sentinel.
+var ErrPerfUnavailable = errors.New("perf_event_open unavailable")
+
+// perfEventOpen wraps the raw syscall for the calling process, any CPU.
+func perfEventOpen(attr *perfEventAttr, groupFD int) (int, error) {
+	fd, _, errno := syscall.Syscall6(syscall.SYS_PERF_EVENT_OPEN,
+		uintptr(unsafe.Pointer(attr)),
+		0,                // pid 0: this process/thread
+		^uintptr(0),      // cpu −1: any CPU
+		uintptr(groupFD), // −1 for a new group leader
+		perfFlagFDCloexec, 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+// degraded classifies errnos meaning "not available here" (as opposed to
+// a programming error).
+func degraded(err error) bool {
+	var errno syscall.Errno
+	if !errors.As(err, &errno) {
+		return false
+	}
+	switch errno {
+	case syscall.ENOENT, syscall.EPERM, syscall.EACCES, syscall.ENOSYS,
+		syscall.ENODEV, syscall.EOPNOTSUPP, syscall.EBUSY, syscall.EMFILE:
+		return true
+	}
+	return false
+}
+
+// PerfReader owns one hardware-counter group. Not safe for concurrent
+// use; counts cover the whole process's threads' user-space execution
+// (inherit is off, so child threads spawned before Open are included only
+// via the calling thread — in practice wrap single multiplies, whose
+// worker goroutines reuse existing threads).
+type PerfReader struct {
+	leader int // cycles fd; group leader
+	fds    []int
+}
+
+// OpenPerf opens the counter group disabled. On hosts where hardware
+// counting is not permitted or not present the returned error wraps
+// ErrPerfUnavailable; any other error is a genuine failure.
+func OpenPerf() (*PerfReader, error) {
+	mk := func(config uint64, group int) (int, error) {
+		attr := perfEventAttr{
+			typ:        perfTypeHardware,
+			size:       uint32(unsafe.Sizeof(perfEventAttr{})),
+			config:     config,
+			readFormat: perfFormatGroup | perfFormatTotalTimeEnabled | perfFormatTotalTimeRunning,
+			bits:       attrExcludeKernel | attrExcludeHV,
+		}
+		if group == -1 {
+			attr.bits |= attrDisabled // group starts stopped; siblings follow the leader
+		}
+		return perfEventOpen(&attr, group)
+	}
+	leader, err := mk(perfCountHWCPUCycles, -1)
+	if err != nil {
+		if degraded(err) {
+			return nil, fmt.Errorf("%w: %v", ErrPerfUnavailable, err)
+		}
+		return nil, err
+	}
+	r := &PerfReader{leader: leader, fds: []int{leader}}
+	for _, cfg := range []uint64{perfCountHWInstructions, perfCountHWCacheMisses} {
+		fd, err := mk(cfg, leader)
+		if err != nil {
+			r.Close()
+			if degraded(err) {
+				return nil, fmt.Errorf("%w: %v", ErrPerfUnavailable, err)
+			}
+			return nil, err
+		}
+		r.fds = append(r.fds, fd)
+	}
+	return r, nil
+}
+
+func (r *PerfReader) ioctl(req uintptr) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(r.leader), req, perfIOCFlagGroup)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// Start zeroes and enables the group.
+func (r *PerfReader) Start() error {
+	if err := r.ioctl(perfIOCReset); err != nil {
+		return err
+	}
+	return r.ioctl(perfIOCEnable)
+}
+
+// Stop disables the group; the counts stay readable.
+func (r *PerfReader) Stop() error { return r.ioctl(perfIOCDisable) }
+
+// Read returns the group's current counts. Under counter multiplexing
+// (time_running < time_enabled) values are scaled up linearly and Scaled
+// is set.
+func (r *PerfReader) Read() (PerfCounts, error) {
+	// Group read layout (no PERF_FORMAT_ID):
+	// nr, time_enabled, time_running, value×nr.
+	var buf [6 * 8]byte
+	n, err := syscall.Read(r.leader, buf[:])
+	if err != nil {
+		return PerfCounts{}, err
+	}
+	if n < len(buf) {
+		return PerfCounts{}, fmt.Errorf("perf: short group read: %d bytes", n)
+	}
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(buf[i*8:]) }
+	if u(0) != 3 {
+		return PerfCounts{}, fmt.Errorf("perf: group has %d members, want 3", u(0))
+	}
+	c := PerfCounts{
+		TimeEnabled:  int64(u(1)),
+		TimeRunning:  int64(u(2)),
+		Cycles:       int64(u(3)),
+		Instructions: int64(u(4)),
+		LLCMisses:    int64(u(5)),
+	}
+	if c.TimeRunning > 0 && c.TimeRunning < c.TimeEnabled {
+		scale := float64(c.TimeEnabled) / float64(c.TimeRunning)
+		c.Cycles = int64(float64(c.Cycles) * scale)
+		c.Instructions = int64(float64(c.Instructions) * scale)
+		c.LLCMisses = int64(float64(c.LLCMisses) * scale)
+		c.Scaled = true
+	}
+	return c, nil
+}
+
+// Close releases the group's descriptors.
+func (r *PerfReader) Close() {
+	for _, fd := range r.fds {
+		syscall.Close(fd)
+	}
+	r.fds = nil
+}
+
+var perfProbe struct {
+	once sync.Once
+	ok   bool
+}
+
+// PerfAvailable reports whether hardware counters can actually be opened
+// on this host (probed once per process). cmd/benchdiff exposes it as the
+// "perf_event" capability so perf-derived metrics SKIP rather than fail.
+func PerfAvailable() bool {
+	perfProbe.once.Do(func() {
+		r, err := OpenPerf()
+		if err == nil {
+			r.Close()
+			perfProbe.ok = true
+		}
+	})
+	return perfProbe.ok
+}
+
+// MeasurePerf runs f with the hardware-counter group enabled and returns
+// what it counted. ok is false when counters are unavailable (f still
+// runs, uncounted) — callers degrade to FLOP/wall-clock attribution.
+func MeasurePerf(f func()) (c PerfCounts, ok bool) {
+	r, err := OpenPerf()
+	if err != nil {
+		f()
+		return PerfCounts{}, false
+	}
+	defer r.Close()
+	if err := r.Start(); err != nil {
+		f()
+		return PerfCounts{}, false
+	}
+	f()
+	if err := r.Stop(); err != nil {
+		return PerfCounts{}, false
+	}
+	c, err = r.Read()
+	if err != nil {
+		return PerfCounts{}, false
+	}
+	return c, true
+}

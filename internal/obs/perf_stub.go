@@ -1,0 +1,41 @@
+//go:build !linux
+
+package obs
+
+import "errors"
+
+// perf_event_open is Linux-only; elsewhere the reader degrades exactly
+// like an unprivileged Linux host: OpenPerf fails with
+// ErrPerfUnavailable, PerfAvailable is false, and MeasurePerf runs the
+// region uncounted.
+
+// ErrPerfUnavailable is returned by OpenPerf on every non-Linux host.
+var ErrPerfUnavailable = errors.New("perf_event_open unavailable")
+
+// PerfReader is unconstructible here; the type exists so cross-platform
+// code can hold a *PerfReader.
+type PerfReader struct{}
+
+// OpenPerf always fails off Linux.
+func OpenPerf() (*PerfReader, error) { return nil, ErrPerfUnavailable }
+
+// Start fails; a *PerfReader cannot be obtained here.
+func (r *PerfReader) Start() error { return ErrPerfUnavailable }
+
+// Stop fails; a *PerfReader cannot be obtained here.
+func (r *PerfReader) Stop() error { return ErrPerfUnavailable }
+
+// Read fails; a *PerfReader cannot be obtained here.
+func (r *PerfReader) Read() (PerfCounts, error) { return PerfCounts{}, ErrPerfUnavailable }
+
+// Close is a no-op.
+func (r *PerfReader) Close() {}
+
+// PerfAvailable is always false off Linux.
+func PerfAvailable() bool { return false }
+
+// MeasurePerf runs f uncounted.
+func MeasurePerf(f func()) (PerfCounts, bool) {
+	f()
+	return PerfCounts{}, false
+}

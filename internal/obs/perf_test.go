@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests must pass both where hardware counters work and where they
+// do not (CI runners, containers with perf_event_paranoid, non-Linux):
+// every branch asserts the degradation contract, none require the PMU.
+
+func TestOpenPerfDegradesOrWorks(t *testing.T) {
+	r, err := OpenPerf()
+	if err != nil {
+		if !errors.Is(err, ErrPerfUnavailable) {
+			t.Fatalf("OpenPerf failed with a non-degradation error: %v", err)
+		}
+		t.Logf("perf unavailable on this host: %v", err)
+		return
+	}
+	defer r.Close()
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn enough user-space work to observe nonzero counts.
+	s := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		s += float64(i) * 1.0000001
+	}
+	if s == 0 {
+		t.Fatal("unreachable")
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	c, err := r.Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if c.Cycles <= 0 || c.Instructions <= 0 {
+		t.Fatalf("counted nothing: %+v", c)
+	}
+	if ipc := c.IPC(); ipc <= 0 || ipc > 16 {
+		t.Fatalf("implausible IPC %v from %+v", ipc, c)
+	}
+}
+
+func TestPerfAvailableConsistentWithOpen(t *testing.T) {
+	_, err := OpenPerf()
+	avail := PerfAvailable()
+	if (err == nil) != avail {
+		t.Fatalf("PerfAvailable()=%v but OpenPerf err=%v", avail, err)
+	}
+}
+
+func TestMeasurePerfAlwaysRunsRegion(t *testing.T) {
+	ran := false
+	c, ok := MeasurePerf(func() { ran = true })
+	if !ran {
+		t.Fatal("MeasurePerf did not run the region")
+	}
+	if ok && c.TimeEnabled <= 0 {
+		t.Fatalf("ok but no enabled time: %+v", c)
+	}
+	if !ok && (c.Cycles != 0 || c.Instructions != 0) {
+		t.Fatalf("not ok but nonzero counts: %+v", c)
+	}
+}
+
+func TestPerfCountsDerived(t *testing.T) {
+	c := PerfCounts{Cycles: 1000, Instructions: 2500, LLCMisses: 5}
+	if got := c.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := c.MissesPerKiloInstruction(); got != 2 {
+		t.Errorf("MPKI = %v, want 2", got)
+	}
+	var zero PerfCounts
+	if zero.IPC() != 0 || zero.MissesPerKiloInstruction() != 0 {
+		t.Error("zero counts must yield zero rates")
+	}
+}

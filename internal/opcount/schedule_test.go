@@ -1,0 +1,50 @@
+package opcount
+
+import "testing"
+
+// The implemented-schedule counts must reconcile exactly with the paper's
+// equation (3): total = W + store-folding + extra in-place quadrant passes.
+func TestStrassen1CountsReconcileWithW(t *testing.T) {
+	cases := []struct{ d, m, k, n int }{
+		{0, 64, 64, 64},
+		{1, 128, 128, 128},
+		{2, 256, 256, 256},
+		{3, 512, 512, 512},
+		{2, 256, 128, 64},
+		{1, 96, 64, 160},
+	}
+	for _, c := range cases {
+		got := Strassen1Counts(c.d, c.m, c.k, c.n).Total()
+		want := W(c.d, c.m>>c.d, c.k>>c.d, c.n>>c.d) + Strassen1Delta(c.d, c.m, c.n)
+		if got != want {
+			t.Errorf("d=%d %dx%dx%d: Strassen1Counts total %d, W+delta %d",
+				c.d, c.m, c.k, c.n, got, want)
+		}
+	}
+}
+
+func TestStrassen1CountsDepthZeroIsPlainGemm(t *testing.T) {
+	c := Strassen1Counts(0, 100, 50, 70)
+	if c.AddSub != 0 || c.Quadrant != 0 {
+		t.Fatalf("depth 0 must have no add phases: %+v", c)
+	}
+	if want := int64(2 * 100 * 50 * 70); c.Mul != want {
+		t.Fatalf("depth 0 Mul = %d, want %d", c.Mul, want)
+	}
+}
+
+// One level on 128³: 4 A + 4 B passes of 64² each, 9 C passes of 64²
+// (8 single-op + 1 double-op), leaves at full 2mkn.
+func TestStrassen1CountsOneLevelByHand(t *testing.T) {
+	c := Strassen1Counts(1, 128, 128, 128)
+	q := int64(64 * 64)
+	if want := 8 * q; c.AddSub != want {
+		t.Errorf("AddSub = %d, want %d", c.AddSub, want)
+	}
+	if want := 9 * q; c.Quadrant != want {
+		t.Errorf("Quadrant = %d, want %d", c.Quadrant, want)
+	}
+	if want := 7 * 2 * int64(64*64*64); c.Mul != want {
+		t.Errorf("Mul = %d, want %d", c.Mul, want)
+	}
+}

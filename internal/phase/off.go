@@ -1,0 +1,13 @@
+//go:build phaseoff
+
+package phase
+
+// compiledOut reports whether phase accounting was removed at build time.
+const compiledOut = true
+
+// Active is constant nil under -tags phaseoff: every bracket reduces to a
+// comparison against a compile-time nil and the branch folds away, giving
+// a binary whose hot loops are bit-identical to pre-instrumentation code.
+// Benchmarking a phaseoff build against the default build bounds the cost
+// of the disabled-path nil checks (see EXPERIMENTS.md).
+func Active() *Profiler { return nil }

@@ -1,0 +1,11 @@
+//go:build !phaseoff
+
+package phase
+
+// compiledOut reports whether phase accounting was removed at build time.
+const compiledOut = false
+
+// Active returns the installed profiler, or nil when accounting is off.
+// Hot paths call this once per coarse operation (a kernel MulAdd, a
+// DGEFMM call) and hold the result, not once per inner-loop iteration.
+func Active() *Profiler { return active.Load() }

@@ -1,0 +1,142 @@
+package phase
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProfilerIsInert(t *testing.T) {
+	var p *Profiler
+	p.Add(KernelMicro, 1, 2, 3) // must not panic
+	s := p.Begin(KernelPackA)
+	s.End(10, 20)
+	p.Reset()
+	snap := p.Snapshot()
+	if len(snap) != NumPhases {
+		t.Fatalf("nil snapshot length %d, want %d", len(snap), NumPhases)
+	}
+	for _, st := range snap {
+		if st.Count != 0 || st.NS != 0 || st.Flops != 0 || st.Bytes != 0 {
+			t.Fatalf("nil profiler reported nonzero stat: %+v", st)
+		}
+	}
+}
+
+func TestAddAndSnapshot(t *testing.T) {
+	var p Profiler
+	p.Add(StrassenAddSub, 100, 64, 512)
+	p.Add(StrassenAddSub, 50, 36, 256)
+	p.Add(KernelMicro, 10, 2000, 80)
+	snap := p.Snapshot()
+	as := snap[StrassenAddSub]
+	if as.Name != "strassen.addsub" {
+		t.Errorf("name = %q", as.Name)
+	}
+	if as.Count != 2 || as.NS != 150 || as.Flops != 100 || as.Bytes != 768 {
+		t.Errorf("addsub stat = %+v", as)
+	}
+	if mi := snap[KernelMicro]; mi.Count != 1 || mi.Flops != 2000 {
+		t.Errorf("micro stat = %+v", mi)
+	}
+	p.Reset()
+	for _, st := range p.Snapshot() {
+		if st.Count != 0 || st.Flops != 0 {
+			t.Fatalf("Reset left %+v", st)
+		}
+	}
+}
+
+func TestBeginEndMeasuresTime(t *testing.T) {
+	var p Profiler
+	s := p.Begin(BatchQueueWait)
+	time.Sleep(2 * time.Millisecond)
+	s.End(0, 0)
+	st := p.Snapshot()[BatchQueueWait]
+	if st.Count != 1 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.NS < int64(time.Millisecond) {
+		t.Fatalf("elapsed %dns, expected ≥ 1ms", st.NS)
+	}
+}
+
+func TestStatDerivedRates(t *testing.T) {
+	st := Stat{NS: 1000, Flops: 2000, Bytes: 500}
+	if g := st.GFLOPS(); g != 2 {
+		t.Errorf("GFLOPS = %v, want 2", g)
+	}
+	if b := st.GBps(); b != 0.5 {
+		t.Errorf("GBps = %v, want 0.5", b)
+	}
+	if ai := st.Intensity(); ai != 4 {
+		t.Errorf("Intensity = %v, want 4", ai)
+	}
+	zero := Stat{}
+	if zero.GFLOPS() != 0 || zero.GBps() != 0 || zero.Intensity() != 0 {
+		t.Error("zero Stat must report zero rates")
+	}
+}
+
+func TestNamesStableAndComplete(t *testing.T) {
+	want := []string{
+		"kernel.pack_a", "kernel.pack_b", "kernel.micro", "kernel.fringe",
+		"strassen.addsub", "strassen.quadrant", "strassen.peel",
+		"batch.queue_wait", "arena.draw",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+		if ID(i).String() != want[i] {
+			t.Errorf("ID(%d).String() = %q, want %q", i, ID(i).String(), want[i])
+		}
+	}
+	if ID(200).String() != "unknown" {
+		t.Errorf("out-of-range ID must stringify as unknown")
+	}
+}
+
+func TestSetActiveRestores(t *testing.T) {
+	if !Enabled {
+		// Under -tags phaseoff SetActive is a no-op and Active is
+		// constant nil; pin that contract instead.
+		if SetActive(&Profiler{}) != nil || Active() != nil {
+			t.Fatal("phaseoff build must keep Active() nil and SetActive a no-op")
+		}
+		return
+	}
+	var p Profiler
+	prev := SetActive(&p)
+	defer SetActive(prev)
+	if Active() != &p {
+		t.Fatal("Active() did not return the installed profiler")
+	}
+	if got := SetActive(prev); got != &p {
+		t.Fatalf("SetActive did not return the previous profiler")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var p Profiler
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Add(ArenaDraw, 1, 2, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Snapshot()[ArenaDraw]
+	if st.Count != workers*per || st.Flops != 2*workers*per {
+		t.Fatalf("concurrent totals lost updates: %+v", st)
+	}
+}

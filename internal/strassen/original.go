@@ -45,50 +45,48 @@ func (e *engine) original(c *matrix.Dense, a, b matrix.View, alpha, beta float64
 
 	// Pre-scale C by beta once; every product is then accumulated with
 	// coefficient ±1.
-	for _, q := range []*matrix.Dense{c11, c12, c21, c22} {
-		scaleInPlace(q, beta)
-	}
+	e.phScaleQuads([]*matrix.Dense{c11, c12, c21, c22}, beta)
 
 	// M1 = (A11+A22)(B11+B22) → C11, C22
-	matrix.Add(s, a11, a22)
-	matrix.Add(t, b11, b22)
+	e.phAdd(phAS, s, a11, a22)
+	e.phAdd(phAS, t, b11, b22)
 	e.mul(p, sv, tv, alpha, 0, d)
-	matrix.AddAssign(c11, pv)
-	matrix.AddAssign(c22, pv)
+	e.phAddAssign(phQ, c11, pv)
+	e.phAddAssign(phQ, c22, pv)
 
 	// M2 = (A21+A22)B11 → C21, −C22
-	matrix.Add(s, a21, a22)
+	e.phAdd(phAS, s, a21, a22)
 	e.mul(p, sv, b11, alpha, 0, d)
-	matrix.AddAssign(c21, pv)
-	matrix.SubAssign(c22, pv)
+	e.phAddAssign(phQ, c21, pv)
+	e.phSubAssign(phQ, c22, pv)
 
 	// M3 = A11(B12−B22) → C12, C22
-	matrix.Sub(t, b12, b22)
+	e.phSub(phAS, t, b12, b22)
 	e.mul(p, a11, tv, alpha, 0, d)
-	matrix.AddAssign(c12, pv)
-	matrix.AddAssign(c22, pv)
+	e.phAddAssign(phQ, c12, pv)
+	e.phAddAssign(phQ, c22, pv)
 
 	// M4 = A22(B21−B11) → C11, C21
-	matrix.Sub(t, b21, b11)
+	e.phSub(phAS, t, b21, b11)
 	e.mul(p, a22, tv, alpha, 0, d)
-	matrix.AddAssign(c11, pv)
-	matrix.AddAssign(c21, pv)
+	e.phAddAssign(phQ, c11, pv)
+	e.phAddAssign(phQ, c21, pv)
 
 	// M5 = (A11+A12)B22 → −C11, C12
-	matrix.Add(s, a11, a12)
+	e.phAdd(phAS, s, a11, a12)
 	e.mul(p, sv, b22, alpha, 0, d)
-	matrix.SubAssign(c11, pv)
-	matrix.AddAssign(c12, pv)
+	e.phSubAssign(phQ, c11, pv)
+	e.phAddAssign(phQ, c12, pv)
 
 	// M6 = (A21−A11)(B11+B12) → C22
-	matrix.Sub(s, a21, a11)
-	matrix.Add(t, b11, b12)
+	e.phSub(phAS, s, a21, a11)
+	e.phAdd(phAS, t, b11, b12)
 	e.mul(p, sv, tv, alpha, 0, d)
-	matrix.AddAssign(c22, pv)
+	e.phAddAssign(phQ, c22, pv)
 
 	// M7 = (A12−A22)(B21+B22) → C11
-	matrix.Sub(s, a12, a22)
-	matrix.Add(t, b21, b22)
+	e.phSub(phAS, s, a12, a22)
+	e.phAdd(phAS, t, b21, b22)
 	e.mul(p, sv, tv, alpha, 0, d)
-	matrix.AddAssign(c11, pv)
+	e.phAddAssign(phQ, c11, pv)
 }

@@ -55,14 +55,14 @@ func (e *engine) parallelWinograd(c *matrix.Dense, a, b matrix.View, alpha, beta
 			e.freeMat(mt)
 		}
 	}()
-	matrix.Add(s1, a21, a22)
-	matrix.Sub(s2, matrix.ViewOf(s1), a11)
-	matrix.Sub(s3, a11, a21)
-	matrix.Sub(s4, a12, matrix.ViewOf(s2))
-	matrix.Sub(t1, b12, b11)
-	matrix.Sub(t2, b22, matrix.ViewOf(t1))
-	matrix.Sub(t3, b22, b12)
-	matrix.Sub(t4, matrix.ViewOf(t2), b21)
+	e.phAdd(phAS, s1, a21, a22)
+	e.phSub(phAS, s2, matrix.ViewOf(s1), a11)
+	e.phSub(phAS, s3, a11, a21)
+	e.phSub(phAS, s4, a12, matrix.ViewOf(s2))
+	e.phSub(phAS, t1, b12, b11)
+	e.phSub(phAS, t2, b22, matrix.ViewOf(t1))
+	e.phSub(phAS, t3, b22, b12)
+	e.phSub(phAS, t4, matrix.ViewOf(t2), b21)
 
 	p := make([]*matrix.Dense, 7)
 	for i := range p {
@@ -104,17 +104,17 @@ func (e *engine) parallelWinograd(c *matrix.Dense, a, b matrix.View, alpha, beta
 
 	// Stage (4) combinations (sequential; O(n²)).
 	v := func(i int) matrix.View { return matrix.ViewOf(p[i]) }
-	matrix.AddAssign(p[5], v(0))     // P6 ← U2 = P1+P6
-	matrix.AddAssign(p[6], v(5))     // P7 ← U3 = U2+P7
-	matrix.Axpby(c11, 1, v(0), beta) // C11 = βC11 + αP1
-	matrix.AddAssign(c11, v(1))      // + αP2
-	matrix.Axpby(c12, 1, v(5), beta) // C12 = βC12 + αU2
-	matrix.AddAssign(c12, v(4))      // + αP5
-	matrix.AddAssign(c12, v(2))      // + αP3
-	matrix.Axpby(c21, 1, v(6), beta) // C21 = βC21 + αU3
-	matrix.SubAssign(c21, v(3))      // − αP4
-	matrix.Axpby(c22, 1, v(6), beta) // C22 = βC22 + αU3
-	matrix.AddAssign(c22, v(4))      // + αP5
+	e.phAddAssign(phQ, p[5], v(0))  // P6 ← U2 = P1+P6
+	e.phAddAssign(phQ, p[6], v(5))  // P7 ← U3 = U2+P7
+	e.phAxpby(phQ, c11, v(0), beta) // C11 = βC11 + αP1
+	e.phAddAssign(phQ, c11, v(1))   // + αP2
+	e.phAxpby(phQ, c12, v(5), beta) // C12 = βC12 + αU2
+	e.phAddAssign(phQ, c12, v(4))   // + αP5
+	e.phAddAssign(phQ, c12, v(2))   // + αP3
+	e.phAxpby(phQ, c21, v(6), beta) // C21 = βC21 + αU3
+	e.phSubAssign(phQ, c21, v(3))   // − αP4
+	e.phAxpby(phQ, c22, v(6), beta) // C22 = βC22 + αU3
+	e.phAddAssign(phQ, c22, v(4))   // + αP5
 }
 
 // workerEngine returns an engine for one product goroutine: same policy,

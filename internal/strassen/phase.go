@@ -1,0 +1,116 @@
+package strassen
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/phase"
+)
+
+// This file carries the phase-attribution brackets for the O(n²) parts of
+// the recursion: the stage (1)/(2) S/T sum formation (phase
+// strassen.addsub), the stage (4) combinations into C quadrants (phase
+// strassen.quadrant), and the dynamic-peeling fixups (phase strassen.peel).
+// The schedules call the ph* wrappers below instead of the raw matrix ops;
+// each wrapper is one elementwise pass bracketed by a Begin/End pair, so
+// with no profiler installed (e.prof == nil) the cost over the raw call is
+// two nil checks — negligible against an mn-element sweep.
+//
+// FLOP convention (matches internal/opcount: one add or one multiply each
+// count 1): a binary add/sub pass over an r×c destination is r·c FLOPs;
+// AddSubAssign performs two combinations per element, 2·r·c; a copy is 0.
+// Byte convention: 8 bytes per word touched — a binary pass reads two
+// operands and writes one (24 B/elem), an in-place pass reads destination
+// and operand and writes destination (24 B/elem), AddSubAssign reads three
+// and writes one (32 B/elem), a copy reads one and writes one (16 B/elem).
+
+const (
+	phAS = phase.StrassenAddSub
+	phQ  = phase.StrassenQuadrant
+)
+
+func elems(d *matrix.Dense) int64 { return int64(d.Rows) * int64(d.Cols) }
+
+func (e *engine) phAdd(id phase.ID, dst *matrix.Dense, x, y matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.Add(dst, x, y)
+	s.End(elems(dst), 24*elems(dst))
+}
+
+func (e *engine) phSub(id phase.ID, dst *matrix.Dense, x, y matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.Sub(dst, x, y)
+	s.End(elems(dst), 24*elems(dst))
+}
+
+func (e *engine) phAddAssign(id phase.ID, dst *matrix.Dense, x matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.AddAssign(dst, x)
+	s.End(elems(dst), 24*elems(dst))
+}
+
+func (e *engine) phSubAssign(id phase.ID, dst *matrix.Dense, x matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.SubAssign(dst, x)
+	s.End(elems(dst), 24*elems(dst))
+}
+
+func (e *engine) phRevSubAssign(id phase.ID, dst *matrix.Dense, x matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.RevSubAssign(dst, x)
+	s.End(elems(dst), 24*elems(dst))
+}
+
+// phAddSubAssign brackets dst ← x − dst' + … (two combinations/element).
+func (e *engine) phAddSubAssign(id phase.ID, dst *matrix.Dense, x, y matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.AddSubAssign(dst, x, y)
+	s.End(2*elems(dst), 32*elems(dst))
+}
+
+func (e *engine) phCopy(id phase.ID, dst, src *matrix.Dense) {
+	s := e.prof.Begin(id)
+	dst.CopyFrom(src)
+	s.End(0, 16*elems(dst))
+}
+
+// axpbyFlops counts dst ← x + beta·dst at the schedules' call sites (the
+// x coefficient is always 1 there): β=0 degenerates to a copy, β=1 to one
+// add per element, and general β costs a multiply plus an add.
+func axpbyFlops(beta float64, n int64) int64 {
+	switch beta {
+	case 0:
+		return 0
+	case 1:
+		return n
+	default:
+		return 2 * n
+	}
+}
+
+func (e *engine) phAxpby(id phase.ID, dst *matrix.Dense, x matrix.View, beta float64) {
+	s := e.prof.Begin(id)
+	matrix.Axpby(dst, 1, x, beta)
+	bytes := 24 * elems(dst)
+	if beta == 0 {
+		bytes = 16 * elems(dst) // pure copy: dst is written, not read
+	}
+	s.End(axpbyFlops(beta, elems(dst)), bytes)
+}
+
+// phScaleQuads brackets the β pre-scale of the C quadrants (the original
+// schedule applies β once up front so products accumulate with ±1).
+func (e *engine) phScaleQuads(quads []*matrix.Dense, beta float64) {
+	if beta == 1 {
+		return
+	}
+	s := e.prof.Begin(phQ)
+	var n int64
+	for _, q := range quads {
+		scaleInPlace(q, beta)
+		n += elems(q)
+	}
+	if beta == 0 {
+		s.End(0, 8*n) // Zero: write-only
+	} else {
+		s.End(n, 16*n) // Scale: one multiply per element, read+write
+	}
+}

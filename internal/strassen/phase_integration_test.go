@@ -1,0 +1,103 @@
+package strassen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/opcount"
+	"repro/internal/phase"
+	"repro/internal/strassen"
+)
+
+// The acceptance check of the attribution subsystem: the FLOPs the phase
+// counters measure during a real multiply must equal the analytic
+// per-phase decomposition in internal/opcount, exactly — not within a
+// tolerance. Power-of-two shapes with MaxDepth pin the recursion so the
+// analytic side is well defined (no peeling, all leaves even).
+func TestPhaseCountersMatchAnalyticCounts(t *testing.T) {
+	if !phase.Enabled {
+		t.Skip("phase accounting compiled out (-tags phaseoff)")
+	}
+	for _, tc := range []struct{ n, depth int }{
+		{128, 1}, {128, 2}, {256, 2}, {256, 3},
+	} {
+		prof := &phase.Profiler{}
+		prev := phase.SetActive(prof)
+
+		rng := rand.New(rand.NewSource(7))
+		a := matrix.NewRandom(tc.n, tc.n, rng)
+		b := matrix.NewRandom(tc.n, tc.n, rng)
+		c := matrix.NewDense(tc.n, tc.n)
+		cfg := &strassen.Config{
+			Schedule:  strassen.ScheduleStrassen1,
+			Criterion: strassen.Always{},
+			MaxDepth:  tc.depth,
+		}
+		strassen.Multiply(cfg, c, blas.NoTrans, blas.NoTrans, 1, a, b, 0)
+		phase.SetActive(prev)
+
+		snap := prof.Snapshot()
+		want := opcount.Strassen1Counts(tc.depth, tc.n, tc.n, tc.n)
+		mul := snap[phase.KernelMicro].Flops + snap[phase.KernelFringe].Flops
+		if mul != want.Mul {
+			t.Errorf("n=%d d=%d: kernel micro+fringe FLOPs = %d, analytic %d",
+				tc.n, tc.depth, mul, want.Mul)
+		}
+		if got := snap[phase.StrassenAddSub].Flops; got != want.AddSub {
+			t.Errorf("n=%d d=%d: addsub FLOPs = %d, analytic %d",
+				tc.n, tc.depth, got, want.AddSub)
+		}
+		if got := snap[phase.StrassenQuadrant].Flops; got != want.Quadrant {
+			t.Errorf("n=%d d=%d: quadrant FLOPs = %d, analytic %d",
+				tc.n, tc.depth, got, want.Quadrant)
+		}
+		if got := snap[phase.StrassenPeel].Flops; got != 0 {
+			t.Errorf("n=%d d=%d: peel FLOPs = %d on even shapes", tc.n, tc.depth, got)
+		}
+	}
+}
+
+// With no profiler installed, a multiply must leave no trace — the
+// uninstrumented path is the default and must stay silent.
+func TestNoProfilerRecordsNothing(t *testing.T) {
+	prof := &phase.Profiler{}
+	// Deliberately NOT installed via SetActive.
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.NewRandom(64, 64, rng)
+	b := matrix.NewRandom(64, 64, rng)
+	c := matrix.NewDense(64, 64)
+	strassen.Multiply(nil, c, blas.NoTrans, blas.NoTrans, 1, a, b, 0)
+	for _, st := range prof.Snapshot() {
+		if st.Count != 0 {
+			t.Fatalf("uninstalled profiler accumulated %+v", st)
+		}
+	}
+}
+
+// The result of a multiply must be bit-identical with and without the
+// profiler installed: attribution observes, never perturbs.
+func TestProfilerDoesNotPerturbResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := matrix.NewRandom(96, 80, rng)
+	b := matrix.NewRandom(80, 112, rng)
+	c1 := matrix.NewDense(96, 112)
+	c2 := matrix.NewDense(96, 112)
+
+	strassen.Multiply(nil, c1, blas.NoTrans, blas.NoTrans, 1, a, b, 0)
+
+	prof := &phase.Profiler{}
+	prev := phase.SetActive(prof)
+	strassen.Multiply(nil, c2, blas.NoTrans, blas.NoTrans, 1, a, b, 0)
+	phase.SetActive(prev)
+
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatalf("element %d differs: %g vs %g", i, c1.Data[i], c2.Data[i])
+		}
+	}
+	if phase.Enabled && prof.Snapshot()[phase.KernelMicro].Count == 0 {
+		t.Fatal("profiler installed but kernel.micro saw no samples")
+	}
+}

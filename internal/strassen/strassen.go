@@ -4,6 +4,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
+	"repro/internal/phase"
 )
 
 // DGEFMM computes C ← alpha*op(A)*op(B) + beta*C with the paper's Strassen
@@ -55,6 +56,7 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 		parallel:  cfg.Parallel,
 		parLevels: parLevels,
 		tracer:    cfg.Tracer,
+		prof:      phase.Active(),
 	}
 	if st, ok := cfg.Tracer.(SpanTracer); ok {
 		e.spans = st
@@ -111,6 +113,9 @@ type engine struct {
 	// product are parented under the "parallel" node that spawned them.
 	spans   SpanTracer
 	curSpan int64
+	// prof is the process-wide phase profiler captured once per DGEFMM call
+	// (nil when attribution is off). Worker engines copy it by value.
+	prof *phase.Profiler
 }
 
 // mul computes c ← alpha*a*b + beta*c where a is m×k and b is k×n (both as
@@ -172,26 +177,32 @@ func (e *engine) peelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64,
 		// C11 ← C11 + alpha * a12 * b21 : rank-one update with A's peeled
 		// column and B's peeled row.
 		done := e.trace(depth, m, k, n, "fixup-ger")
+		s := e.prof.Begin(phase.StrassenPeel)
 		x, incX := colVec(a, ke)
 		y, incY := rowVec(b, ke)
 		blas.Dger(me, ne, alpha, x, incX, y, incY, coreC.Data, coreC.Stride)
+		s.End(2*int64(me)*int64(ne), 8*(int64(me)+int64(ne)+2*int64(me)*int64(ne)))
 		done()
 	}
 	if n != ne {
 		// c12 ← alpha * [A11 a12]·[b12; b22] + beta*c12 : the full first me
 		// rows of op(A) (all k columns) times B's peeled column.
 		done := e.trace(depth, m, k, n, "fixup-col")
+		s := e.prof.Begin(phase.StrassenPeel)
 		aTop := a.Slice(0, 0, me, k)
 		x, incX := colVec(b, ne)
 		e.gemvN(aTop, alpha, x, incX, beta, c.Data[ne*c.Stride:], 1)
+		s.End(2*int64(me)*int64(k), 8*(int64(me)*int64(k)+int64(k)+2*int64(me)))
 		done()
 	}
 	if m != me {
 		// [c21 c22] ← alpha * [a21 a22]·B + beta*row : op(A)'s peeled row
 		// times the whole of op(B), covering the bottom-right corner too.
 		done := e.trace(depth, m, k, n, "fixup-row")
+		s := e.prof.Begin(phase.StrassenPeel)
 		x, incX := rowVec(a, me)
 		e.gemvT(b, alpha, x, incX, beta, c.Data[me:], c.Stride)
+		s.End(2*int64(k)*int64(n), 8*(int64(k)*int64(n)+int64(k)+2*int64(n)))
 		done()
 	}
 }

@@ -61,31 +61,31 @@ func (e *engine) strassen1(c *matrix.Dense, a, b matrix.View, alpha float64, dep
 	// The products carry alpha; the combinations below then operate on
 	// already-scaled values, so every quadrant ends as alpha times its
 	// Winograd combination.
-	matrix.Sub(r1s, a11, a21)                                      // R1 = S3
-	matrix.Sub(r2, b22, b12)                                       // R2 = T3
+	e.phSub(phAS, r1s, a11, a21)                                   // R1 = S3
+	e.phSub(phAS, r2, b22, b12)                                    // R2 = T3
 	e.mul(c11, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C11 = αP7
-	matrix.Add(r1s, a21, a22)                                      // R1 = S1
-	matrix.Sub(r2, b12, b11)                                       // R2 = T1
+	e.phAdd(phAS, r1s, a21, a22)                                   // R1 = S1
+	e.phSub(phAS, r2, b12, b11)                                    // R2 = T1
 	e.mul(c21, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C21 = αP5
-	matrix.Add(c22, matrix.ViewOf(c11), matrix.ViewOf(c21))        // C22 = α(P7+P5)
-	matrix.SubAssign(r1s, a11)                                     // R1 = S2 = S1−A11
-	matrix.RevSubAssign(r2, b22)                                   // R2 = T2 = B22−T1
+	e.phAdd(phQ, c22, matrix.ViewOf(c11), matrix.ViewOf(c21))      // C22 = α(P7+P5)
+	e.phSubAssign(phAS, r1s, a11)                                  // R1 = S2 = S1−A11
+	e.phRevSubAssign(phAS, r2, b22)                                // R2 = T2 = B22−T1
 	e.mul(c12, matrix.ViewOf(r1s), matrix.ViewOf(r2), alpha, 0, d) // C12 = αP6
-	matrix.AddAssign(c22, matrix.ViewOf(c12))                      // C22 = α(P5+P6+P7)
-	matrix.RevSubAssign(r1s, a12)                                  // R1 = S4 = A12−S2
+	e.phAddAssign(phQ, c22, matrix.ViewOf(c12))                    // C22 = α(P5+P6+P7)
+	e.phRevSubAssign(phAS, r1s, a12)                               // R1 = S4 = A12−S2
 	e.mul(c11, matrix.ViewOf(r1s), b22, alpha, 0, d)               // C11 = αP3 (P7 now dead)
-	matrix.AddAssign(c12, matrix.ViewOf(c11))                      // C12 = α(P6+P3)
-	matrix.AddAssign(c12, matrix.ViewOf(c21))                      // C12 = α(P6+P3+P5)
-	matrix.SubAssign(r2, b21)                                      // R2 = T4 = T2−B21
+	e.phAddAssign(phQ, c12, matrix.ViewOf(c11))                    // C12 = α(P6+P3)
+	e.phAddAssign(phQ, c12, matrix.ViewOf(c21))                    // C12 = α(P6+P3+P5)
+	e.phSubAssign(phAS, r2, b21)                                   // R2 = T4 = T2−B21
 	e.mul(c11, a22, matrix.ViewOf(r2), alpha, 0, d)                // C11 = αP4 (P3 now dead)
 	e.mul(r1p, a11, b11, alpha, 0, d)                              // R1 = αP1
-	matrix.AddAssign(c12, matrix.ViewOf(r1p))                      // C12 final = α(P1+P3+P5+P6)
-	matrix.AddAssign(c22, matrix.ViewOf(r1p))                      // C22 final = α(P1+P5+P6+P7)
+	e.phAddAssign(phQ, c12, matrix.ViewOf(r1p))                    // C12 final = α(P1+P3+P5+P6)
+	e.phAddAssign(phQ, c22, matrix.ViewOf(r1p))                    // C22 final = α(P1+P5+P6+P7)
 	// C21 ← C22 − C11 − C21 = α(P1+P5+P6+P7) − αP4 − αP5 = α(P1+P6+P7−P4).
-	matrix.AddSubAssign(c21, matrix.ViewOf(c22), matrix.ViewOf(c11))
-	c11.CopyFrom(r1p)                         // C11 = αP1
-	e.mul(r1p, a12, b21, alpha, 0, d)         // R1 = αP2
-	matrix.AddAssign(c11, matrix.ViewOf(r1p)) // C11 final = α(P1+P2)
+	e.phAddSubAssign(phQ, c21, matrix.ViewOf(c22), matrix.ViewOf(c11))
+	e.phCopy(phQ, c11, r1p)                     // C11 = αP1
+	e.mul(r1p, a12, b21, alpha, 0, d)           // R1 = αP2
+	e.phAddAssign(phQ, c11, matrix.ViewOf(r1p)) // C11 final = α(P1+P2)
 }
 
 // strassen2 is the general-β schedule of the paper's Figure 1:
@@ -122,27 +122,27 @@ func (e *engine) strassen2(c *matrix.Dense, a, b matrix.View, alpha, beta float6
 	d := depth + 1
 	v1, v2, v3 := matrix.ViewOf(r1), matrix.ViewOf(r2), matrix.ViewOf(r3)
 
-	matrix.Add(r1, a21, a22)             // R1 = S1
-	matrix.Sub(r2, b12, b11)             // R2 = T1
+	e.phAdd(phAS, r1, a21, a22)          // R1 = S1
+	e.phSub(phAS, r2, b12, b11)          // R2 = T1
 	e.mul(r3, v1, v2, alpha, 0, d)       // R3 = αP5
-	matrix.Axpby(c12, 1, v3, beta)       // C12 = βC12 + αP5
-	matrix.Axpby(c22, 1, v3, beta)       // C22 = βC22 + αP5
-	matrix.SubAssign(r1, a11)            // R1 = S2
-	matrix.RevSubAssign(r2, b22)         // R2 = T2
+	e.phAxpby(phQ, c12, v3, beta)        // C12 = βC12 + αP5
+	e.phAxpby(phQ, c22, v3, beta)        // C22 = βC22 + αP5
+	e.phSubAssign(phAS, r1, a11)         // R1 = S2
+	e.phRevSubAssign(phAS, r2, b22)      // R2 = T2
 	e.mul(r3, a11, b11, alpha, 0, d)     // R3 = αP1
-	matrix.Axpby(c11, 1, v3, beta)       // C11 = βC11 + αP1
+	e.phAxpby(phQ, c11, v3, beta)        // C11 = βC11 + αP1
 	e.mul(r3, v1, v2, alpha, 1, d)       // R3 = α(P1+P6) = αU2  (accumulate)
 	e.mul(c11, a12, b21, alpha, 1, d)    // C11 final = βC11 + α(P1+P2)
-	matrix.RevSubAssign(r1, a12)         // R1 = S4
-	matrix.SubAssign(r2, b21)            // R2 = T4
+	e.phRevSubAssign(phAS, r1, a12)      // R1 = S4
+	e.phSubAssign(phAS, r2, b21)         // R2 = T4
 	e.mul(c12, v1, b22, alpha, 1, d)     // C12 += αP3
-	matrix.AddAssign(c12, v3)            // C12 final = βC12 + α(P5+P3+U2)
+	e.phAddAssign(phQ, c12, v3)          // C12 final = βC12 + α(P5+P3+U2)
 	e.mul(c21, a22, v2, -alpha, beta, d) // C21 = βC21 − αP4
-	matrix.Sub(r1, a11, a21)             // R1 = S3
-	matrix.Sub(r2, b22, b12)             // R2 = T3
+	e.phSub(phAS, r1, a11, a21)          // R1 = S3
+	e.phSub(phAS, r2, b22, b12)          // R2 = T3
 	e.mul(r3, v1, v2, alpha, 1, d)       // R3 = αU3 = α(U2+P7)  (accumulate)
-	matrix.AddAssign(c21, v3)            // C21 final = βC21 + α(U3−P4)
-	matrix.AddAssign(c22, v3)            // C22 final = βC22 + α(P5+U3)
+	e.phAddAssign(phQ, c21, v3)          // C21 final = βC21 + α(U3−P4)
+	e.phAddAssign(phQ, c22, v3)          // C22 final = βC22 + α(P5+U3)
 }
 
 // strassen1General extends STRASSEN1 to β ≠ 0 in the spirit of the paper's
@@ -159,5 +159,5 @@ func (e *engine) strassen1General(c *matrix.Dense, a, b matrix.View, alpha, beta
 	w := e.allocMat(m, n)
 	defer e.freeMat(w)
 	e.strassen1(w, a, b, alpha, depth)
-	matrix.Axpby(c, 1, matrix.ViewOf(w), beta)
+	e.phAxpby(phQ, c, matrix.ViewOf(w), beta)
 }
