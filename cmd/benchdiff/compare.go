@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Report is the benchmark-suite result format checked in as
-// BENCH_BASELINE.json and uploaded as a CI artifact. Every metric is
-// higher-is-better (GFLOPS or calls/s), which keeps the comparison rule
-// uniform: a regression is a relative drop beyond the tolerance.
+// BENCH_BASELINE.json and uploaded as a CI artifact. Metrics are
+// higher-is-better (GFLOPS or calls/s) except those whose name marks them
+// as latencies (see LowerIsBetter); the gate inverts the latter's ratio so
+// the comparison rule stays uniform: a regression is a relative move in the
+// bad direction beyond the tolerance.
 type Report struct {
 	// Go is the toolchain that produced the report (context only; the gate
 	// does not compare across toolchains' absolute numbers, the tolerance
@@ -43,12 +46,19 @@ type Report struct {
 	Requires map[string]string `json:"requires,omitempty"`
 }
 
+// LowerIsBetter reports whether a metric is a latency: the "_ms"/"_ns"
+// name suffix is the convention (serve.p50_ms, serve.p99_ms). Throughputs
+// and ratios carry no time-unit suffix.
+func LowerIsBetter(name string) bool {
+	return strings.HasSuffix(name, "_ms") || strings.HasSuffix(name, "_ns")
+}
+
 // Delta is one metric's baseline-to-current comparison.
 type Delta struct {
 	Name     string
 	Base     float64
 	Current  float64
-	Ratio    float64 // current/base; <1 is a slowdown
+	Ratio    float64 // goodness ratio; <1 is a slowdown (inverted for latencies)
 	Tol      float64 // the tolerance this metric was judged against
 	Regress  bool    // ratio below 1-tol
 	Improved bool    // ratio above 1+tol
@@ -100,7 +110,17 @@ func Compare(base, current map[string]float64, tol float64, overrides map[string
 			// any positive measurement as fine.
 			d.Ratio = 1
 		default:
-			d.Ratio = c / b
+			if LowerIsBetter(name) {
+				// Invert so <1 still means "worse": a latency doubling is
+				// ratio 0.5. A non-positive current latency cannot regress.
+				if c <= 0 {
+					d.Ratio = 1
+				} else {
+					d.Ratio = b / c
+				}
+			} else {
+				d.Ratio = c / b
+			}
 			d.Regress = d.Ratio < 1-mtol
 			d.Improved = d.Ratio > 1+mtol
 		}

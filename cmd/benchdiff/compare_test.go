@@ -190,3 +190,99 @@ func TestReportRoundTripISARequires(t *testing.T) {
 		t.Fatalf("ISA/Requires lost in round trip: %+v", out)
 	}
 }
+
+// TestCompareLatencyInversion: "_ms"/"_ns" metrics are lower-is-better —
+// a latency increase beyond tolerance must regress, a decrease must show
+// as improvement, and throughputs keep the direct ratio.
+func TestCompareLatencyInversion(t *testing.T) {
+	base := map[string]float64{
+		"serve.p50_ms":        4.0,
+		"serve.latency_ns":    8000,
+		"serve.calls_per_sec": 500,
+	}
+
+	slower := map[string]float64{
+		"serve.p50_ms":        8.0,  // doubled latency: ratio 0.5
+		"serve.latency_ns":    8000, // unchanged
+		"serve.calls_per_sec": 500,
+	}
+	regs := Regressions(Compare(base, slower, 0.10, nil, nil, nil))
+	if len(regs) != 1 || regs[0].Name != "serve.p50_ms" {
+		t.Fatalf("doubled p50 not flagged: %v", regs)
+	}
+	if r := regs[0].Ratio; r < 0.49 || r > 0.51 {
+		t.Fatalf("inverted ratio %g, want ~0.5", r)
+	}
+
+	faster := map[string]float64{
+		"serve.p50_ms":        2.0, // halved latency: ratio 2.0 = improved
+		"serve.latency_ns":    8000,
+		"serve.calls_per_sec": 500,
+	}
+	for _, d := range Compare(base, faster, 0.10, nil, nil, nil) {
+		if d.Name == "serve.p50_ms" && (!d.Improved || d.Regress) {
+			t.Fatalf("halved p50 not an improvement: %+v", d)
+		}
+	}
+}
+
+func TestLowerIsBetterNames(t *testing.T) {
+	for name, want := range map[string]bool{
+		"serve.p50_ms":             true,
+		"serve.p99_ms":             true,
+		"serve.latency_ns":         true,
+		"serve.calls_per_sec":      false,
+		"serve.coalesce_ratio":     false,
+		"kernel.packed.512.gflops": false,
+	} {
+		if got := LowerIsBetter(name); got != want {
+			t.Errorf("LowerIsBetter(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestCompareSkipsMulticoreGatedMetrics: a serve.* baseline measured on a
+// multicore host is SKIPPED, not failed, when the gating host has one CPU
+// — even when the metric was measured (numbers are not comparable) or is
+// missing entirely.
+func TestCompareSkipsMulticoreGatedMetrics(t *testing.T) {
+	base := map[string]float64{
+		"serve.calls_per_sec":      500,
+		"serve.p99_ms":             12.0,
+		"kernel.packed.512.gflops": 4.5,
+	}
+	cur := map[string]float64{
+		"serve.calls_per_sec":      90, // measured, but on one core
+		"kernel.packed.512.gflops": 4.5,
+	}
+	requires := map[string]string{
+		"serve.calls_per_sec": "multicore",
+		"serve.p99_ms":        "multicore",
+	}
+
+	oneCPU := map[string]bool{"multicore": false}
+	deltas := Compare(base, cur, 0.10, nil, requires, oneCPU)
+	for _, d := range deltas {
+		switch d.Name {
+		case "serve.calls_per_sec", "serve.p99_ms":
+			if !d.Skipped || d.Needs != "multicore" || d.Regress {
+				t.Fatalf("%s on a 1-CPU host: %+v, want skipped", d.Name, d)
+			}
+		default:
+			if d.Skipped {
+				t.Fatalf("ungated %s skipped: %+v", d.Name, d)
+			}
+		}
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("1-CPU host failed the gate: %v", regs)
+	}
+
+	// On a multicore host the same baseline gates normally: the collapsed
+	// throughput and the missing latency metric both fail.
+	manyCPU := map[string]bool{"multicore": true}
+	regs := Regressions(Compare(base, cur, 0.10, nil, requires, manyCPU))
+	if len(regs) != 2 {
+		t.Fatalf("multicore host: %d regressions, want 2 (collapse + missing)", len(regs))
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestParseTenantQuotas(t *testing.T) {
+	cases := []struct {
+		spec string
+		want map[string]serve.TenantQuota
+	}{
+		{"", map[string]serve.TenantQuota{}},
+		{"vip=100:200", map[string]serve.TenantQuota{"vip": {Rate: 100, Burst: 200}}},
+		{"vip=100", map[string]serve.TenantQuota{"vip": {Rate: 100, Burst: 100}}},
+		{"banned=0", map[string]serve.TenantQuota{"banned": {}}},
+		{" a=1:2 , b=3 ,", map[string]serve.TenantQuota{
+			"a": {Rate: 1, Burst: 2}, "b": {Rate: 3, Burst: 3}}},
+	}
+	for _, tc := range cases {
+		got, err := parseTenantQuotas(tc.spec)
+		if err != nil {
+			t.Fatalf("parseTenantQuotas(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("parseTenantQuotas(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+
+	for _, bad := range []string{"noequals", "=5", "t=x", "t=-1", "t=1:x", "t=1:-2"} {
+		if _, err := parseTenantQuotas(bad); err == nil {
+			t.Fatalf("parseTenantQuotas(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// writeReport must emit a file cmd/benchdiff can merge and gate: the four
+// serve.* metrics, each tagged `requires: multicore` with its tolerance.
+func TestWriteReport(t *testing.T) {
+	res := &serve.LoadResult{
+		CallsPerSec:   123.4,
+		P50ms:         2.5,
+		P99ms:         7.5,
+		CoalesceRatio: 1.5,
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeReport(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	want := map[string]float64{
+		"serve.calls_per_sec":  123.4,
+		"serve.p50_ms":         2.5,
+		"serve.p99_ms":         7.5,
+		"serve.coalesce_ratio": 1.5,
+	}
+	for name, v := range want {
+		if r.Metrics[name] != v {
+			t.Fatalf("metric %s = %v, want %v", name, r.Metrics[name], v)
+		}
+		if r.Requires[name] != "multicore" {
+			t.Fatalf("metric %s requires %q, want multicore", name, r.Requires[name])
+		}
+		if r.Tolerances[name] <= 0 {
+			t.Fatalf("metric %s has no tolerance", name)
+		}
+	}
+	if r.Go == "" {
+		t.Fatal("report omits the Go version")
+	}
+	if got := dispatchedISA(); got == "" {
+		t.Fatal("dispatchedISA returned an empty string")
+	}
+}

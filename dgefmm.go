@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/outofcore"
 	"repro/internal/qr"
+	"repro/internal/serve"
 	"repro/internal/strassen"
 	"repro/internal/zgemm"
 )
@@ -400,3 +401,25 @@ type OutOfCoreOptions = outofcore.Options
 func MultiplyOutOfCore(c, a, b MatrixStore, alpha, beta float64, opts *OutOfCoreOptions) error {
 	return outofcore.Multiply(c, a, b, alpha, beta, opts)
 }
+
+// ServeOptions configures NewGEMMServer (the network serving layer over the
+// batch pool: request coalescing, quotas, backpressure, an out-of-core path
+// for oversized operands).
+type ServeOptions = serve.Options
+
+// GEMMServer is the HTTP GEMM service. Mount Handler on an http.Server and
+// Close after shutdown; see cmd/dgefmmd for the production wiring.
+type GEMMServer = serve.Server
+
+// NewGEMMServer builds a GEMM service (nil opts = defaults: GOMAXPROCS
+// workers, 500µs coalesce window, no quotas).
+func NewGEMMServer(opts *ServeOptions) *GEMMServer { return serve.New(opts) }
+
+// GEMMClient calls a GEMM service (a dgefmmd, or any GEMMServer.Handler).
+type GEMMClient = serve.Client
+
+// GEMMRequest is one client-side call; operands are row-major.
+type GEMMRequest = serve.GEMMRequest
+
+// GEMMResult is a successful client call's outcome.
+type GEMMResult = serve.GEMMResult

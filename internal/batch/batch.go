@@ -30,6 +30,7 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -66,6 +67,14 @@ type Call struct {
 	Ldb int
 	C   []float64
 	Ldc int
+	// Ctx, if non-nil, is checked immediately before a worker starts the
+	// call: a context that is already done cancels the call, which is
+	// skipped and reported failed with the context's error, without
+	// disturbing the rest of the batch. Cancellation is admission-time
+	// only — a call that has begun executing runs to completion (the
+	// recursion has no safe interruption points once workspace aliases
+	// the output).
+	Ctx context.Context
 }
 
 // NewCall builds a Call from Dense operands, validating shapes exactly as
@@ -158,13 +167,27 @@ type bucket struct {
 
 // job is one queued call plus its batch's completion state. enqueued is
 // stamped only while a phase profiler is installed; a worker attributes
-// the dequeue latency to phase.BatchQueueWait.
+// the dequeue latency to phase.BatchQueueWait. A job reports failure
+// through errAt (per-call, ExecuteEach) when set, else through err
+// (first-failure-wins, Execute).
 type job struct {
 	call     *Call
 	bkt      *bucket
 	wg       *sync.WaitGroup
 	err      *errSlot
+	errAt    *error
 	enqueued time.Time
+}
+
+// fail records the job's failure in its batch's reporting slot. errAt is
+// written race-free: each ExecuteEach call owns a distinct slice element,
+// and the caller reads it only after wg.Wait.
+func (j job) fail(err error) {
+	if j.errAt != nil {
+		*j.errAt = err
+		return
+	}
+	j.err.set(err)
 }
 
 // errSlot records the first failure of a batch.
@@ -293,6 +316,41 @@ func (p *Pool) Execute(calls []Call) error {
 	return slot.get()
 }
 
+// ExecuteEach runs every call of the batch like Execute but reports a
+// per-call outcome: the i-th error corresponds to calls[i], nil meaning
+// success. A call whose Ctx is done before a worker picks it up is skipped
+// and receives its context's error (wrapped, so errors.Is sees
+// context.DeadlineExceeded/Canceled); the other calls proceed. This is the
+// granularity network serving needs — one coalesced batch carries many
+// independent requests with independent deadlines, and one late request
+// must not fail its neighbors.
+func (p *Pool) ExecuteEach(calls []Call) []error {
+	errs := make([]error, len(calls))
+	if p.closed.Load() {
+		err := errors.New("batch: ExecuteEach on closed pool")
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(calls))
+	prof := phase.Active()
+	for i := range calls {
+		c := &calls[i]
+		j := job{call: c, bkt: p.bucketFor(c), wg: &wg, errAt: &errs[i]}
+		if prof != nil {
+			j.enqueued = time.Now()
+		}
+		p.jobs <- j
+		if p.queueDepth != nil {
+			p.queueDepth.Set(int64(len(p.jobs)))
+		}
+	}
+	wg.Wait()
+	return errs
+}
+
 // Close drains outstanding work and stops the workers. The pool must not
 // be used afterwards; Close is idempotent. Do not race Close with Execute.
 func (p *Pool) Close() {
@@ -325,7 +383,7 @@ func (p *Pool) run(w *worker, j job) {
 	defer j.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			j.err.set(fmt.Errorf("batch: call m=%d n=%d k=%d failed: %v",
+			j.fail(fmt.Errorf("batch: call m=%d n=%d k=%d failed: %v",
 				j.call.M, j.call.N, j.call.K, r))
 		}
 	}()
@@ -334,6 +392,13 @@ func (p *Pool) run(w *worker, j job) {
 	}
 	if !j.enqueued.IsZero() {
 		phase.Active().Add(phase.BatchQueueWait, int64(time.Since(j.enqueued)), 0, 0)
+	}
+	if ctx := j.call.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			j.fail(fmt.Errorf("batch: call m=%d n=%d k=%d canceled before start: %w",
+				j.call.M, j.call.N, j.call.K, err))
+			return
+		}
 	}
 	cfg := j.bkt.cfg
 	cfg.Kernel = w.kern

@@ -1,6 +1,8 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"sync"
@@ -504,4 +506,114 @@ func BenchmarkBatch(b *testing.B) {
 				warm.Arenas[0].Allocs, after.Arenas[0].Allocs)
 		}
 	})
+}
+
+func TestExecuteEachPerCallErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	specs := []caseSpec{
+		{m: 24, n: 24, k: 24, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+		{m: 17, n: 9, k: 31, transA: blas.Trans, transB: blas.NoTrans, alpha: -2, beta: 0.5},
+		{m: 24, n: 24, k: 24, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+	}
+	calls, seq, cBatch, cSeq := buildCalls(specs, rng)
+	// Poison the middle call: an inner-dimension mismatch panics inside
+	// DGEFMM, which must surface as that call's error only.
+	calls[1].K = calls[1].K + 1
+
+	p := NewPool(&Options{Workers: 2})
+	defer p.Close()
+	errs := p.ExecuteEach(calls)
+	if len(errs) != len(calls) {
+		t.Fatalf("ExecuteEach returned %d errors for %d calls", len(errs), len(calls))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy calls reported errors: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "failed") {
+		t.Fatalf("poisoned call error = %v, want failure", errs[1])
+	}
+
+	cfg := strassen.DefaultConfig(nil)
+	runSequential(cfg, []Call{seq[0], seq[2]})
+	for _, i := range []int{0, 2} {
+		if !cBatch[i].Equal(cSeq[i]) {
+			t.Errorf("call %d: ExecuteEach result differs from sequential DGEFMM", i)
+		}
+	}
+}
+
+func TestExecuteEachContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	specs := []caseSpec{
+		{m: 32, n: 32, k: 32, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+		{m: 32, n: 32, k: 32, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+	}
+	calls, _, cBatch, _ := buildCalls(specs, rng)
+
+	// An already-canceled context must skip its call (C untouched) and
+	// report the context error; the sibling call still runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls[0].Ctx = ctx
+	before := cBatch[0].Clone()
+
+	p := NewPool(&Options{Workers: 1})
+	defer p.Close()
+	errs := p.ExecuteEach(calls)
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("canceled call error = %v, want context.Canceled", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("sibling call failed: %v", errs[1])
+	}
+	if !cBatch[0].Equal(before) {
+		t.Error("canceled call mutated its output")
+	}
+}
+
+func TestExecuteEachConcurrent(t *testing.T) {
+	// Many goroutines race ExecuteEach on one pool (run under -race in CI):
+	// per-call error slots must not interfere across batches.
+	rng := rand.New(rand.NewSource(23))
+	p := NewPool(&Options{Workers: 2})
+	defer p.Close()
+
+	const batches = 6
+	var wg sync.WaitGroup
+	for g := 0; g < batches; g++ {
+		specs := []caseSpec{
+			{m: 20 + g, n: 24, k: 16, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+			{m: 20 + g, n: 24, k: 16, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1, beta: 1},
+		}
+		calls, seq, cBatch, cSeq := buildCalls(specs, rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs := p.ExecuteEach(calls)
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("call %d failed: %v", i, err)
+				}
+			}
+			runSequential(strassen.DefaultConfig(nil), seq)
+			for i := range cBatch {
+				if !cBatch[i].Equal(cSeq[i]) {
+					t.Errorf("concurrent ExecuteEach result %d differs from sequential", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestExecuteEachClosedPool(t *testing.T) {
+	p := NewPool(&Options{Workers: 1})
+	p.Close()
+	calls := make([]Call, 2)
+	errs := p.ExecuteEach(calls)
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "closed pool") {
+			t.Fatalf("errs[%d] = %v, want closed-pool error", i, err)
+		}
+	}
 }

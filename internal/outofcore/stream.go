@@ -1,0 +1,131 @@
+package outofcore
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/matrix"
+)
+
+// RowWriter streams a matrix into a Store as consecutive row-major rows,
+// buffering a band of rows in core and flushing it as one tile write. It
+// is the adapter between network byte streams — which arrive row by row —
+// and the tiled column-major stores: the serving layer's chunked-transfer
+// path decodes each operand row and hands it here, so an operand larger
+// than RAM never materializes in core.
+type RowWriter struct {
+	dst        Store
+	rows, cols int
+	band       *matrix.Dense
+	next       int // absolute row index of the band's first row
+	filled     int // rows buffered in the band
+}
+
+// NewRowWriter prepares to stream dst.Dims() rows into dst. bandRows
+// bounds the in-core buffer; <= 0 selects 64.
+func NewRowWriter(dst Store, bandRows int) *RowWriter {
+	rows, cols := dst.Dims()
+	if bandRows <= 0 {
+		bandRows = 64
+	}
+	if bandRows > rows && rows > 0 {
+		bandRows = rows
+	}
+	return &RowWriter{dst: dst, rows: rows, cols: cols, band: matrix.NewDense(bandRows, cols)}
+}
+
+// WriteRow appends the next row. len(row) must equal the store's column
+// count, and at most Dims() rows may be written.
+func (w *RowWriter) WriteRow(row []float64) error {
+	if len(row) != w.cols {
+		return fmt.Errorf("outofcore: RowWriter: row length %d, want %d", len(row), w.cols)
+	}
+	if w.next+w.filled >= w.rows {
+		return fmt.Errorf("outofcore: RowWriter: more than %d rows written", w.rows)
+	}
+	for j, v := range row {
+		w.band.Set(w.filled, j, v)
+	}
+	w.filled++
+	if w.filled == w.band.Rows {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *RowWriter) flush() error {
+	if w.filled == 0 {
+		return nil
+	}
+	if err := w.dst.WriteTile(w.next, 0, w.band.Slice(0, 0, w.filled, w.cols)); err != nil {
+		return err
+	}
+	w.next += w.filled
+	w.filled = 0
+	return nil
+}
+
+// Close flushes the partial band and verifies every row arrived.
+func (w *RowWriter) Close() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if w.next != w.rows {
+		return fmt.Errorf("outofcore: RowWriter closed after %d of %d rows", w.next, w.rows)
+	}
+	return nil
+}
+
+// RowReader streams a store out as consecutive row-major rows, reading one
+// band of rows per tile access — the mirror of RowWriter, used to send an
+// out-of-core result back over the wire band by band.
+type RowReader struct {
+	src        Store
+	rows, cols int
+	band       *matrix.Dense
+	loaded     int // absolute row index of the band's first row
+	avail      int // rows valid in the band
+	off        int // next band row to hand out
+	buf        []float64
+}
+
+// NewRowReader prepares to stream src.Dims() rows out of src. bandRows
+// bounds the in-core buffer; <= 0 selects 64.
+func NewRowReader(src Store, bandRows int) *RowReader {
+	rows, cols := src.Dims()
+	if bandRows <= 0 {
+		bandRows = 64
+	}
+	if bandRows > rows && rows > 0 {
+		bandRows = rows
+	}
+	return &RowReader{
+		src: src, rows: rows, cols: cols,
+		band: matrix.NewDense(bandRows, cols),
+		buf:  make([]float64, cols),
+	}
+}
+
+// ReadRow returns the next row, valid until the following ReadRow call.
+// After the last row it returns io.EOF.
+func (r *RowReader) ReadRow() ([]float64, error) {
+	if r.off == r.avail {
+		next := r.loaded + r.avail
+		if next >= r.rows {
+			return nil, io.EOF
+		}
+		n := r.band.Rows
+		if next+n > r.rows {
+			n = r.rows - next
+		}
+		if err := r.src.ReadTile(next, 0, r.band.Slice(0, 0, n, r.cols)); err != nil {
+			return nil, err
+		}
+		r.loaded, r.avail, r.off = next, n, 0
+	}
+	for j := 0; j < r.cols; j++ {
+		r.buf[j] = r.band.At(r.off, j)
+	}
+	r.off++
+	return r.buf, nil
+}

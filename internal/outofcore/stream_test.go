@@ -1,0 +1,171 @@
+package outofcore
+
+import (
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// streamIn writes src's rows through a RowWriter into dst.
+func streamIn(t *testing.T, dst Store, src *matrix.Dense, band int) {
+	t.Helper()
+	w := NewRowWriter(dst, band)
+	row := make([]float64, src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			row[j] = src.At(i, j)
+		}
+		if err := w.WriteRow(row); err != nil {
+			t.Fatalf("WriteRow(%d): %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// streamOut reads every row of src through a RowReader into a new Dense.
+func streamOut(t *testing.T, src Store, band int) *matrix.Dense {
+	t.Helper()
+	rows, cols := src.Dims()
+	out := matrix.NewDense(rows, cols)
+	r := NewRowReader(src, band)
+	for i := 0; ; i++ {
+		row, err := r.ReadRow()
+		if err == io.EOF {
+			if i != rows {
+				t.Fatalf("EOF after %d rows, want %d", i, rows)
+			}
+			return out
+		}
+		if err != nil {
+			t.Fatalf("ReadRow(%d): %v", i, err)
+		}
+		if i >= rows {
+			t.Fatalf("row %d past the %d-row store", i, rows)
+		}
+		for j, v := range row {
+			out.Set(i, j, v)
+		}
+	}
+}
+
+func TestRowStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	for _, dims := range [][2]int{{1, 1}, {7, 3}, {64, 64}, {65, 31}, {100, 17}} {
+		rows, cols := dims[0], dims[1]
+		// Bands smaller than, equal to, larger than the row count, and the
+		// default — partial final bands and single-row bands included.
+		for _, band := range []int{1, 3, rows, rows + 10, 0} {
+			src := matrix.NewRandom(rows, cols, rng)
+			store := NewMemStore(matrix.NewDense(rows, cols))
+			streamIn(t, store, src, band)
+			if d := matrix.MaxAbsDiff(store.M, src); d != 0 {
+				t.Fatalf("dims=%v band=%d: write round-trip off by %g", dims, band, d)
+			}
+			got := streamOut(t, store, band)
+			if d := matrix.MaxAbsDiff(got, src); d != 0 {
+				t.Fatalf("dims=%v band=%d: read round-trip off by %g", dims, band, d)
+			}
+		}
+	}
+}
+
+func TestRowStreamFileStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(912))
+	src := matrix.NewRandom(37, 23, rng)
+	fs, err := CreateFileStore(filepath.Join(t.TempDir(), "s.f64"), 37, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	streamIn(t, fs, src, 8)
+	got := streamOut(t, fs, 5) // different band size on the way out
+	if d := matrix.MaxAbsDiff(got, src); d != 0 {
+		t.Fatalf("file round-trip off by %g", d)
+	}
+}
+
+func TestRowWriterErrors(t *testing.T) {
+	store := NewMemStore(matrix.NewDense(3, 4))
+
+	w := NewRowWriter(store, 2)
+	if err := w.WriteRow(make([]float64, 5)); err == nil {
+		t.Fatal("wrong row length accepted")
+	}
+	row := make([]float64, 4)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteRow(row); err != nil {
+			t.Fatalf("WriteRow(%d): %v", i, err)
+		}
+	}
+	if err := w.WriteRow(row); err == nil {
+		t.Fatal("fourth row accepted by a 3-row store")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close after full write: %v", err)
+	}
+
+	// Closing early must report the missing rows.
+	w = NewRowWriter(NewMemStore(matrix.NewDense(3, 4)), 2)
+	if err := w.WriteRow(row); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after 1 of 3 rows should fail")
+	}
+}
+
+// The streaming path and the tiled multiply compose: operands stream in,
+// Multiply runs tiled, and the result streams out matching the in-core
+// reference. This is exactly the serving layer's out-of-core data flow.
+func TestStreamedMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(913))
+	m, k, n := 48, 36, 52
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c := matrix.NewRandom(m, n, rng)
+	want := inCoreRef(2, a, b, 0.25, c)
+
+	dir := t.TempDir()
+	open := func(name string, rows, cols int) *FileStore {
+		fs, err := CreateFileStore(filepath.Join(dir, name), rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		return fs
+	}
+	sa, sb, sc := open("a.f64", m, k), open("b.f64", k, n), open("c.f64", m, n)
+	streamIn(t, sa, a, 16)
+	streamIn(t, sb, b, 16)
+	streamIn(t, sc, c, 16)
+
+	if err := Multiply(sc, sa, sb, 2, 0.25, &Options{WorkspaceWords: 3 * 16 * 16, Config: oocCfg}); err != nil {
+		t.Fatal(err)
+	}
+	got := streamOut(t, sc, 16)
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-10*float64(k) {
+		t.Fatalf("streamed multiply off by %g", d)
+	}
+}
+
+// Streaming a whole matrix moves each word exactly once in each direction,
+// regardless of band size — the traffic accounting should agree.
+func TestRowStreamTraffic(t *testing.T) {
+	rows, cols := 50, 20
+	rng := rand.New(rand.NewSource(914))
+	src := matrix.NewRandom(rows, cols, rng)
+	store := NewMemStore(matrix.NewDense(rows, cols))
+	streamIn(t, store, src, 7)
+	if want := int64(rows * cols); store.WordsWritten != want {
+		t.Fatalf("words written %d, want %d", store.WordsWritten, want)
+	}
+	streamOut(t, store, 9)
+	if want := int64(rows * cols); store.WordsRead != want {
+		t.Fatalf("words read %d, want %d", store.WordsRead, want)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+)
+
+// coalescer groups concurrent same-shape GEMM requests into one
+// batch.Pool submission. The first request of a shape opens a group and
+// arms a flush timer (the coalesce window); later same-shape arrivals join
+// the group until it flushes — on the timer, or immediately when the group
+// reaches maxBatch. One flush is one ExecuteEach call, so the whole group
+// shares a single plan lookup and rides the pool's workers together; each
+// member still gets its own per-call error (independent deadlines).
+type coalescer struct {
+	pool     *batch.Pool
+	window   time.Duration
+	maxBatch int
+
+	// batches/calls feed the serve.coalesce_ratio metric: ratio =
+	// calls.Value() / batches.Value().
+	batches *obs.Counter
+	calls   *obs.Counter
+
+	mu      sync.Mutex
+	pending map[shapeKey]*cgroup
+	flushes sync.WaitGroup // open flushes; Close waits so the pool is quiescent
+	closed  bool
+}
+
+// shapeKey matches internal/batch's bucket identity: calls agreeing on it
+// share an execution plan, which is exactly the coalescing opportunity.
+type shapeKey struct {
+	m, n, k        int
+	transA, transB bool
+	betaZero       bool
+}
+
+func keyOf(c *batch.Call) shapeKey {
+	return shapeKey{
+		m: c.M, n: c.N, k: c.K,
+		transA: c.TransA.IsTrans(), transB: c.TransB.IsTrans(),
+		betaZero: c.Beta == 0,
+	}
+}
+
+// result is one member's outcome: its error and the size of the batch it
+// ran in.
+type result struct {
+	err     error
+	batched int
+}
+
+// cgroup is one open shape group.
+type cgroup struct {
+	calls   []batch.Call
+	out     []chan result
+	timer   *time.Timer
+	flushed bool
+}
+
+func newCoalescer(pool *batch.Pool, window time.Duration, maxBatch int, reg *obs.Registry) *coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	co := &coalescer{
+		pool:     pool,
+		window:   window,
+		maxBatch: maxBatch,
+		pending:  make(map[shapeKey]*cgroup),
+	}
+	if reg != nil {
+		co.batches = reg.Counter("serve.coalesce.batches")
+		co.calls = reg.Counter("serve.coalesce.calls")
+	}
+	return co
+}
+
+// submit enqueues a call and returns the channel its result will arrive
+// on. The channel is buffered, so an abandoned waiter (deadline expired)
+// never blocks the flusher.
+func (co *coalescer) submit(call batch.Call) <-chan result {
+	ch := make(chan result, 1)
+	key := keyOf(&call)
+
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		ch <- result{err: errServerClosed}
+		return ch
+	}
+	g := co.pending[key]
+	if g == nil {
+		g = &cgroup{}
+		co.pending[key] = g
+		co.flushes.Add(1)
+		if co.window > 0 {
+			gg := g
+			g.timer = time.AfterFunc(co.window, func() { co.flush(key, gg) })
+		}
+	}
+	g.calls = append(g.calls, call)
+	g.out = append(g.out, ch)
+	// With no window the group cannot wait for company: flush at once.
+	full := len(g.calls) >= co.maxBatch || co.window <= 0
+	co.mu.Unlock()
+
+	if full {
+		co.flush(key, g)
+	}
+	return ch
+}
+
+// flush executes one group. It is called from the window timer or from the
+// submitter that filled the group; the flushed flag arbitrates the race.
+func (co *coalescer) flush(key shapeKey, g *cgroup) {
+	co.mu.Lock()
+	if g.flushed {
+		co.mu.Unlock()
+		return
+	}
+	g.flushed = true
+	if co.pending[key] == g {
+		delete(co.pending, key)
+	}
+	calls, out := g.calls, g.out
+	co.mu.Unlock()
+	defer co.flushes.Done()
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+
+	errs := co.pool.ExecuteEach(calls)
+	if co.batches != nil {
+		co.batches.Add(1)
+		co.calls.Add(int64(len(calls)))
+	}
+	for i, ch := range out {
+		ch <- result{err: errs[i], batched: len(calls)}
+	}
+}
+
+// close flushes every pending group and waits for open flushes, leaving
+// the pool quiescent so it can be closed without racing ExecuteEach.
+func (co *coalescer) close() {
+	co.mu.Lock()
+	co.closed = true
+	groups := make(map[shapeKey]*cgroup, len(co.pending))
+	for k, g := range co.pending {
+		groups[k] = g
+	}
+	co.mu.Unlock()
+	for k, g := range groups {
+		co.flush(k, g)
+	}
+	co.flushes.Wait()
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzServeRequest hammers the wire decoder with arbitrary bytes: it must
+// reject or accept without panicking or over-allocating (the Limits cap
+// every length the attacker controls), and anything it accepts must
+// re-encode and re-decode to the same request (no silent canonicalization
+// on the hot path).
+func FuzzServeRequest(f *testing.F) {
+	// Seed with a valid request, plus the structured corruptions the unit
+	// tests cover, so the fuzzer starts at the format's edges.
+	mk := func(h ReqHeader, a, b, c []float64) []byte {
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, &h, a, b, c); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := mk(ReqHeader{M: 2, N: 3, K: 1, Alpha: 1}, make([]float64, 2), make([]float64, 3), nil)
+	f.Add(valid)
+	f.Add(mk(ReqHeader{M: 1, N: 1, K: 1, TransA: "T", Alpha: 2, Beta: 0.5},
+		[]float64{1}, []float64{2}, []float64{3}))
+	f.Add(valid[:9])        // truncated header
+	f.Add(append(valid, 0)) // trailing byte
+	f.Add([]byte("DGF1"))   // magic only
+	f.Add([]byte("XXXX\x00\x00\x00\x02{}"))
+	corrupt := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(corrupt[4:], 1<<31) // dimension-overflow header length
+	f.Add(corrupt)
+
+	lim := Limits{MaxDim: 64, MaxOperandWords: 4096, MaxHeaderBytes: 1024}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		// NaN payloads in operand frames break DeepEqual without being a
+		// decoder defect; normalize them out before the round trip.
+		for _, fr := range [][]float64{req.A, req.B, req.C} {
+			for i, v := range fr {
+				if math.IsNaN(v) {
+					fr[i] = 0
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, &req.ReqHeader, req.A, req.B, req.C); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		again, err := DecodeRequest(bytes.NewReader(buf.Bytes()), lim)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip drift:\n first %+v\nsecond %+v", req, again)
+		}
+	})
+}

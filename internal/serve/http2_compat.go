@@ -1,0 +1,13 @@
+//go:build !go1.24
+
+package serve
+
+import "net/http"
+
+// EnableH2C is a no-op before go1.24 (http.Protocols does not exist);
+// connections fall back to HTTP/1.1. Returns false: h2c was not enabled.
+func EnableH2C(srv *http.Server, tr *http.Transport) bool {
+	_ = srv
+	_ = tr
+	return false
+}

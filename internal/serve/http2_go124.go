@@ -1,0 +1,25 @@
+//go:build go1.24
+
+package serve
+
+import "net/http"
+
+// EnableH2C switches a server and/or transport to speak cleartext HTTP/2
+// alongside HTTP/1, using the stdlib http.Protocols knob (go1.24+). Binary
+// GEMM calls benefit from HTTP/2's single connection: many concurrent calls
+// multiplex over one TCP stream, which is exactly the arrival pattern the
+// coalescer feeds on. Returns true when h2c was actually enabled.
+func EnableH2C(srv *http.Server, tr *http.Transport) bool {
+	if srv != nil {
+		p := new(http.Protocols)
+		p.SetHTTP1(true)
+		p.SetUnencryptedHTTP2(true)
+		srv.Protocols = p
+	}
+	if tr != nil {
+		p := new(http.Protocols)
+		p.SetUnencryptedHTTP2(true)
+		tr.Protocols = p
+	}
+	return true
+}

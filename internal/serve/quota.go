@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantQuota is a token-bucket rate limit: a bucket of Burst tokens
+// refilled continuously at Rate tokens per second, with each admitted
+// request spending one token. The zero value is a zero quota — every
+// request is rejected — which is meaningful only as an explicit per-tenant
+// entry (a deactivated tenant); a zero Default disables enforcement
+// instead, see QuotaConfig.
+type TenantQuota struct {
+	Rate  float64 `json:"rate"`
+	Burst float64 `json:"burst"`
+}
+
+func (q TenantQuota) zero() bool { return q.Rate <= 0 && q.Burst <= 0 }
+
+// QuotaConfig maps tenants (the X-Tenant request header) to quotas.
+// Tenants without an explicit entry fall back to Default; a zero-valued
+// Default means those tenants are unlimited. An explicit zero-valued
+// tenant entry is a zero-quota tenant: always rejected.
+type QuotaConfig struct {
+	Default TenantQuota
+	Tenants map[string]TenantQuota
+}
+
+// tokenBucket is one tenant's bucket. A new bucket starts full (Burst
+// tokens), so a fresh tenant can burst immediately.
+type tokenBucket struct {
+	mu     sync.Mutex
+	q      TenantQuota
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(q TenantQuota, now time.Time) *tokenBucket {
+	return &tokenBucket{q: q, tokens: q.Burst, last: now}
+}
+
+// take spends one token if available. When it cannot, it returns a
+// Retry-After hint: the time until a full token accrues, or one second for
+// buckets that never refill (zero-rate quotas).
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens = math.Min(b.q.Burst, b.tokens+now.Sub(b.last).Seconds()*b.q.Rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.q.Rate <= 0 {
+		return false, time.Second
+	}
+	d := time.Duration((1 - b.tokens) / b.q.Rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return false, d
+}
+
+// quotas is the per-tenant bucket table.
+type quotas struct {
+	cfg QuotaConfig
+	now func() time.Time // test hook; time.Now in production
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	return &quotas{cfg: cfg, now: time.Now, buckets: make(map[string]*tokenBucket)}
+}
+
+// admit charges the tenant one token. Tenants without an explicit quota
+// under a zero Default are admitted without accounting (unlimited).
+func (q *quotas) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	tq, explicit := q.cfg.Tenants[tenant]
+	if !explicit {
+		if q.cfg.Default.zero() {
+			return true, 0
+		}
+		tq = q.cfg.Default
+	}
+	q.mu.Lock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = newTokenBucket(tq, q.now())
+		q.buckets[tenant] = b
+	}
+	q.mu.Unlock()
+	return b.take(q.now())
+}

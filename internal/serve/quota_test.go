@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the quotas' time hook deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestQuotas(cfg QuotaConfig) (*quotas, *fakeClock) {
+	q := newQuotas(cfg)
+	clk := newFakeClock()
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQuotaTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    QuotaConfig
+		tenant string
+		// admitted counts how many back-to-back requests (no time passing)
+		// succeed before the first rejection; -1 means never rejected.
+		admitted int
+	}{
+		{"zero default is unlimited", QuotaConfig{}, "anyone", -1},
+		{"default burst caps strangers",
+			QuotaConfig{Default: TenantQuota{Rate: 10, Burst: 3}}, "stranger", 3},
+		{"explicit tenant overrides default",
+			QuotaConfig{Default: TenantQuota{Rate: 10, Burst: 3},
+				Tenants: map[string]TenantQuota{"vip": {Rate: 100, Burst: 50}}}, "vip", 50},
+		{"zero-quota tenant always rejected",
+			QuotaConfig{Tenants: map[string]TenantQuota{"banned": {}}}, "banned", 0},
+		{"zero-quota tenant under unlimited default still rejected",
+			QuotaConfig{Default: TenantQuota{},
+				Tenants: map[string]TenantQuota{"banned": {}}}, "banned", 0},
+	}
+	for _, tc := range cases {
+		q, _ := newTestQuotas(tc.cfg)
+		const probes = 100
+		got := -1
+		for i := 0; i < probes; i++ {
+			ok, retry := q.admit(tc.tenant)
+			if !ok {
+				if retry <= 0 {
+					t.Fatalf("%s: rejection without a Retry-After hint", tc.name)
+				}
+				got = i
+				break
+			}
+		}
+		if got != tc.admitted {
+			t.Fatalf("%s: first rejection at call %d, want %d", tc.name, got, tc.admitted)
+		}
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q, clk := newTestQuotas(QuotaConfig{Default: TenantQuota{Rate: 2, Burst: 4}})
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.admit("t"); !ok {
+			t.Fatalf("burst call %d rejected", i)
+		}
+	}
+	ok, retry := q.admit("t")
+	if ok {
+		t.Fatal("call past the burst admitted")
+	}
+	// 2 tokens/s with an empty bucket: a full token is 500ms away.
+	if retry < 400*time.Millisecond || retry > 600*time.Millisecond {
+		t.Fatalf("Retry-After hint %v, want ~500ms", retry)
+	}
+
+	clk.advance(retry)
+	if ok, _ := q.admit("t"); !ok {
+		t.Fatal("rejected after waiting out the Retry-After hint")
+	}
+
+	// Refill never exceeds the burst: a long idle stretch grants exactly
+	// Burst tokens again, not Rate×idle.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		ok, _ := q.admit("t")
+		if !ok {
+			break
+		}
+		admitted++
+	}
+	if admitted != 4 {
+		t.Fatalf("after a long idle %d calls admitted, want the burst of 4", admitted)
+	}
+}
+
+// Distinct tenants own distinct buckets: draining one leaves the other full.
+func TestQuotaTenantIsolation(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{Default: TenantQuota{Rate: 1, Burst: 2}})
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.admit("a"); !ok {
+			t.Fatalf("a: burst call %d rejected", i)
+		}
+	}
+	if ok, _ := q.admit("a"); ok {
+		t.Fatal("a: drained bucket admitted")
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.admit("b"); !ok {
+			t.Fatalf("b: burst call %d rejected despite a's drain", i)
+		}
+	}
+}
+
+// Concurrent admits on one tenant must neither race (run under -race) nor
+// over-admit: exactly Burst of the competing calls may pass.
+func TestQuotaConcurrentAdmission(t *testing.T) {
+	const burst, workers, perWorker = 16, 8, 10
+	q, _ := newTestQuotas(QuotaConfig{Default: TenantQuota{Rate: 0.001, Burst: burst}})
+
+	var wg sync.WaitGroup
+	admitted := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if ok, _ := q.admit("shared"); ok {
+					admitted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	if total != burst {
+		t.Fatalf("%d admissions for a burst of %d", total, burst)
+	}
+}
+
+// Concurrent first contact: the bucket must be created exactly once, so the
+// combined admissions still respect the burst.
+func TestQuotaConcurrentFirstContact(t *testing.T) {
+	const burst = 3
+	q, _ := newTestQuotas(QuotaConfig{Default: TenantQuota{Rate: 0.001, Burst: burst}})
+	var wg sync.WaitGroup
+	results := make(chan bool, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				ok, _ := q.admit("fresh")
+				results <- ok
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for ok := range results {
+		if ok {
+			total++
+		}
+	}
+	if total != burst {
+		t.Fatalf("%d admissions for a burst of %d", total, burst)
+	}
+}
+
+func TestTokenBucketZeroRateHint(t *testing.T) {
+	b := newTokenBucket(TenantQuota{}, time.Now())
+	ok, retry := b.take(time.Now())
+	if ok || retry != time.Second {
+		t.Fatalf("zero-rate bucket: ok=%v retry=%v, want rejected with 1s hint", ok, retry)
+	}
+}

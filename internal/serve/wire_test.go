@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []ReqHeader{
+		{M: 4, N: 3, K: 5, Alpha: 1},
+		{M: 1, N: 1, K: 1, Alpha: -2.5, Beta: 0.5},
+		{M: 7, N: 2, K: 9, TransA: "T", Alpha: 1},
+		{M: 2, N: 8, K: 3, TransB: "T", Alpha: 0.25, Beta: 1},
+		{M: 5, N: 5, K: 5, TransA: "T", TransB: "T", Alpha: 1, Beta: -1},
+	}
+	for _, h := range cases {
+		a := randFloats(rng, int(h.WordsA()))
+		b := randFloats(rng, int(h.WordsB()))
+		var c []float64
+		if h.Beta != 0 {
+			c = randFloats(rng, int(h.WordsC()))
+		}
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, &h, a, b, c); err != nil {
+			t.Fatalf("%+v: encode: %v", h, err)
+		}
+		got, err := DecodeRequest(bytes.NewReader(buf.Bytes()), Limits{})
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", h, err)
+		}
+		if got.ReqHeader != h {
+			t.Fatalf("header round trip: got %+v, want %+v", got.ReqHeader, h)
+		}
+		if !reflect.DeepEqual(got.A, a) || !reflect.DeepEqual(got.B, b) {
+			t.Fatalf("%+v: operand frames corrupted", h)
+		}
+		if h.Beta != 0 && !reflect.DeepEqual(got.C, c) {
+			t.Fatalf("%+v: C frame corrupted", h)
+		}
+		if h.Beta == 0 && got.C != nil {
+			t.Fatalf("%+v: C frame decoded despite beta == 0", h)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	c := randFloats(rng, 12)
+	var buf bytes.Buffer
+	in := &RespHeader{Status: "ok", Batched: 3, OutOfCore: true, ElapsedNs: 12345}
+	if err := EncodeResponse(&buf, in, c); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := DecodeResponse(bytes.NewReader(buf.Bytes()), Limits{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *h != *in {
+		t.Fatalf("header: got %+v, want %+v", h, in)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatal("result frame corrupted")
+	}
+
+	buf.Reset()
+	if err := EncodeResponse(&buf, &RespHeader{Status: "error", Error: "boom"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err = DecodeResponse(bytes.NewReader(buf.Bytes()), Limits{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "error" || h.Error != "boom" || got != nil {
+		t.Fatalf("error response: %+v, frame %v", h, got)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		h := ReqHeader{M: 2, N: 2, K: 2, Alpha: 1}
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		if err := EncodeRequest(&buf, &h, a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name string
+		body func() []byte
+		want string
+	}{
+		{"empty", func() []byte { return nil }, "preamble"},
+		{"bad magic", func() []byte {
+			b := valid()
+			b[0] = 'X'
+			return b
+		}, "magic"},
+		{"zero header length", func() []byte {
+			b := valid()
+			binary.BigEndian.PutUint32(b[4:], 0)
+			return b
+		}, "length"},
+		{"oversized header length", func() []byte {
+			b := valid()
+			binary.BigEndian.PutUint32(b[4:], 1<<30)
+			return b
+		}, "length"},
+		{"truncated frame", func() []byte {
+			b := valid()
+			return b[:len(b)-5]
+		}, "truncated"},
+		{"trailing bytes", func() []byte {
+			return append(valid(), 0xFF)
+		}, "trailing"},
+		{"bad json", func() []byte {
+			var buf bytes.Buffer
+			writePreamble(&buf, reqMagic, []byte("{not json"))
+			return buf.Bytes()
+		}, "header"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeRequest(bytes.NewReader(tc.body()), Limits{})
+		if err == nil {
+			t.Fatalf("%s: decode succeeded", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	lim := Limits{MaxDim: 100, MaxOperandWords: 500}
+	cases := []struct {
+		name string
+		h    ReqHeader
+		ok   bool
+	}{
+		{"valid", ReqHeader{M: 10, N: 10, K: 5, Alpha: 1}, true},
+		{"zero dim", ReqHeader{M: 0, N: 10, K: 5, Alpha: 1}, false},
+		{"negative dim", ReqHeader{M: 10, N: -1, K: 5, Alpha: 1}, false},
+		{"dim over limit", ReqHeader{M: 101, N: 10, K: 5, Alpha: 1}, false},
+		{"operand over limit", ReqHeader{M: 100, N: 100, K: 1, Alpha: 1}, false}, // C = 10000 words
+		{"bad transA", ReqHeader{M: 2, N: 2, K: 2, TransA: "Q", Alpha: 1}, false},
+		{"bad transB", ReqHeader{M: 2, N: 2, K: 2, TransB: "NT", Alpha: 1}, false},
+		{"lowercase trans ok", ReqHeader{M: 2, N: 2, K: 2, TransA: "t", TransB: "n", Alpha: 1}, true},
+		{"nan alpha", ReqHeader{M: 2, N: 2, K: 2, Alpha: math.NaN()}, false},
+		{"inf beta", ReqHeader{M: 2, N: 2, K: 2, Alpha: 1, Beta: math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		err := tc.h.Validate(lim)
+		if (err == nil) != tc.ok {
+			t.Fatalf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// Dimension overflow: a header whose dimensions multiply past int64 must be
+// rejected by the dimension range check, never reach the frame allocator.
+func TestHeaderOverflowRejected(t *testing.T) {
+	h := ReqHeader{M: 1 << 23, N: 1 << 23, K: 1 << 23, Alpha: 1}
+	if err := h.Validate(Limits{MaxDim: 1 << 30}); err == nil {
+		t.Fatal("2^69-word operand accepted")
+	}
+}
+
+func TestEncodeRequestValidation(t *testing.T) {
+	h := ReqHeader{M: 2, N: 2, K: 2, Alpha: 1}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, &h, make([]float64, 3), make([]float64, 4), nil); err == nil {
+		t.Fatal("short A frame accepted")
+	}
+	if err := EncodeRequest(&buf, &h, make([]float64, 4), make([]float64, 4), make([]float64, 4)); err == nil {
+		t.Fatal("C frame accepted with beta == 0")
+	}
+	h.Beta = 1
+	if err := EncodeRequest(&buf, &h, make([]float64, 4), make([]float64, 4), nil); err == nil {
+		t.Fatal("missing C frame accepted with beta != 0")
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	got, err := ParseShapes("96x96x96:3, 64, 128x96x32:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Shape{{96, 96, 96, 3}, {64, 64, 64, 1}, {128, 32, 96, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "axbxc", "96x96", "96x96x96:0", "96x96x96:x"} {
+		if _, err := ParseShapes(bad); err == nil {
+			t.Fatalf("ParseShapes(%q) succeeded", bad)
+		}
+	}
+}
