@@ -181,6 +181,11 @@ func runSuite(reps int) map[string]float64 {
 		// The SIMD-over-scalar speedup is the PR's headline invariant (the
 		// acceptance bar is 2x); gate the ratio, not just the absolutes.
 		m["kernel.simd_vs_packed.512.ratio"] = m["kernel.simd.512.gflops"] / m["kernel.packed.512.gflops"]
+		// The fused-Winograd-over-plain-kernel family: the crossover-crusher
+		// invariant is the fused.vs_kernel.*.ratio staying above 1.
+		for name, v := range fusedSuite(reps) {
+			m[name] = v
+		}
 	}
 	return m
 }
@@ -196,6 +201,15 @@ func suiteRequires() map[string]string {
 		"kernel.simd.512.gflops":          "simd",
 		"kernel.simd.256.gflops":          "simd",
 		"kernel.simd_vs_packed.512.ratio": "simd",
+		// The fused driver's win exists where the SIMD tile does: on a
+		// scalar-dispatch host the comparison is meaningless noise, so the
+		// whole family SKIPs rather than flags.
+		"kernel.simd.1024.gflops":    "simd",
+		"kernel.simd.1536.gflops":    "simd",
+		"fused.multiply.1024.gflops": "simd",
+		"fused.multiply.1536.gflops": "simd",
+		"fused.vs_kernel.1024.ratio": "simd",
+		"fused.vs_kernel.1536.ratio": "simd",
 		// Hardware-counter efficiency exists only where perf_event_open
 		// works; unprivileged CI containers SKIP it cleanly.
 		"perf.multiply.256.ipc": "perf_event",

@@ -51,10 +51,17 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		fusedFlag  = cli.FusedFlag(nil)
 		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
 	cli.InitLogging(*logLevel)
+
+	fusedMode, err := strassen.ParseFusedMode(*fusedFlag)
+	if err != nil {
+		slog.Error("bad -fused", "err", err)
+		os.Exit(2)
+	}
 
 	if *blocks {
 		calibrateBlocks(*blockN, *blockReps, *seed)
@@ -116,6 +123,37 @@ func main() {
 			name, p.Tau, p.TauM, p.TauK, p.TauN)
 		cur := strassen.DefaultParams(name)
 		fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", cur.Tau, cur.TauM, cur.TauK, cur.TauN)
+
+		// Kernels with fused packing/write-out hooks get a second sweep with
+		// the one-level arm running fused; its (lower) crossover installs
+		// under the "<kernel>+fused" parameter key.
+		fusedCapable := (&strassen.Config{Kernel: kern, Fused: fusedMode}).FusedActive()
+		slog.Info("fused winograd", "kernel", name, "mode", fusedMode, "sweep", fusedCapable)
+		if fusedCapable {
+			ftau, fpts := cutoff.SquareCutoffFused(kern, *sqLo, *sqHi, *sqStep, *seed)
+			if *verbose {
+				for _, p := range fpts {
+					marker := ""
+					if p.Ratio > 1 {
+						marker = "  <- fused Strassen wins"
+					}
+					fmt.Printf("  m=%4d  DGEMM/DGEFMM(1 fused level) = %.4f%s\n", p.Dim, p.Ratio, marker)
+				}
+			}
+			fp := cutoff.RectParamsFused(kern, *rectLo, *rectHi, *rectSt, *fixed, *seed+1)
+			fp.Tau = ftau
+			if col != nil {
+				col.Registry.Gauge("calibrate." + name + "+fused.tau").Set(int64(fp.Tau))
+				col.Registry.Gauge("calibrate." + name + "+fused.tau_m").Set(int64(fp.TauM))
+				col.Registry.Gauge("calibrate." + name + "+fused.tau_k").Set(int64(fp.TauK))
+				col.Registry.Gauge("calibrate." + name + "+fused.tau_n").Set(int64(fp.TauN))
+			}
+			fmt.Printf("  fused:    τ=%d τm=%d τk=%d τn=%d (fixed dims %d)\n", fp.Tau, fp.TauM, fp.TauK, fp.TauN, *fixed)
+			fmt.Printf("  apply with: strassen.SetDefaultParams(%q, strassen.Params{Tau: %d, TauM: %d, TauK: %d, TauN: %d})\n",
+				name+"+fused", fp.Tau, fp.TauM, fp.TauK, fp.TauN)
+			fcur := strassen.DefaultParams(name + "+fused")
+			fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", fcur.Tau, fcur.TauM, fcur.TauK, fcur.TauN)
+		}
 	}
 
 	if col != nil && *metricsOut != "" {

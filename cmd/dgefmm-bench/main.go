@@ -28,6 +28,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/strassen"
 )
 
 func main() {
@@ -47,10 +48,25 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		traceOut     = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr     = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		fused        = cli.FusedFlag(nil)
 		logLevel     = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
 	cli.InitLogging(*logLevel)
+
+	// The experiments build their own Configs internally, so an explicit
+	// -fused propagates through the DGEFMM_FUSED override (read lazily,
+	// once, on first DGEFMM call — setting it here is race-free). The env
+	// var itself still works when the flag is left at auto.
+	fusedMode, err := strassen.ParseFusedMode(*fused)
+	if err != nil {
+		slog.Error("bad -fused", "err", err)
+		os.Exit(1)
+	}
+	if fusedMode != strassen.FusedAuto {
+		os.Setenv("DGEFMM_FUSED", fusedMode.String())
+	}
+	slog.Info("fused winograd", "mode", fusedMode, "env", os.Getenv("DGEFMM_FUSED"))
 
 	// The collector only exists when an observability flag asks for it; a
 	// nil collector keeps the experiments on the untraced fast path.

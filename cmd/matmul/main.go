@@ -51,6 +51,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
+		fused      = cli.FusedFlag(nil)
 		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
@@ -97,6 +98,15 @@ func main() {
 	}
 
 	cfg := strassen.DefaultConfig(kern)
+	fusedMode, err := strassen.ParseFusedMode(*fused)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Fused = fusedMode
+	// Re-resolve the cutoff so the "+fused" calibrated parameters apply
+	// when the fused driver is active.
+	cfg.Criterion = nil
+	slog.Info("fused winograd", "mode", fusedMode, "active", cfg.FusedActive())
 	cfg.Parallel = *par
 	var tracer *strassen.CountTracer
 	if *trace {

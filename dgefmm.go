@@ -76,6 +76,21 @@ type Params = strassen.Params
 // Criterion is the recursion cutoff test interface (paper Section 3.4).
 type Criterion = strassen.Criterion
 
+// FusedMode selects whether DGEFMM may run its last recursion levels
+// through the kernel's fused packing/write-out hooks (Config.Fused).
+type FusedMode = strassen.FusedMode
+
+// The fused-driver modes: auto-detect (default), force on, force off.
+// DGEFMM_FUSED=auto|on|off overrides FusedAuto per process.
+const (
+	FusedAuto = strassen.FusedAuto
+	FusedOn   = strassen.FusedOn
+	FusedOff  = strassen.FusedOff
+)
+
+// ParseFusedMode parses a -fused style flag value (auto|on|off).
+func ParseFusedMode(s string) (FusedMode, error) { return strassen.ParseFusedMode(s) }
+
 // The paper's cutoff criteria, re-exported for configuration.
 type (
 	// TheoreticalCriterion is inequality (7) from the op-count model.

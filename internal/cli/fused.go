@@ -1,0 +1,16 @@
+package cli
+
+import "flag"
+
+// FusedFlag registers -fused on the given FlagSet (nil means
+// flag.CommandLine) and returns the destination string. The value feeds
+// strassen.ParseFusedMode after flag parsing; commands follow the same
+// precedence as the kernel dispatch policy (PR 5): an explicit flag wins,
+// otherwise the DGEFMM_FUSED environment variable, otherwise auto-detect.
+func FusedFlag(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("fused", "auto",
+		"fused Winograd base case: auto, on, or off (auto defers to DGEFMM_FUSED, then capability detection)")
+}

@@ -31,12 +31,20 @@ type RatioPoint struct {
 // re-allocates its workspace, and the garbage-collection churn — which
 // depends on the heap state left behind by whatever ran earlier — would
 // contaminate the measured crossover.
-func oneLevelConfig(kern blas.Kernel) *strassen.Config {
+//
+// fused selects which one-level form is timed. The legacy sweeps pin
+// FusedOff so they keep measuring the materialized Winograd schedules the
+// paper's Tables 2/3 describe (an Always criterion with MaxDepth 1 would
+// otherwise silently engage the fused driver on hook-capable kernels and
+// move every historical crossover). The *Fused sweeps pin FusedOn to
+// calibrate the fused driver's own, lower crossover.
+func oneLevelConfig(kern blas.Kernel, fused strassen.FusedMode) *strassen.Config {
 	cfg := &strassen.Config{
 		Kernel:    kern,
 		Criterion: strassen.Always{},
 		MaxDepth:  1,
 		Odd:       strassen.OddPeel,
+		Fused:     fused,
 		Tracker:   memtrack.New(),
 	}
 	if configHook != nil {
@@ -57,12 +65,12 @@ func SetConfigHook(fn func(*strassen.Config)) { configHook = fn }
 
 // timePair measures DGEMM and one-level DGEFMM on an m×k × k×n problem and
 // returns the two per-call times in seconds.
-func timePair(kern blas.Kernel, m, k, n int, alpha, beta float64, rng *rand.Rand) (tGemm, tOneLevel float64) {
+func timePair(kern blas.Kernel, fused strassen.FusedMode, m, k, n int, alpha, beta float64, rng *rand.Rand) (tGemm, tOneLevel float64) {
 	a := matrix.NewRandom(m, k, rng)
 	b := matrix.NewRandom(k, n, rng)
 	c := matrix.NewRandom(m, n, rng)
 	cw := c.Clone()
-	cfg := oneLevelConfig(kern)
+	cfg := oneLevelConfig(kern, fused)
 	// BestOf(2) filters single-run noise; the crossover sits where the two
 	// curves differ by a few percent, so one stray measurement moves it.
 	tGemm = bench.BestOf(2, func() {
@@ -81,10 +89,20 @@ func timePair(kern blas.Kernel, m, k, n int, alpha, beta float64, rng *rand.Rand
 // (the paper calibrates with α=1, β=0). Odd orders exercise the peeling
 // fixups, producing the figure's saw-tooth.
 func SquareRatioCurve(kern blas.Kernel, dims []int, alpha, beta float64, seed int64) []RatioPoint {
+	return squareRatioCurve(kern, strassen.FusedOff, dims, alpha, beta, seed)
+}
+
+// SquareRatioCurveFused is SquareRatioCurve with the one-level arm forced
+// through the kernel's fused packing/write-out driver (FusedOn).
+func SquareRatioCurveFused(kern blas.Kernel, dims []int, alpha, beta float64, seed int64) []RatioPoint {
+	return squareRatioCurve(kern, strassen.FusedOn, dims, alpha, beta, seed)
+}
+
+func squareRatioCurve(kern blas.Kernel, fused strassen.FusedMode, dims []int, alpha, beta float64, seed int64) []RatioPoint {
 	rng := rand.New(rand.NewSource(seed))
 	pts := make([]RatioPoint, 0, len(dims))
 	for _, m := range dims {
-		tg, ts := timePair(kern, m, m, m, alpha, beta, rng)
+		tg, ts := timePair(kern, fused, m, m, m, alpha, beta, rng)
 		pts = append(pts, RatioPoint{Dim: m, Ratio: tg / ts})
 	}
 	return pts
@@ -166,11 +184,21 @@ func median3(a, b, c float64) float64 {
 // SquareCutoff measures the square crossover τ (one Table 2 entry) for a
 // kernel by sweeping orders in [lo, hi] with the given step.
 func SquareCutoff(kern blas.Kernel, lo, hi, step int, seed int64) (int, []RatioPoint) {
+	return squareCutoff(kern, strassen.FusedOff, lo, hi, step, seed)
+}
+
+// SquareCutoffFused measures the square crossover of one *fused* Strassen
+// level — the τ installed under the "<kernel>+fused" parameter key.
+func SquareCutoffFused(kern blas.Kernel, lo, hi, step int, seed int64) (int, []RatioPoint) {
+	return squareCutoff(kern, strassen.FusedOn, lo, hi, step, seed)
+}
+
+func squareCutoff(kern blas.Kernel, fused strassen.FusedMode, lo, hi, step int, seed int64) (int, []RatioPoint) {
 	var dims []int
 	for m := lo; m <= hi; m += step {
 		dims = append(dims, m)
 	}
-	pts := SquareRatioCurve(kern, dims, 1, 0, seed)
+	pts := squareRatioCurve(kern, fused, dims, 1, 0, seed)
 	return ChooseCrossover(pts), pts
 }
 
@@ -192,6 +220,10 @@ func (d Dim) String() string { return [...]string{"m", "k", "n"}[d] }
 // and C90, 1500 on the T3D), returning the Figure-2-style ratio curve for
 // that direction.
 func RectRatioCurve(kern blas.Kernel, sweep Dim, dims []int, fixed int, seed int64) []RatioPoint {
+	return rectRatioCurve(kern, strassen.FusedOff, sweep, dims, fixed, seed)
+}
+
+func rectRatioCurve(kern blas.Kernel, fused strassen.FusedMode, sweep Dim, dims []int, fixed int, seed int64) []RatioPoint {
 	rng := rand.New(rand.NewSource(seed))
 	pts := make([]RatioPoint, 0, len(dims))
 	for _, d := range dims {
@@ -204,7 +236,7 @@ func RectRatioCurve(kern blas.Kernel, sweep Dim, dims []int, fixed int, seed int
 		case DimN:
 			n = d
 		}
-		tg, ts := timePair(kern, m, k, n, 1, 0, rng)
+		tg, ts := timePair(kern, fused, m, k, n, 1, 0, rng)
 		pts = append(pts, RatioPoint{Dim: d, Ratio: tg / ts})
 	}
 	return pts
@@ -216,12 +248,22 @@ func RectRatioCurve(kern blas.Kernel, sweep Dim, dims []int, fixed int, seed int
 // in (14) is negligible, so that the parameter τm can be set to the
 // crossover point determined from the experiment where k and n are fixed."
 func RectParams(kern blas.Kernel, lo, hi, step, fixed int, seed int64) strassen.Params {
+	return rectParams(kern, strassen.FusedOff, lo, hi, step, fixed, seed)
+}
+
+// RectParamsFused is RectParams with the one-level arm forced through the
+// fused driver — the τm, τk, τn for the "<kernel>+fused" parameter key.
+func RectParamsFused(kern blas.Kernel, lo, hi, step, fixed int, seed int64) strassen.Params {
+	return rectParams(kern, strassen.FusedOn, lo, hi, step, fixed, seed)
+}
+
+func rectParams(kern blas.Kernel, fused strassen.FusedMode, lo, hi, step, fixed int, seed int64) strassen.Params {
 	sweep := func(d Dim) int {
 		var dims []int
 		for v := lo; v <= hi; v += step {
 			dims = append(dims, v)
 		}
-		return ChooseCrossover(RectRatioCurve(kern, d, dims, fixed, seed))
+		return ChooseCrossover(rectRatioCurve(kern, fused, d, dims, fixed, seed))
 	}
 	return strassen.Params{
 		TauM: sweep(DimM),
@@ -236,6 +278,19 @@ func RectParams(kern blas.Kernel, lo, hi, step, fixed int, seed int64) strassen.
 func Calibrate(kern blas.Kernel, sqLo, sqHi, sqStep, rectLo, rectHi, rectStep, fixed int, seed int64) strassen.Params {
 	tau, _ := SquareCutoff(kern, sqLo, sqHi, sqStep, seed)
 	p := RectParams(kern, rectLo, rectHi, rectStep, fixed, seed+1)
+	p.Tau = tau
+	return p
+}
+
+// CalibrateFused is Calibrate for the fused driver: the same square and
+// rectangular sweeps with the one-level arm running fused, yielding the
+// parameter set for SetDefaultParams("<kernel>+fused", ...). Only
+// meaningful for kernels implementing the fused hooks; on others the
+// driver falls back to the materialized schedule and the result matches
+// Calibrate up to noise.
+func CalibrateFused(kern blas.Kernel, sqLo, sqHi, sqStep, rectLo, rectHi, rectStep, fixed int, seed int64) strassen.Params {
+	tau, _ := SquareCutoffFused(kern, sqLo, sqHi, sqStep, seed)
+	p := RectParamsFused(kern, rectLo, rectHi, rectStep, fixed, seed+1)
 	p.Tau = tau
 	return p
 }

@@ -48,6 +48,12 @@ type microImpl struct {
 	full func(ap, bp, c []float64, ldc, kb int, alpha float64)
 	// edge computes the ragged rows×cols prefix of the tile.
 	edge func(ap, bp, c []float64, ldc, rows, cols, kb int, alpha float64)
+	// dual, when non-nil, computes one full mr×nr tile and scatters it into
+	// two destinations with independent scalars (c0 += alpha0·acc,
+	// c1 += alpha1·acc) — the fused Winograd write-out's two-quadrant fast
+	// path. Nil means the fused sweep captures the tile in a buffer and
+	// scatters scalar instead.
+	dual func(ap, bp, c0 []float64, ldc0 int, c1 []float64, ldc1 int, kb int, alpha0, alpha1 float64)
 }
 
 // scalarImpl is the portable tile: the unrolled 4×4 register kernel that

@@ -1,0 +1,477 @@
+package kernel
+
+// Operand-fused packing and multi-destination write-out: the kernel-side
+// half of the fused Winograd path (Huang et al., "Implementing Strassen's
+// Algorithm with BLIS", arXiv:1605.01078). A Strassen level's add/sub
+// linear combinations are folded into the two places the operands are
+// touched anyway — Ã/B̃ packing reads and the micro-kernel's C update — so
+// each level costs almost no extra memory traffic instead of a full set of
+// materialized S/T/M temporaries.
+//
+// FusedMulAdd runs the exact NC/KC/MC loop nest of MulAdd over the same
+// arena-drawn packed panels (LeafWorkspace is unchanged), but:
+//
+//   - the packers form Ã ← Σᵢ γᵢ·op(Aᵢ) (and B̃ likewise) on the fly from
+//     up to four strided source panels sharing one leading dimension and
+//     transpose — the quadrants of a common parent matrix;
+//   - the write-out accumulates each computed product panel into every
+//     destination with its own ±1 coefficient (times the call's alpha).
+//     One destination degenerates to the unfused sweep; two full SIMD
+//     tiles use the dual-scatter assembly tile when the ISA provides one;
+//     everything else captures the tile product exactly in a register-tile
+//     buffer and scatters it scalar per destination.
+//
+// Bitwise contract: coefficients are ±1 in the Strassen tables, and both
+// negation and ±1 multiplication are exact in IEEE-754, so a fused pack
+// produces bit-for-bit the panel an unfused add/sub-then-pack would, with
+// one rounding per added term in term order; and the tile-buffer capture
+// (zeroed buffer, alpha = 1) holds the accumulator exactly, so the scalar
+// multi-destination scatter rounds exactly like a direct single-destination
+// write-out at alpha·coeff. A Compat instance therefore matches the
+// unfused Compat kernel bit for bit per destination (see fused_test.go);
+// the SIMD tile differs only by its usual FMA contraction.
+
+import (
+	"time"
+
+	"repro/internal/phase"
+)
+
+// Term is one source panel of a fused operand: a matrix (sharing the
+// enclosing Operand's leading dimension and transpose) and its ±1
+// combination coefficient. Coefficients other than ±1 are computed
+// correctly but void the bitwise-equality contract (they round once per
+// term where a pre-materialized combination may round differently).
+type Term struct {
+	Data  []float64
+	Coeff float64
+}
+
+// Operand is a fused input: the linear combination Σᵢ Coeffᵢ·op(Termᵢ) of
+// 1–4 equally-shaped panels, all stored with leading dimension Ld and the
+// same transpose. The Strassen quadrants of one parent matrix satisfy this
+// by construction.
+type Operand struct {
+	Terms []Term
+	Ld    int
+	Trans bool
+}
+
+// Dest is one write-out destination: a column-major C panel with leading
+// dimension Ld receiving Coeff·(product panel), Coeff again ±1 under the
+// bitwise contract.
+type Dest struct {
+	Data  []float64
+	Ld    int
+	Coeff float64
+}
+
+// FusedCounters reports how many FusedMulAdd calls the kernel has served.
+// Packed words from fused calls fold into the regular packing counters.
+func (k *Packed) FusedCounters() (fusedMulAdds int64) {
+	return k.fusedMulAdds.Load()
+}
+
+// FusedDestLimit reports how many destinations FusedMulAdd accumulates
+// without leaving the active tile's native write-out. The SIMD tile
+// scatters one or two destinations in assembly (single and dual scatter)
+// but spills full tiles to a buffered scalar scatter beyond that, so its
+// limit is 2; the scalar tile pays the same per-element loop for any
+// count, so its limit is the table maximum (4, a two-level Strassen
+// composition). The fused Strassen driver consults this to decide how
+// many trailing levels to fuse: a record fan-out past the limit costs
+// more in write-out than the fusion saves in adds.
+func (k *Packed) FusedDestLimit() int {
+	if k.impl().dual != nil {
+		return 2
+	}
+	return 4
+}
+
+// FusedMulAdd computes, for every destination d,
+//
+//	d.Data ← d.Data + alpha·d.Coeff·(Σᵢ γᵢ·op(Aᵢ))·(Σⱼ δⱼ·op(Bⱼ))
+//
+// where the fused operand is m×k (a) and k×n (b). The caller pre-applies
+// beta; write-out is pure accumulation. The combination runs inside the
+// packing and the C update — no operand or product temporaries beyond the
+// same two packed panels MulAdd draws (LeafWorkspace is unchanged).
+func (k *Packed) FusedMulAdd(m, n, kk int, alpha float64, a, b Operand, dests []Dest) {
+	if m <= 0 || n <= 0 || kk <= 0 || alpha == 0 ||
+		len(a.Terms) == 0 || len(b.Terms) == 0 || len(dests) == 0 {
+		return
+	}
+	mi := k.impl()
+	mcE, kcE, ncE := k.effBlocks(mi, m, n, kk)
+	ar := k.Arena()
+	apack := ar.AllocUninit(mcE * kcE)
+	bpack := ar.AllocUninit(kcE * ncE)
+
+	prof := phase.Active()
+	var acct fusedAcct
+
+	var packedA, packedB int64
+	var fullTiles, edgeTiles int64
+	var t0 time.Time
+	for jc := 0; jc < n; jc += ncE {
+		nb := n - jc
+		if nb > ncE {
+			nb = ncE
+		}
+		for pc := 0; pc < kk; pc += kcE {
+			kb := kk - pc
+			if kb > kcE {
+				kb = kcE
+			}
+			if prof != nil {
+				t0 = time.Now()
+			}
+			packBFused(mi.nr, bpack, b, pc, jc, kb, nb)
+			if prof != nil {
+				acct.packNS += int64(time.Since(t0))
+			}
+			packedB += int64(kb) * int64(nb)
+			for ic := 0; ic < m; ic += mcE {
+				mb := m - ic
+				if mb > mcE {
+					mb = mcE
+				}
+				if prof != nil {
+					t0 = time.Now()
+				}
+				packAFused(mi.mr, apack, a, ic, pc, mb, kb)
+				if prof != nil {
+					acct.packNS += int64(time.Since(t0))
+					t0 = time.Now()
+				}
+				packedA += int64(mb) * int64(kb)
+				ft, et := macroKernelFused(mi, apack, bpack, dests, ic, jc, mb, nb, kb, alpha)
+				if prof != nil {
+					acct.macro(mi, int64(time.Since(t0)), mb, nb, kb, ft, et, len(dests))
+				}
+				fullTiles += ft
+				edgeTiles += et
+			}
+		}
+	}
+	ar.Free(bpack)
+	ar.Free(apack)
+	if prof != nil {
+		acct.flush(prof, len(a.Terms), len(b.Terms), packedA, packedB)
+	}
+	k.fusedMulAdds.Add(1)
+	k.packAWords.Add(packedA)
+	k.packBWords.Add(packedB)
+	if mi.isa != "scalar" {
+		k.simdTiles.Add(fullTiles)
+		k.scalarTiles.Add(edgeTiles)
+	} else {
+		k.scalarTiles.Add(fullTiles + edgeTiles)
+	}
+}
+
+// packAFused packs the mb×kb block with top-left (ic, pc) of the fused
+// operand Σᵢ γᵢ·op(Aᵢ) into dst as mr-row micro-panels: packA generalized
+// to combine the term panels element-wise during the copy. Term 0 assigns
+// (scaled), later terms accumulate in order, so the combination rounds once
+// per added term exactly like a separate add/sub pass would.
+func packAFused(mr int, dst []float64, op Operand, ic, pc, mb, kb int) {
+	if len(op.Terms) == 1 && op.Terms[0].Coeff == 1 {
+		packA(mr, dst, op.Terms[0].Data, op.Ld, op.Trans, ic, pc, mb, kb)
+		return
+	}
+	if mr < 1 || kb < 1 {
+		return
+	}
+	lda := op.Ld
+	for ip := 0; ip < mb; ip += mr {
+		rows := mb - ip
+		if rows > mr {
+			rows = mr
+		}
+		base := (ip / mr) * (mr * kb)
+		if !op.Trans {
+			// op(A)(i, l) = A(ic+i, pc+l): column l contiguous in every term.
+			for l := 0; l < kb; l++ {
+				off := (pc+l)*lda + ic + ip
+				d := dst[base+l*mr : base+l*mr+mr : base+l*mr+mr]
+				if len(op.Terms) == 2 {
+					x := op.Terms[0].Data[off : off+rows]
+					y := op.Terms[1].Data[off : off+rows]
+					g0, g1 := op.Terms[0].Coeff, op.Terms[1].Coeff
+					for r := 0; r < rows; r++ {
+						d[r] = g0*x[r] + g1*y[r]
+					}
+				} else {
+					t0 := op.Terms[0]
+					x := t0.Data[off : off+rows]
+					for r := 0; r < rows; r++ {
+						d[r] = t0.Coeff * x[r]
+					}
+					for _, t := range op.Terms[1:] {
+						x := t.Data[off : off+rows]
+						for r := 0; r < rows; r++ {
+							d[r] += t.Coeff * x[r]
+						}
+					}
+				}
+				clear(d[rows:])
+			}
+			continue
+		}
+		// op(A)(i, l) = A(pc+l, ic+i): row r of the block is a contiguous
+		// run of each term's storage; strided stores advance by mr. The
+		// panel buffer is mcE×kcE with mcE rounded up to whole mr-row
+		// panels (effBlocks), so d[l·mr] stays in bounds; the two-term
+		// fast path combines in one strided pass (see packBFused).
+		for r := 0; r < rows; r++ {
+			row := (ic+ip+r)*lda + pc
+			d := dst[base+r:]
+			if len(op.Terms) == 2 {
+				x := op.Terms[0].Data[row : row+kb]
+				y := op.Terms[1].Data[row : row+kb]
+				g0, g1 := op.Terms[0].Coeff, op.Terms[1].Coeff
+				for l := 0; l < kb; l++ {
+					d[l*mr] = g0*x[l] + g1*y[l]
+				}
+				continue
+			}
+			t0 := op.Terms[0]
+			x := t0.Data[row : row+kb]
+			for l := 0; l < kb; l++ {
+				d[l*mr] = t0.Coeff * x[l]
+			}
+			for _, t := range op.Terms[1:] {
+				x := t.Data[row : row+kb]
+				g := t.Coeff
+				for l := 0; l < kb; l++ {
+					d[l*mr] += g * x[l]
+				}
+			}
+		}
+		for r := rows; r < mr; r++ {
+			d := dst[base+r:]
+			for n := kb; n > 1 && len(d) >= mr; n-- {
+				d[0] = 0
+				d = d[mr:]
+			}
+			if len(d) > 0 {
+				d[0] = 0
+			}
+		}
+	}
+}
+
+// packBFused packs the kb×nb block with top-left (pc, jc) of the fused
+// operand Σⱼ δⱼ·op(Bⱼ) into dst as nr-column micro-panels; the fused
+// counterpart of packB with the same term-order rounding as packAFused.
+func packBFused(nr int, dst []float64, op Operand, pc, jc, kb, nb int) {
+	if len(op.Terms) == 1 && op.Terms[0].Coeff == 1 {
+		packB(nr, dst, op.Terms[0].Data, op.Ld, op.Trans, pc, jc, kb, nb)
+		return
+	}
+	if nr < 1 || kb < 1 {
+		return
+	}
+	ldb := op.Ld
+	for jp := 0; jp < nb; jp += nr {
+		cols := nb - jp
+		if cols > nr {
+			cols = nr
+		}
+		base := (jp / nr) * (nr * kb)
+		if !op.Trans {
+			// op(B)(l, j) = B(pc+l, jc+j): column j of the block is a
+			// contiguous run of each term's storage column jc+j. The panel
+			// buffer is allocated at ncE×kcE with ncE rounded up to whole
+			// nr-wide panels (effBlocks), so the strided stores d[l·nr] are
+			// in bounds even for the last ragged panel. The two-term fast
+			// path makes one combined pass over the strided destination
+			// where assign-then-accumulate would make two (the pack is
+			// bandwidth-bound — see the fused_pack phase in obsreport).
+			for s := 0; s < cols; s++ {
+				col := (jc+jp+s)*ldb + pc
+				d := dst[base+s:]
+				if len(op.Terms) == 2 {
+					x := op.Terms[0].Data[col : col+kb]
+					y := op.Terms[1].Data[col : col+kb]
+					g0, g1 := op.Terms[0].Coeff, op.Terms[1].Coeff
+					for l := 0; l < kb; l++ {
+						d[l*nr] = g0*x[l] + g1*y[l]
+					}
+					continue
+				}
+				t0 := op.Terms[0]
+				x := t0.Data[col : col+kb]
+				for l := 0; l < kb; l++ {
+					d[l*nr] = t0.Coeff * x[l]
+				}
+				for _, t := range op.Terms[1:] {
+					x := t.Data[col : col+kb]
+					g := t.Coeff
+					for l := 0; l < kb; l++ {
+						d[l*nr] += g * x[l]
+					}
+				}
+			}
+			for s := cols; s < nr; s++ {
+				d := dst[base+s:]
+				for n := kb; n > 1 && len(d) >= nr; n-- {
+					d[0] = 0
+					d = d[nr:]
+				}
+				if len(d) > 0 {
+					d[0] = 0
+				}
+			}
+			continue
+		}
+		// op(B)(l, j) = B(jc+j, pc+l): row l of the block contiguous.
+		for l := 0; l < kb; l++ {
+			off := (pc+l)*ldb + jc + jp
+			d := dst[base+l*nr : base+l*nr+nr : base+l*nr+nr]
+			if len(op.Terms) == 2 {
+				x := op.Terms[0].Data[off : off+cols]
+				y := op.Terms[1].Data[off : off+cols]
+				g0, g1 := op.Terms[0].Coeff, op.Terms[1].Coeff
+				for s := 0; s < cols; s++ {
+					d[s] = g0*x[s] + g1*y[s]
+				}
+			} else {
+				t0 := op.Terms[0]
+				x := t0.Data[off : off+cols]
+				for s := 0; s < cols; s++ {
+					d[s] = t0.Coeff * x[s]
+				}
+				for _, t := range op.Terms[1:] {
+					x := t.Data[off : off+cols]
+					for s := 0; s < cols; s++ {
+						d[s] += t.Coeff * x[s]
+					}
+				}
+			}
+			clear(d[cols:])
+		}
+	}
+}
+
+// macroKernelFused sweeps the packed panels once and accumulates every
+// register tile into all destinations. One destination is the unfused
+// sweep at alpha·coeff; two destinations on a full tile use the ISA's
+// dual-scatter tile when present; otherwise the tile product is captured
+// exactly (zeroed buffer, alpha = 1 — adding an accumulator to zero is
+// exact) and scattered scalar per destination, which preserves the
+// single-destination rounding per destination.
+func macroKernelFused(mi *microImpl, apack, bpack []float64, dests []Dest, ic, jc, mb, nb, kb int, alpha float64) (fullTiles, edgeTiles int64) {
+	if len(dests) == 1 {
+		d := dests[0]
+		return macroKernel(mi, apack, bpack, d.Data, d.Ld, ic, jc, mb, nb, kb, alpha*d.Coeff)
+	}
+	mr, nr := mi.mr, mi.nr
+	var buf [SIMDTileMR * SIMDTileNR]float64
+	for jp := 0; jp < nb; jp += nr {
+		cols := nb - jp
+		if cols > nr {
+			cols = nr
+		}
+		bp := bpack[(jp/nr)*(nr*kb):]
+		for ip := 0; ip < mb; ip += mr {
+			rows := mb - ip
+			if rows > mr {
+				rows = mr
+			}
+			ap := apack[(ip/mr)*(mr*kb):]
+			full := rows == mr && cols == nr
+			if full && len(dests) == 2 && mi.dual != nil {
+				d0, d1 := dests[0], dests[1]
+				c0 := d0.Data[(jc+jp)*d0.Ld+ic+ip:]
+				c1 := d1.Data[(jc+jp)*d1.Ld+ic+ip:]
+				mi.dual(ap, bp, c0, d0.Ld, c1, d1.Ld, kb, alpha*d0.Coeff, alpha*d1.Coeff)
+				fullTiles++
+				continue
+			}
+			clear(buf[:mr*nr])
+			if full {
+				mi.full(ap, bp, buf[:], mr, kb, 1)
+				fullTiles++
+			} else {
+				mi.edge(ap, bp, buf[:], mr, rows, cols, kb, 1)
+				edgeTiles++
+			}
+			for _, d := range dests {
+				ad := alpha * d.Coeff
+				cd := d.Data[(jc+jp)*d.Ld+ic+ip:]
+				for s := 0; s < cols; s++ {
+					col := cd[s*d.Ld : s*d.Ld+rows : s*d.Ld+rows]
+					acc := buf[s*mr : s*mr+rows]
+					for r := range col {
+						col[r] += ad * acc[r]
+					}
+				}
+			}
+		}
+	}
+	return fullTiles, edgeTiles
+}
+
+// fusedAcct is phaseAcct's counterpart for FusedMulAdd: fused packing
+// replaces the pack_a/pack_b phases, the sweep still splits micro/fringe
+// by FLOP share, and the extra destinations' accumulation traffic is
+// carved out into the fused write-out phase (so KernelMicro stays
+// comparable to the unfused kernel's).
+type fusedAcct struct {
+	packNS                  int64
+	microNS, fringeNS       int64
+	microFlops, fringeFlops int64
+	microBytes, fringeBytes int64
+	writeNS                 int64
+	writeFlops, writeBytes  int64
+}
+
+// macro folds one fused sweep over an mb×nb×kb block with nd destinations.
+func (a *fusedAcct) macro(mi *microImpl, ns int64, mb, nb, kb int, ft, et int64, nd int) {
+	total := 2 * int64(mb) * int64(nb) * int64(kb)
+	full := ft * 2 * int64(mi.mr) * int64(mi.nr) * int64(kb)
+	edge := total - full
+	tileBytes := 8 * (int64(mi.mr)*int64(kb) + int64(mi.nr)*int64(kb) + 2*int64(mi.mr)*int64(mi.nr))
+	if nd > 1 {
+		// Each extra destination costs one multiply-add per product element
+		// per sweep and one C read+write (16 bytes) per element; its time
+		// share is apportioned by FLOPs like the micro/fringe split.
+		e := int64(nd - 1)
+		wFlops := e * 2 * int64(mb) * int64(nb)
+		wBytes := e * 16 * int64(mb) * int64(nb)
+		wNS := ns * wFlops / (total + wFlops)
+		a.writeFlops += wFlops
+		a.writeBytes += wBytes
+		a.writeNS += wNS
+		ns -= wNS
+	}
+	a.microFlops += full
+	a.fringeFlops += edge
+	a.microBytes += ft * tileBytes
+	a.fringeBytes += et * tileBytes
+	if edge <= 0 || total <= 0 {
+		a.microNS += ns
+		return
+	}
+	mNS := ns * full / total
+	a.microNS += mNS
+	a.fringeNS += ns - mNS
+}
+
+// flush records the call's totals. Fused packing reads every term once and
+// writes the packed word ((terms+1)·8 bytes per word) and performs
+// (terms−1) adds per word.
+func (a *fusedAcct) flush(p *phase.Profiler, aTerms, bTerms int, packedA, packedB int64) {
+	flops := int64(aTerms-1)*packedA + int64(bTerms-1)*packedB
+	bytes := int64(aTerms+1)*8*packedA + int64(bTerms+1)*8*packedB
+	p.Add(phase.KernelFusedPack, a.packNS, flops, bytes)
+	p.Add(phase.KernelMicro, a.microNS, a.microFlops, a.microBytes)
+	if a.fringeFlops > 0 || a.fringeNS > 0 {
+		p.Add(phase.KernelFringe, a.fringeNS, a.fringeFlops, a.fringeBytes)
+	}
+	if a.writeFlops > 0 || a.writeNS > 0 {
+		p.Add(phase.KernelFusedWriteout, a.writeNS, a.writeFlops, a.writeBytes)
+	}
+}

@@ -1,0 +1,411 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/memtrack"
+)
+
+// The fused differential contract (fused.go): FusedMulAdd must equal
+// "materialize the operand combinations with one rounding per added term in
+// term order, then MulAdd once per destination at alpha·coeff" — bit for bit
+// on the scalar/Compat tiles, and under a widened Higham bound on the FMA
+// tile. The widening: the unfused SIMD-vs-scalar bound is 2·γ_{k+2}
+// (simd_test.go); each fused operand adds (terms−1) pre-roundings per
+// element, so two 2-term operands give 2·γ_{k+4} — in general
+// 2·γ_{k+2+(tA−1)+(tB−1)}.
+
+// combineTerms materializes Σ γᵢ·termᵢ elementwise over the shared storage
+// layout, rounding once per added term in term order — exactly the order
+// packAFused/packBFused round in, so a scalar fused call must match a
+// reference built from this bit for bit.
+func combineTerms(terms []Term, n int) []float64 {
+	out := make([]float64, n)
+	t0 := terms[0]
+	for i := range out {
+		out[i] = t0.Coeff * t0.Data[i]
+	}
+	for _, t := range terms[1:] {
+		for i := range out {
+			out[i] += t.Coeff * t.Data[i]
+		}
+	}
+	return out
+}
+
+func boolTrans(tr bool) blas.Transpose {
+	if tr {
+		return blas.Trans
+	}
+	return blas.NoTrans
+}
+
+// fusedCase is one fused-vs-unfused differential: operand term coefficients,
+// destination coefficients, shape, transposes and alpha.
+type fusedCase struct {
+	m, n, kk  int
+	ta, tb    bool
+	alpha     float64
+	aCoeffs   []float64
+	bCoeffs   []float64
+	dstCoeffs []float64
+}
+
+// runFusedCase drives FusedMulAdd on k and the materialized reference
+// (unfused MulAdd on the same kernel, once per destination) on identical
+// inputs. exact demands bitwise equality; otherwise the widened Higham
+// bound applies. NaN canaries guard every destination's ldc padding.
+func runFusedCase(t *testing.T, k *Packed, tc fusedCase, rng *rand.Rand, exact bool) {
+	t.Helper()
+	m, n, kk := tc.m, tc.n, tc.kk
+	ar, ac := opDims(tc.ta, m, kk)
+	br, bc := opDims(tc.tb, kk, n)
+	lda, ldb, ldc := ar+1, br+2, m+2
+
+	aOp := Operand{Ld: lda, Trans: tc.ta}
+	for _, g := range tc.aCoeffs {
+		aOp.Terms = append(aOp.Terms, Term{Data: fill(rng, ar, ac, lda), Coeff: g})
+	}
+	bOp := Operand{Ld: ldb, Trans: tc.tb}
+	for _, g := range tc.bCoeffs {
+		bOp.Terms = append(bOp.Terms, Term{Data: fill(rng, br, bc, ldb), Coeff: g})
+	}
+
+	c0s := make([][]float64, len(tc.dstCoeffs))
+	got := make([]Dest, len(tc.dstCoeffs))
+	for i, g := range tc.dstCoeffs {
+		c0s[i] = fill(rng, m, n, ldc)
+		got[i] = Dest{Data: append([]float64(nil), c0s[i]...), Ld: ldc, Coeff: g}
+	}
+	k.FusedMulAdd(m, n, kk, tc.alpha, aOp, bOp, got)
+
+	refA := combineTerms(aOp.Terms, lda*ac)
+	refB := combineTerms(bOp.Terms, ldb*bc)
+	ta, tb := boolTrans(tc.ta), boolTrans(tc.tb)
+	var absProd []float64
+	if !exact {
+		absProd = absMulOracle(ta, tb, m, n, kk, refA, lda, refB, ldb)
+	}
+	for di, g := range tc.dstCoeffs {
+		want := append([]float64(nil), c0s[di]...)
+		k.MulAdd(ta, tb, m, n, kk, tc.alpha*g, refA, lda, refB, ldb, want, ldc)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				gv, wv := got[di].Data[j*ldc+i], want[j*ldc+i]
+				if exact {
+					if math.Float64bits(gv) != math.Float64bits(wv) {
+						t.Fatalf("ta=%v tb=%v m=%d n=%d k=%d aT=%v bT=%v dst=%d coeff=%g: bitwise mismatch at (%d,%d): %x vs %x",
+							tc.ta, tc.tb, m, n, kk, tc.aCoeffs, tc.bCoeffs, di, g, i, j,
+							math.Float64bits(gv), math.Float64bits(wv))
+					}
+					continue
+				}
+				// The widened bound: 2·γ_{k+2+(tA−1)+(tB−1)}·|α·coeff|·(|Ã|·|B̃|)_{ij}
+				// plus a few ulps for the C₀ accumulate (absProd is m×n dense,
+				// the destinations use ldc).
+				gHi := 2 * gammaN(kk+2+(len(tc.aCoeffs)-1)+(len(tc.bCoeffs)-1))
+				bound := gHi*math.Abs(tc.alpha*g)*absProd[j*m+i] + 4*0x1p-53*math.Abs(c0s[di][j*ldc+i]) + 1e-300
+				if d := math.Abs(gv - wv); d > bound {
+					t.Fatalf("ta=%v tb=%v m=%d n=%d k=%d dst=%d: |fused-ref|=%g > tol %g at (%d,%d)",
+						tc.ta, tc.tb, m, n, kk, di, d, bound, i, j)
+				}
+			}
+		}
+		checkPadding(t, got[di].Data, m, n, ldc)
+	}
+}
+
+var fusedSigns = [][2]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+
+// TestFusedCompatBitwiseExhaustive is the satellite's exhaustive sweep on
+// the Compat (legacy-blocked, scalar) kernel: every (m mod 8, n mod 4)
+// fringe class × all four transpose combinations × all four sign patterns
+// per operand, two destinations with opposite signs. Bit-for-bit.
+func TestFusedCompatBitwiseExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	k := &Packed{Compat: true}
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for dm := 0; dm < SIMDTileMR; dm++ {
+				for dn := 0; dn < SIMDTileNR; dn++ {
+					for _, sa := range fusedSigns {
+						for _, sb := range fusedSigns {
+							runFusedCase(t, k, fusedCase{
+								m: SIMDTileMR + dm, n: SIMDTileNR + dn, kk: 19,
+								ta: ta, tb: tb, alpha: 1.5,
+								aCoeffs:   sa[:],
+								bCoeffs:   sb[:],
+								dstCoeffs: []float64{1, -1},
+							}, rng, true)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedScalarBlockCrossing drives the tiny-block scalar kernel so every
+// fused call crosses jc/pc/ic block boundaries, with the deeper 4-term /
+// 4-destination records of the two-level table. Still bit-for-bit: the
+// tile-buffer capture preserves single-destination rounding per destination
+// no matter how many destinations share the sweep. The mode must be pinned
+// scalar — on a SIMD host the asm tile's FMA scatter rounds c+α·acc once
+// where the capture's scalar scatter rounds twice, a 1-ulp difference the
+// Higham test covers instead.
+func TestFusedScalarBlockCrossing(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	k := &Packed{Mode: ModeScalar, MC: 2 * MR, KC: 3, NC: 2 * NR}
+	shapes := [][3]int{{1, 1, 1}, {5, 3, 7}, {9, 7, 13}, {13, 11, 8}, {17, 9, 19}}
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for _, s := range shapes {
+				runFusedCase(t, k, fusedCase{
+					m: s[0], n: s[1], kk: s[2],
+					ta: ta, tb: tb, alpha: -0.75,
+					aCoeffs:   []float64{1, -1, -1, 1},
+					bCoeffs:   []float64{-1, 1, 1, 1},
+					dstCoeffs: []float64{1, -1, 1, 1},
+				}, rng, true)
+				runFusedCase(t, k, fusedCase{
+					m: s[0], n: s[1], kk: s[2],
+					ta: ta, tb: tb, alpha: 2,
+					aCoeffs:   []float64{1},
+					bCoeffs:   []float64{1, -1},
+					dstCoeffs: []float64{-1},
+				}, rng, true)
+			}
+		}
+	}
+}
+
+// TestFusedSIMDHigham exercises the SIMD dispatch (dual-scatter tile on
+// two-destination full tiles, buffer capture elsewhere) against the
+// materialized reference under the widened bound 2·γ_{k+4} for 2-term
+// operands. Off-host ModeSIMD degrades to scalar; the check stays valid.
+func TestFusedSIMDHigham(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	k := &Packed{Mode: ModeSIMD}
+	// Full-tile shapes (dual-scatter eligible), fringe shapes, and
+	// block-crossing sizes.
+	shapes := [][3]int{
+		{SIMDTileMR, SIMDTileNR, 16}, {2 * SIMDTileMR, 2 * SIMDTileNR, 32},
+		{SIMDTileMR + 1, SIMDTileNR + 1, 33}, {3*SIMDTileMR - 1, 3*SIMDTileNR - 1, 37},
+		{64, 48, 64}, {129, 65, 300},
+	}
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for _, s := range shapes {
+				for _, sa := range fusedSigns {
+					runFusedCase(t, k, fusedCase{
+						m: s[0], n: s[1], kk: s[2],
+						ta: ta, tb: tb, alpha: 1.25,
+						aCoeffs:   sa[:],
+						bCoeffs:   []float64{1, -1},
+						dstCoeffs: []float64{1, -1},
+					}, rng, false)
+				}
+				// Four destinations force the buffer-capture scatter even on
+				// full tiles.
+				runFusedCase(t, k, fusedCase{
+					m: s[0], n: s[1], kk: s[2],
+					ta: ta, tb: tb, alpha: -1,
+					aCoeffs:   []float64{1, -1, 1, -1},
+					bCoeffs:   []float64{1, 1, -1, -1},
+					dstCoeffs: []float64{1, -1, -1, 1},
+				}, rng, false)
+			}
+		}
+	}
+}
+
+// TestFusedSingleTermIsMulAdd pins the degenerate fused call (one term,
+// coefficient 1, one destination) to the plain MulAdd path bit for bit on
+// every dispatch mode — it literally shares the code.
+func TestFusedSingleTermIsMulAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, mode := range []Mode{ModeAuto, ModeScalar, ModeSIMD} {
+		k := &Packed{Mode: mode}
+		for _, ta := range []bool{false, true} {
+			runFusedCase(t, k, fusedCase{
+				m: 33, n: 17, kk: 40,
+				ta: ta, tb: !ta, alpha: 1.75,
+				aCoeffs:   []float64{1},
+				bCoeffs:   []float64{1},
+				dstCoeffs: []float64{1},
+			}, rng, true)
+		}
+	}
+}
+
+// TestFusedWorkspaceExact: a fused call draws exactly the two packed panels
+// MulAdd draws — LeafWorkspace is unchanged and the arena peak must equal
+// it. This is the kernel-side half of the Plan/KernelWords == memtrack-peak
+// acceptance check (the strassen side asserts the whole plan).
+func TestFusedWorkspaceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	shapes := [][3]int{{1, 1, 1}, {8, 4, 8}, {9, 5, 3}, {64, 64, 64}, {130, 70, 90}}
+	for _, mode := range []Mode{ModeScalar, ModeSIMD} {
+		for _, s := range shapes {
+			m, n, kk := s[0], s[1], s[2]
+			k := &Packed{Mode: mode, MC: 32, KC: 24, NC: 40}
+			tr := memtrack.New()
+			k.SetArena(tr)
+			aOp := Operand{Ld: m, Terms: []Term{
+				{Data: fill(rng, m, kk, m), Coeff: 1},
+				{Data: fill(rng, m, kk, m), Coeff: -1},
+			}}
+			bOp := Operand{Ld: kk, Terms: []Term{
+				{Data: fill(rng, kk, n, kk), Coeff: 1},
+				{Data: fill(rng, kk, n, kk), Coeff: 1},
+			}}
+			dests := []Dest{
+				{Data: make([]float64, m*n), Ld: m, Coeff: 1},
+				{Data: make([]float64, m*n), Ld: m, Coeff: -1},
+			}
+			k.FusedMulAdd(m, n, kk, 1, aOp, bOp, dests)
+			if got, want := tr.Peak(), k.LeafWorkspace(m, n, kk); got != want {
+				t.Errorf("mode=%v %v: arena peak %d, LeafWorkspace %d", mode, s, got, want)
+			}
+			if tr.Live() != 0 {
+				t.Errorf("mode=%v %v: %d words leaked", mode, s, tr.Live())
+			}
+		}
+	}
+}
+
+// TestFusedDegenerateArgs: empty dims, zero alpha, and empty operand/dest
+// lists are complete no-ops that must not touch any destination.
+func TestFusedDegenerateArgs(t *testing.T) {
+	k := &Packed{}
+	a := Operand{Ld: 2, Terms: []Term{{Data: []float64{1, 2, 3, 4}, Coeff: 1}}}
+	b := Operand{Ld: 2, Terms: []Term{{Data: []float64{5, 6, 7, 8}, Coeff: 1}}}
+	c := []float64{math.NaN(), 1, 2, math.Inf(1)}
+	d := []Dest{{Data: c, Ld: 2, Coeff: 1}}
+	k.FusedMulAdd(0, 2, 2, 1, a, b, d)
+	k.FusedMulAdd(2, 0, 2, 1, a, b, d)
+	k.FusedMulAdd(2, 2, 0, 1, a, b, d)
+	k.FusedMulAdd(2, 2, 2, 0, a, b, d)
+	k.FusedMulAdd(2, 2, 2, 1, Operand{Ld: 2}, b, d)
+	k.FusedMulAdd(2, 2, 2, 1, a, Operand{Ld: 2}, d)
+	k.FusedMulAdd(2, 2, 2, 1, a, b, nil)
+	if !math.IsNaN(c[0]) || c[1] != 1 || c[2] != 2 || !math.IsInf(c[3], 1) {
+		t.Fatalf("degenerate FusedMulAdd touched C: %v", c)
+	}
+	if k.FusedCounters() != 0 {
+		t.Fatalf("degenerate calls counted: %d", k.FusedCounters())
+	}
+}
+
+// TestFusedCounters: served fused calls increment the fused counter and
+// fold their packed words into the regular packing counters.
+func TestFusedCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	k := &Packed{Mode: ModeScalar}
+	m, n, kk := 12, 8, 16
+	aOp := Operand{Ld: m, Terms: []Term{
+		{Data: fill(rng, m, kk, m), Coeff: 1}, {Data: fill(rng, m, kk, m), Coeff: -1},
+	}}
+	bOp := Operand{Ld: kk, Terms: []Term{{Data: fill(rng, kk, n, kk), Coeff: 1}}}
+	dests := []Dest{{Data: make([]float64, m*n), Ld: m, Coeff: 1}}
+	k.FusedMulAdd(m, n, kk, 1, aOp, bOp, dests)
+	k.FusedMulAdd(m, n, kk, 1, aOp, bOp, dests)
+	if got := k.FusedCounters(); got != 2 {
+		t.Fatalf("FusedCounters() = %d, want 2", got)
+	}
+	_, pa, pb := k.Counters()
+	if wantA := int64(2 * m * kk); pa != wantA {
+		t.Errorf("packed A words = %d, want %d", pa, wantA)
+	}
+	if wantB := int64(2 * kk * n); pb != wantB {
+		t.Errorf("packed B words = %d, want %d", pb, wantB)
+	}
+}
+
+// FuzzFused differential-fuzzes FusedMulAdd against the materialized
+// reference over shape, transposes, term/destination counts, ±1 sign
+// patterns, blocking and dispatch mode. CI runs a 10s smoke.
+func FuzzFused(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(16), false, false, uint8(0x1b), uint8(2), int64(1), uint8(0))
+	f.Add(uint8(9), uint8(5), uint8(3), true, false, uint8(0x42), uint8(1), int64(2), uint8(1))
+	f.Add(uint8(16), uint8(8), uint8(32), false, true, uint8(0xff), uint8(4), int64(3), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(1), true, true, uint8(0x00), uint8(3), int64(4), uint8(3))
+	f.Add(uint8(33), uint8(17), uint8(40), false, false, uint8(0x7c), uint8(2), int64(5), uint8(4))
+
+	f.Fuzz(func(t *testing.T, m8, n8, k8 uint8, ta, tb bool, signBits, destBits uint8, seed int64, blk uint8) {
+		m, n, kk := int(m8%48)+1, int(n8%48)+1, int(k8%48)+1
+		var k *Packed
+		switch blk % 5 {
+		case 0:
+			k = &Packed{}
+		case 1:
+			k = &Packed{Compat: true}
+		case 2:
+			k = &Packed{MC: 2 * MR, KC: 3, NC: 2 * NR}
+		case 3:
+			k = &Packed{Mode: ModeSIMD}
+		default:
+			k = &Packed{Mode: ModeScalar, MC: 16, KC: 8, NC: 12}
+		}
+		sign := func(bit uint8) float64 {
+			if bit != 0 {
+				return -1
+			}
+			return 1
+		}
+		nA, nB := int(signBits&3)+1, int(signBits>>2&3)+1
+		nD := int(destBits%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		ar, ac := opDims(ta, m, kk)
+		br, bc := opDims(tb, kk, n)
+		lda, ldb, ldc := ar, br+1, m+1
+
+		mk := func(rows, cols, ld int) []float64 {
+			v := make([]float64, ld*cols)
+			for j := 0; j < cols; j++ {
+				for i := 0; i < rows; i++ {
+					v[j*ld+i] = rng.Float64()*2 - 1
+				}
+			}
+			return v
+		}
+		aOp := Operand{Ld: lda, Trans: ta}
+		for i := 0; i < nA; i++ {
+			aOp.Terms = append(aOp.Terms, Term{Data: mk(ar, ac, lda), Coeff: sign(signBits >> (4 + i) & 1)})
+		}
+		bOp := Operand{Ld: ldb, Trans: tb}
+		for i := 0; i < nB; i++ {
+			bOp.Terms = append(bOp.Terms, Term{Data: mk(br, bc, ldb), Coeff: sign(destBits >> (2 + i) & 1)})
+		}
+		alpha := [3]float64{1, -0.5, 2.25}[blk%3]
+		c0s := make([][]float64, nD)
+		dests := make([]Dest, nD)
+		for i := range dests {
+			c0s[i] = mk(m, n, ldc)
+			dests[i] = Dest{Data: append([]float64(nil), c0s[i]...), Ld: ldc, Coeff: sign(uint8(seed) >> i & 1)}
+		}
+		k.FusedMulAdd(m, n, kk, alpha, aOp, bOp, dests)
+
+		refA := combineTerms(aOp.Terms, lda*ac)
+		refB := combineTerms(bOp.Terms, ldb*bc)
+		tra, trb := boolTrans(ta), boolTrans(tb)
+		absProd := absMulOracle(tra, trb, m, n, kk, refA, lda, refB, ldb)
+		for di := range dests {
+			want := append([]float64(nil), c0s[di]...)
+			k.MulAdd(tra, trb, m, n, kk, alpha*dests[di].Coeff, refA, lda, refB, ldb, want, ldc)
+			for j := 0; j < n; j++ {
+				for i := 0; i < m; i++ {
+					g := 2 * gammaN(kk+2+(nA-1)+(nB-1))
+					tol := g*math.Abs(alpha)*absProd[j*m+i] + 4*0x1p-53*math.Abs(c0s[di][j*ldc+i]) + 1e-300
+					if d := math.Abs(dests[di].Data[j*ldc+i] - want[j*ldc+i]); d > tol {
+						t.Fatalf("m=%d n=%d k=%d ta=%v tb=%v nA=%d nB=%d nD=%d blk=%d dst=%d: diff %g > %g at (%d,%d)",
+							m, n, kk, ta, tb, nA, nB, nD, blk%5, di, d, tol, i, j)
+					}
+				}
+			}
+		}
+	})
+}

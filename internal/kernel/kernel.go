@@ -71,11 +71,12 @@ type Packed struct {
 	mu    sync.Mutex
 	arena *memtrack.Tracker
 
-	mulAdds     atomic.Int64
-	packAWords  atomic.Int64
-	packBWords  atomic.Int64
-	simdTiles   atomic.Int64
-	scalarTiles atomic.Int64
+	mulAdds      atomic.Int64
+	fusedMulAdds atomic.Int64
+	packAWords   atomic.Int64
+	packBWords   atomic.Int64
+	simdTiles    atomic.Int64
+	scalarTiles  atomic.Int64
 }
 
 // Name implements blas.Kernel. A Packed whose inner loop dispatches to a

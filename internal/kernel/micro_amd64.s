@@ -133,3 +133,165 @@ scatter:
 
 	VZEROUPPER
 	RET
+
+// func microTile8x4AVX2Dual(kb int, alpha0, alpha1 float64, ap, bp, c0 *float64, ldc0 int, c1 *float64, ldc1 int)
+//
+// The fused Winograd write-out tile: the same 8×4 product accumulation as
+// microTile8x4AVX2, scattered into two destinations with independent
+// scalars — C0[:, j] += alpha0·acc_j, then C1[:, j] += alpha1·acc_j. The
+// accumulators Y0–Y7 survive the first scatter (it works in Y8/Y9 only),
+// so the product is computed once and written twice; with alpha ±1 each
+// FMA write-out is a single rounding, identical to the single-destination
+// scatter at that alpha.
+TEXT ·microTile8x4AVX2Dual(SB), NOSPLIT, $0-72
+	MOVQ kb+0(FP), CX
+	MOVQ ap+24(FP), SI
+	MOVQ bp+32(FP), BX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, AX
+	SHRQ $1, AX
+	JZ   dtail
+
+dloop2:
+	// k step l
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (BX), Y10
+	VBROADCASTSD 8(BX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VFMADD231PD  Y10, Y8, Y4
+	VFMADD231PD  Y10, Y9, Y5
+	VFMADD231PD  Y11, Y8, Y6
+	VFMADD231PD  Y11, Y9, Y7
+
+	// k step l+1
+	VMOVUPD      64(SI), Y12
+	VMOVUPD      96(SI), Y13
+	VBROADCASTSD 32(BX), Y10
+	VBROADCASTSD 40(BX), Y11
+	VFMADD231PD  Y10, Y12, Y0
+	VFMADD231PD  Y10, Y13, Y1
+	VFMADD231PD  Y11, Y12, Y2
+	VFMADD231PD  Y11, Y13, Y3
+	VBROADCASTSD 48(BX), Y10
+	VBROADCASTSD 56(BX), Y11
+	VFMADD231PD  Y10, Y12, Y4
+	VFMADD231PD  Y10, Y13, Y5
+	VFMADD231PD  Y11, Y12, Y6
+	VFMADD231PD  Y11, Y13, Y7
+
+	ADDQ $128, SI
+	ADDQ $64, BX
+	DECQ AX
+	JNZ  dloop2
+
+dtail:
+	TESTQ $1, CX
+	JZ    dscatter
+
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (BX), Y10
+	VBROADCASTSD 8(BX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VFMADD231PD  Y10, Y8, Y4
+	VFMADD231PD  Y10, Y9, Y5
+	VFMADD231PD  Y11, Y8, Y6
+	VFMADD231PD  Y11, Y9, Y7
+
+dscatter:
+	// First destination: C0[:, j] += alpha0 · acc_j.
+	VBROADCASTSD alpha0+8(FP), Y14
+	MOVQ         c0+40(FP), DI
+	MOVQ         ldc0+48(FP), DX
+	SHLQ         $3, DX
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y0, Y8
+	VFMADD231PD Y14, Y1, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y2, Y8
+	VFMADD231PD Y14, Y3, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y4, Y8
+	VFMADD231PD Y14, Y5, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y6, Y8
+	VFMADD231PD Y14, Y7, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+
+	// Second destination: C1[:, j] += alpha1 · acc_j.
+	VBROADCASTSD alpha1+16(FP), Y14
+	MOVQ         c1+56(FP), DI
+	MOVQ         ldc1+64(FP), DX
+	SHLQ         $3, DX
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y0, Y8
+	VFMADD231PD Y14, Y1, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y2, Y8
+	VFMADD231PD Y14, Y3, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y4, Y8
+	VFMADD231PD Y14, Y5, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+	ADDQ        DX, DI
+
+	VMOVUPD     (DI), Y8
+	VMOVUPD     32(DI), Y9
+	VFMADD231PD Y14, Y6, Y8
+	VFMADD231PD Y14, Y7, Y9
+	VMOVUPD     Y8, (DI)
+	VMOVUPD     Y9, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -215,6 +215,14 @@ type tileCountersKernel interface {
 	TileCounters() (simd, scalar int64)
 }
 
+// fusedCountersKernel is the optional structural interface for kernels
+// serving the fused Winograd hooks. A multiply routed through the fused
+// driver shows mul_adds == 0 with fused_mul_adds > 0 — without this
+// counter such a snapshot would look like the kernel never ran.
+type fusedCountersKernel interface {
+	FusedCounters() (fusedMulAdds int64)
+}
+
 // PackedStats is one observed packed kernel's work and arena accounting.
 // Arena is the kernel's private packing-buffer arena, reported apart from
 // Snapshot.Memory: the Strassen temporaries' accounting stays directly
@@ -223,14 +231,15 @@ type tileCountersKernel interface {
 // which micro-kernel actually ran, so a report from a fallback host is
 // distinguishable from a SIMD host's.
 type PackedStats struct {
-	Name        string         `json:"name"`
-	ISA         string         `json:"isa,omitempty"`
-	MulAdds     int64          `json:"mul_adds"`
-	PackAWords  int64          `json:"pack_a_words"`
-	PackBWords  int64          `json:"pack_b_words"`
-	SIMDTiles   int64          `json:"simd_tiles,omitempty"`
-	ScalarTiles int64          `json:"scalar_tiles,omitempty"`
-	Arena       memtrack.Stats `json:"arena"`
+	Name         string         `json:"name"`
+	ISA          string         `json:"isa,omitempty"`
+	MulAdds      int64          `json:"mul_adds"`
+	FusedMulAdds int64          `json:"fused_mul_adds,omitempty"`
+	PackAWords   int64          `json:"pack_a_words"`
+	PackBWords   int64          `json:"pack_b_words"`
+	SIMDTiles    int64          `json:"simd_tiles,omitempty"`
+	ScalarTiles  int64          `json:"scalar_tiles,omitempty"`
+	Arena        memtrack.Stats `json:"arena"`
 }
 
 // SpanStats summarizes the recorded span forest.
@@ -294,6 +303,9 @@ func (c *Collector) Snapshot() Snapshot {
 		if tk, ok := k.(tileCountersKernel); ok {
 			ps.SIMDTiles, ps.ScalarTiles = tk.TileCounters()
 		}
+		if fk, ok := k.(fusedCountersKernel); ok {
+			ps.FusedMulAdds = fk.FusedCounters()
+		}
 		s.Packed = append(s.Packed, ps)
 	}
 
@@ -326,14 +338,16 @@ func (c *Collector) Snapshot() Snapshot {
 		c.Registry.Gauge("kernel.parallel.goroutines").Set(gor)
 	}
 	if len(s.Packed) > 0 {
-		var ma, pw, arenaPeak, simdTiles, scalarTiles int64
+		var ma, fma, pw, arenaPeak, simdTiles, scalarTiles int64
 		for _, ps := range s.Packed {
 			ma += ps.MulAdds
+			fma += ps.FusedMulAdds
 			pw += ps.PackAWords + ps.PackBWords
 			arenaPeak += ps.Arena.Peak
 			simdTiles += ps.SIMDTiles
 			scalarTiles += ps.ScalarTiles
 		}
+		c.Registry.Gauge("kernel.packed.fused_mul_adds").Set(fma)
 		c.Registry.Gauge("kernel.packed.mul_adds").Set(ma)
 		c.Registry.Gauge("kernel.packed.pack_words").Set(pw)
 		c.Registry.Gauge("kernel.packed.arena_peak_words").Set(arenaPeak)

@@ -62,6 +62,18 @@ const (
 	// ArenaDraw is workspace-arena accounting time: memtrack Alloc calls,
 	// with bytes = words drawn (fresh or recycled) times 8.
 	ArenaDraw
+	// KernelFusedPack is the operand-fused packing of the fused Winograd
+	// path: Ã/B̃ panels formed as γ₀·X + γ₁·Y (+ …) on the fly from the
+	// Strassen quadrants, replacing a separate add/sub pass plus a plain
+	// pack. FLOPs are the fused adds; bytes count every term read plus the
+	// packed write.
+	KernelFusedPack
+	// KernelFusedWriteout is the multi-destination micro-kernel write-out:
+	// the extra ±1-weighted accumulations of one product panel into its
+	// second and later C quadrants (the first destination's traffic stays
+	// in KernelMicro/KernelFringe, keeping those comparable to the unfused
+	// kernel).
+	KernelFusedWriteout
 
 	// NumPhases is the number of defined phases.
 	NumPhases int = iota
@@ -78,6 +90,8 @@ var names = [NumPhases]string{
 	"strassen.peel",
 	"batch.queue_wait",
 	"arena.draw",
+	"kernel.fused_pack",
+	"kernel.fused_writeout",
 }
 
 // String returns the phase's stable report name.

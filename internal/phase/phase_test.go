@@ -83,6 +83,7 @@ func TestNamesStableAndComplete(t *testing.T) {
 		"kernel.pack_a", "kernel.pack_b", "kernel.micro", "kernel.fringe",
 		"strassen.addsub", "strassen.quadrant", "strassen.peel",
 		"batch.queue_wait", "arena.draw",
+		"kernel.fused_pack", "kernel.fused_writeout",
 	}
 	got := Names()
 	if len(got) != len(want) {

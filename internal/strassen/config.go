@@ -106,6 +106,10 @@ type Config struct {
 	// MaxDepth, if positive, bounds the recursion depth regardless of the
 	// criterion. Zero means no explicit bound.
 	MaxDepth int
+	// Fused selects whether the last recursion levels may run through the
+	// kernel's fused packing/write-out hooks (see FusedMode). The zero
+	// value auto-detects; DGEFMM_FUSED overrides auto per process.
+	Fused FusedMode
 	// Tracker, if non-nil, accounts all temporary workspace words.
 	Tracker *memtrack.Tracker
 	// Parallel, if greater than 1, computes up to Parallel of the seven
@@ -159,12 +163,25 @@ func (p Params) Hybrid() Criterion {
 // Calibration on the development host shows one recursion level only
 // breaking even around the top of the measured range (DGEMM/DGEFMM ≈ 0.94
 // at n=512), so τ sits at 512 and the rectangular cutoffs at 256.
+// The "+fused" rows are consulted when the fused Winograd driver is active
+// (auto schedule, hook-capable kernel, fused mode not off) and come from
+// cmd/calibrate's -fused sweep (see EXPERIMENTS.md for the curves). On the
+// SIMD tile, fusing the add/sub combinations into packing and write-out
+// removes most of a Strassen level's O(n²) overhead, which pulls the
+// crossover from the materialized schedules' τ=512 down to 448 (sweeps on
+// the development host cross between 416 and 480) — the point of the fused
+// path. The scalar packed kernel moves the other way (136 vs 88): at ~5
+// GFLOPS the products dominate so the materialized adds were nearly free,
+// while the fused packers' two-source strided reads repeat per cache
+// block; fusion only wins once the re-read panels stay resident.
 var defaultParams = map[string]Params{
-	"simd":    {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
-	"packed":  {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
-	"blocked": {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
-	"vector":  {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
-	"naive":   {Tau: 44, TauM: 16, TauK: 24, TauN: 16},
+	"simd":         {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
+	"simd+fused":   {Tau: 448, TauM: 288, TauK: 288, TauN: 288},
+	"packed":       {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
+	"packed+fused": {Tau: 136, TauM: 40, TauK: 84, TauN: 32},
+	"blocked":      {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
+	"vector":       {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
+	"naive":        {Tau: 44, TauM: 16, TauK: 24, TauN: 16},
 }
 
 // DefaultParams returns the calibrated cutoff parameters for a kernel name,
@@ -192,10 +209,9 @@ func DefaultConfig(kern blas.Kernel) *Config {
 	if kern == nil {
 		kern = kernel.Default()
 	}
-	return &Config{
-		Kernel:    kern,
-		Criterion: DefaultParams(kern.Name()).Hybrid(),
-	}
+	cfg := &Config{Kernel: kern}
+	cfg.Criterion = cfg.criterion()
+	return cfg
 }
 
 func (cfg *Config) kernel() blas.Kernel {
@@ -205,9 +221,19 @@ func (cfg *Config) kernel() blas.Kernel {
 	return cfg.Kernel
 }
 
+// criterion resolves the cutoff: an explicit Criterion wins; otherwise the
+// kernel's calibrated parameters, preferring the "<name>+fused" row when
+// the fused driver is active (its lower per-level overhead moves the
+// crossover).
 func (cfg *Config) criterion() Criterion {
-	if cfg.Criterion == nil {
-		return DefaultParams(cfg.kernel().Name()).Hybrid()
+	if cfg.Criterion != nil {
+		return cfg.Criterion
 	}
-	return cfg.Criterion
+	name := cfg.kernel().Name()
+	if cfg.FusedActive() {
+		if p, ok := defaultParams[name+"+fused"]; ok {
+			return p.Hybrid()
+		}
+	}
+	return DefaultParams(name).Hybrid()
 }

@@ -1,0 +1,289 @@
+package strassen
+
+// The fused Winograd driver: the last one or two recursion levels executed
+// straight through the kernel's operand-fused packing and multi-destination
+// write-out hooks (internal/kernel's FusedMulAdd), after Huang et al.,
+// "Implementing Strassen's Algorithm with BLIS" (arXiv:1605.01078). Each of
+// the 7 (or 49, two-level) products is one (A-terms, B-terms, destinations)
+// record; the add/sub linear combinations happen inside the kernel's
+// packing and C update, so a fused level allocates no S/T/M temporaries at
+// all — the only workspace is the kernel's own two packed panels.
+//
+// The records are Strassen's original 1969 construction, not the Winograd
+// 15-add variant the materialized schedules use: Winograd's chained sums
+// (S2 = A21 + A22 − A11, T4 = B22 − B12 + B11 − B21) need three- and
+// four-term operand combinations whose intermediates its schedules reuse
+// across products, while the 1969 form keeps every operand a ≤2-term and
+// every product a ≤2-destination combination — exactly what a fused
+// packing/write-out pass can form on the fly (Huang et al. fuse the same
+// construction for the same reason). A fused level therefore trades
+// Winograd's 15 O(n²) passes for 0 at the cost of re-reading quadrants
+// during packing; the two-level table composes the construction with
+// itself (49 records, ≤4 terms and destinations, coefficients still ±1).
+//
+// Engagement: ScheduleAuto only (pinned schedules keep their exact
+// materialized form — the analytic opcount and workspace tests depend on
+// it), and only for the last levels of the recursion, where the criterion
+// says the children (or grandchildren) are base cases. Deeper trees fall
+// through to the materialized schedules and re-test at each child, so
+// fusion always replaces the leaf-adjacent levels where the O(n²) overhead
+// bites hardest relative to the O(n³) saved.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+)
+
+// FusedMode selects whether DGEFMM may route the last recursion levels
+// through the kernel's fused packing/write-out hooks.
+type FusedMode int
+
+const (
+	// FusedAuto (the zero value) uses the fused driver whenever the
+	// dispatched kernel implements the hooks, the schedule is auto, and the
+	// cutoff criterion marks the children as base cases. The DGEFMM_FUSED
+	// environment variable can override it per process.
+	FusedAuto FusedMode = iota
+	// FusedOn requests the fused driver explicitly (it still requires the
+	// hooks and the auto schedule — a pinned schedule or hook-less kernel
+	// runs unfused regardless).
+	FusedOn
+	// FusedOff disables the fused driver: the legacy materialized
+	// schedules run exactly as before the hooks existed.
+	FusedOff
+)
+
+// String returns the mode's flag spelling.
+func (f FusedMode) String() string {
+	switch f {
+	case FusedAuto:
+		return "auto"
+	case FusedOn:
+		return "on"
+	case FusedOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// ParseFusedMode parses a -fused flag value.
+func ParseFusedMode(s string) (FusedMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return FusedAuto, nil
+	case "on":
+		return FusedOn, nil
+	case "off":
+		return FusedOff, nil
+	}
+	return FusedAuto, fmt.Errorf("unknown fused mode %q (want auto|on|off)", s)
+}
+
+// envFused returns the cached DGEFMM_FUSED override ("" when unset).
+// Unknown values are reported once on stderr and ignored, mirroring
+// internal/kernel's DGEFMM_KERNEL handling.
+var envFused = sync.OnceValue(func() string {
+	return normalizeEnvFused(os.Getenv("DGEFMM_FUSED"))
+})
+
+// normalizeEnvFused validates a DGEFMM_FUSED value. Split from the cached
+// reader so tests can drive it directly.
+func normalizeEnvFused(v string) string {
+	n := strings.ToLower(strings.TrimSpace(v))
+	switch n {
+	case "", "auto", "on", "off":
+		return n
+	}
+	fmt.Fprintf(os.Stderr, "strassen: ignoring unknown DGEFMM_FUSED=%q (want auto|on|off)\n", v)
+	return ""
+}
+
+// fusedMode resolves the effective mode with the PR 5 dispatch-policy
+// precedence: an explicit Config.Fused beats the environment, which beats
+// auto-detection.
+func (cfg *Config) fusedMode() FusedMode { return cfg.fusedModeFor(envFused()) }
+
+// fusedModeFor is fusedMode with the environment override passed explicitly.
+func (cfg *Config) fusedModeFor(env string) FusedMode {
+	if cfg.Fused != FusedAuto {
+		return cfg.Fused
+	}
+	switch env {
+	case "on":
+		return FusedOn
+	case "off":
+		return FusedOff
+	}
+	return FusedAuto
+}
+
+// FusedActive reports whether this configuration routes eligible recursion
+// levels through the fused driver: the effective mode is not off, the
+// schedule is auto, and the kernel implements the fused hooks. CLI tools
+// log it as the effective -fused choice.
+func (cfg *Config) FusedActive() bool {
+	if cfg.fusedMode() == FusedOff || cfg.Schedule != ScheduleAuto {
+		return false
+	}
+	_, ok := cfg.kernel().(fusedKernel)
+	return ok
+}
+
+// fusedKernel is the structural hook interface a kernel implements to serve
+// fused Strassen levels (internal/kernel's Packed does). Kept structural
+// like leafSizer so the strassen package does not choose a kernel
+// implementation for its callers.
+type fusedKernel interface {
+	FusedMulAdd(m, n, kk int, alpha float64, a, b kernel.Operand, dests []kernel.Dest)
+}
+
+// fusedDestLimiter is the optional capability report alongside the hook:
+// how many destinations the kernel's write-out serves natively. Kernels
+// that do not say are assumed to handle the two-level table's fan-out.
+type fusedDestLimiter interface {
+	FusedDestLimit() int
+}
+
+// fusedDestLimit resolves the kernel's write-out fan-out limit.
+func (e *engine) fusedDestLimit() int {
+	if l, ok := e.fk.(fusedDestLimiter); ok {
+		return l.FusedDestLimit()
+	}
+	return 4
+}
+
+// fusedTerm is one quadrant reference in a record: grid position (r, c) in
+// the 2^L×2^L block partition and its ±1 coefficient.
+type fusedTerm struct {
+	r, c int
+	g    float64
+}
+
+// fusedRecord is one product: Ã = Σ a, B̃ = Σ b, accumulated into every
+// destination in dst.
+type fusedRecord struct {
+	a, b, dst []fusedTerm
+}
+
+// fusedLevel1 is Strassen's 1969 construction over the 2×2 partition:
+//
+//	M1 = (A11+A22)(B11+B22) → C11, C22      M5 = (A11+A12)B22 → −C11, C12
+//	M2 = (A21+A22)B11       → C21, −C22     M6 = (A21−A11)(B11+B12) → C22
+//	M3 = A11(B12−B22)       → C12, C22      M7 = (A12−A22)(B21+B22) → C11
+//	M4 = A22(B21−B11)       → C11, C21
+//
+// (quadrant (r, c) = block row r, block column c, zero-based). Every
+// operand has ≤2 terms and every product ≤2 destinations, all ±1.
+var fusedLevel1 = []fusedRecord{
+	{a: []fusedTerm{{0, 0, 1}, {1, 1, 1}}, b: []fusedTerm{{0, 0, 1}, {1, 1, 1}}, dst: []fusedTerm{{0, 0, 1}, {1, 1, 1}}},
+	{a: []fusedTerm{{1, 0, 1}, {1, 1, 1}}, b: []fusedTerm{{0, 0, 1}}, dst: []fusedTerm{{1, 0, 1}, {1, 1, -1}}},
+	{a: []fusedTerm{{0, 0, 1}}, b: []fusedTerm{{0, 1, 1}, {1, 1, -1}}, dst: []fusedTerm{{0, 1, 1}, {1, 1, 1}}},
+	{a: []fusedTerm{{1, 1, 1}}, b: []fusedTerm{{1, 0, 1}, {0, 0, -1}}, dst: []fusedTerm{{0, 0, 1}, {1, 0, 1}}},
+	{a: []fusedTerm{{0, 0, 1}, {0, 1, 1}}, b: []fusedTerm{{1, 1, 1}}, dst: []fusedTerm{{0, 0, -1}, {0, 1, 1}}},
+	{a: []fusedTerm{{1, 0, 1}, {0, 0, -1}}, b: []fusedTerm{{0, 0, 1}, {0, 1, 1}}, dst: []fusedTerm{{1, 1, 1}}},
+	{a: []fusedTerm{{0, 1, 1}, {1, 1, -1}}, b: []fusedTerm{{1, 0, 1}, {1, 1, 1}}, dst: []fusedTerm{{0, 0, 1}}},
+}
+
+// fusedLevel2 is the construction composed with itself over the 4×4 block
+// grid: 49 records with ≤4-term operands and ≤4 destinations.
+var fusedLevel2 = composeFused(fusedLevel1, fusedLevel1)
+
+// composeFused applies inner to each of outer's products: quadrant (r', c')
+// of the outer operand Σ G·X_{(R,C)} is Σ G·(X_{(R,C)})_{(r',c')}, block
+// (2R+r', 2C+c') of the refined grid, and the inner destinations of each
+// outer product land in the same refined positions of the outer
+// destinations.
+func composeFused(outer, inner []fusedRecord) []fusedRecord {
+	out := make([]fusedRecord, 0, len(outer)*len(inner))
+	for _, p := range outer {
+		for _, q := range inner {
+			out = append(out, fusedRecord{
+				a:   crossTerms(p.a, q.a),
+				b:   crossTerms(p.b, q.b),
+				dst: crossTerms(p.dst, q.dst),
+			})
+		}
+	}
+	return out
+}
+
+func crossTerms(outer, inner []fusedTerm) []fusedTerm {
+	out := make([]fusedTerm, 0, len(outer)*len(inner))
+	for _, o := range outer {
+		for _, i := range inner {
+			out = append(out, fusedTerm{r: 2*o.r + i.r, c: 2*o.c + i.c, g: o.g * i.g})
+		}
+	}
+	return out
+}
+
+// wouldRecurse reproduces engine.mul's recursion test for a prospective
+// child: the fused driver may only replace levels whose children the
+// criterion would make base cases, or the recursion tree would change.
+func (e *engine) wouldRecurse(m, k, n, depth int) bool {
+	return m > 1 && k > 1 && n > 1 &&
+		(e.maxDepth == 0 || depth < e.maxDepth) &&
+		e.crit.Recurse(m, k, n)
+}
+
+// fusedLevels decides how many trailing levels to fuse for an all-even
+// (m, k, n) problem at the given depth: 1 when the children are base
+// cases, 2 when the children recurse once more into base cases, the
+// quadrants split evenly again, and the kernel's write-out handles the
+// two-level table's 4-way fan-out natively (FusedDestLimit ≥ 4; on the
+// SIMD tile the limit is 2, and measurement shows the buffered scalar
+// scatter the 4-destination records would take costs more than two-level
+// fusion saves — so a materialized level runs here instead and each child
+// re-tests, fusing its own last level), 0 otherwise (fall through to a
+// materialized level and re-test at each child).
+func (e *engine) fusedLevels(m, k, n, depth int) int {
+	m2, k2, n2 := m/2, k/2, n/2
+	if !e.wouldRecurse(m2, k2, n2, depth+1) {
+		return 1
+	}
+	if m2&1 == 0 && k2&1 == 0 && n2&1 == 0 &&
+		!e.wouldRecurse(m2/2, k2/2, n2/2, depth+2) &&
+		e.fusedDestLimit() >= 4 {
+		return 2
+	}
+	return 0
+}
+
+// fusedWinograd executes levels (1 or 2) fused Strassen levels: β applied
+// once up front, then every record streamed through the kernel hooks with
+// quadrant views as operand terms and quadrant slices as destinations. No
+// Strassen temporaries are allocated.
+func (e *engine) fusedWinograd(c *matrix.Dense, a, b matrix.View, alpha, beta float64, levels int) {
+	g := 1 << levels
+	mq, kq, nq := a.Rows/g, a.Cols/g, b.Cols/g
+	e.phScaleQuads([]*matrix.Dense{c}, beta)
+	recs := fusedLevel1
+	if levels == 2 {
+		recs = fusedLevel2
+	}
+	var at, bt [4]kernel.Term
+	var dt [4]kernel.Dest
+	aOp := kernel.Operand{Ld: a.Stride, Trans: a.Trans}
+	bOp := kernel.Operand{Ld: b.Stride, Trans: b.Trans}
+	fk := e.fk
+	for _, rec := range recs {
+		for i, t := range rec.a {
+			at[i] = kernel.Term{Data: a.Slice(t.r*mq, t.c*kq, mq, kq).Data, Coeff: t.g}
+		}
+		for i, t := range rec.b {
+			bt[i] = kernel.Term{Data: b.Slice(t.r*kq, t.c*nq, kq, nq).Data, Coeff: t.g}
+		}
+		for i, t := range rec.dst {
+			q := c.Slice(t.r*mq, t.c*nq, mq, nq)
+			dt[i] = kernel.Dest{Data: q.Data, Ld: q.Stride, Coeff: t.g}
+		}
+		aOp.Terms = at[:len(rec.a)]
+		bOp.Terms = bt[:len(rec.b)]
+		fk.FusedMulAdd(mq, nq, kq, alpha, aOp, bOp, dt[:len(rec.dst)])
+	}
+}

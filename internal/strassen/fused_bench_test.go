@@ -1,0 +1,65 @@
+package strassen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/kernel"
+	"repro/internal/memtrack"
+)
+
+// benchFusedConfig builds a DGEFMM config for the fused/unfused comparison:
+// default kernel, a Simple criterion pinning exactly the requested depth of
+// recursion at the benchmarked order, and a tracker so repeated iterations
+// reuse workspace instead of benchmarking the allocator.
+func benchFusedConfig(tau int, fused FusedMode) *Config {
+	return &Config{
+		Kernel:    kernel.Default(),
+		Criterion: Simple{Tau: tau},
+		Fused:     fused,
+		Tracker:   memtrack.New(),
+	}
+}
+
+// BenchmarkFusedMultiply compares, at each order: the kernel's plain DGEMM,
+// one and two materialized Winograd levels, and one and two fused levels.
+// The per-level sub-benchmarks pin the recursion depth via the Simple
+// criterion (τ just above n/2 → one level; just above n/4 → two).
+func BenchmarkFusedMultiply(b *testing.B) {
+	for _, n := range []int{512, 768, 1024, 1536} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]float64, n*n)
+		bb := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.Float64() - 0.5
+			bb[i] = rng.Float64() - 0.5
+		}
+		run := func(name string, fn func()) {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.SetBytes(0)
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+				flops := 2 * float64(n) * float64(n) * float64(n)
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
+		kern := kernel.Default()
+		run("dgemm", func() {
+			kern.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, bb, n, c, n)
+		})
+		for _, levels := range []int{1, 2} {
+			tau := n/(1<<levels) + 1
+			for _, fm := range []FusedMode{FusedOff, FusedOn} {
+				cfg := benchFusedConfig(tau, fm)
+				run(fmt.Sprintf("strassen%d-fused-%s", levels, fm), func() {
+					DGEFMM(cfg, blas.NoTrans, blas.NoTrans, n, n, n, 1,
+						a, n, bb, n, 0, c, n)
+				})
+			}
+		}
+	}
+}

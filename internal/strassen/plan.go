@@ -117,6 +117,15 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 	if ls, ok := cfg.kernel().(leafSizer); ok {
 		s.leaf = ls.LeafWorkspace
 	}
+	if cfg.fusedMode() != FusedOff {
+		if _, ok := cfg.kernel().(fusedKernel); ok {
+			s.fused = true
+			s.destLimit = 4
+			if l, ok := cfg.kernel().(fusedDestLimiter); ok {
+				s.destLimit = l.FusedDestLimit()
+			}
+		}
+	}
 	var r simResult
 	if cfg.Odd == OddPadStatic {
 		r = s.simStatic(m, k, n, betaZero)
@@ -211,6 +220,8 @@ type planSim struct {
 	parLevels int
 	plan      *Plan
 	leaf      func(m, n, k int) int64 // nil for kernels without accounted workspace
+	fused     bool                    // kernel has the fused hooks and the mode is not off
+	destLimit int                     // kernel's native write-out fan-out (fusedDestLimit)
 	memo      map[planKey]simResult
 }
 
@@ -223,6 +234,28 @@ func (s *planSim) decide(m, k, n int) bool {
 	d := s.crit.Recurse(m, k, n)
 	s.plan.decisions[key] = d
 	return d
+}
+
+// wouldRecurse mirrors engine.wouldRecurse on the recorded decision table,
+// so fused-level planning replays identically at run time.
+func (s *planSim) wouldRecurse(m, k, n, depth int) bool {
+	return m > 1 && k > 1 && n > 1 &&
+		(s.maxDepth == 0 || depth < s.maxDepth) &&
+		s.decide(m, k, n)
+}
+
+// fusedLevels mirrors engine.fusedLevels (fused.go) decision for decision.
+func (s *planSim) fusedLevels(m, k, n, depth int) int {
+	m2, k2, n2 := m/2, k/2, n/2
+	if !s.wouldRecurse(m2, k2, n2, depth+1) {
+		return 1
+	}
+	if m2&1 == 0 && k2&1 == 0 && n2&1 == 0 &&
+		!s.wouldRecurse(m2/2, k2/2, n2/2, depth+2) &&
+		s.destLimit >= 4 {
+		return 2
+	}
+	return 0
 }
 
 // sim mirrors engine.mul: cutoff test, odd-dimension strategy, then one
@@ -280,6 +313,21 @@ func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) simResult {
 		return simResult{
 			words:  own + int64(conc)*child.words,
 			kernel: int64(conc) * child.kernel,
+		}
+	}
+	if s.fused && s.sched == ScheduleAuto {
+		if lv := s.fusedLevels(m, k, n, depth); lv > 0 {
+			// Fused levels allocate no Strassen temporaries; the only
+			// workspace is the kernel's packed panels at the fused block
+			// shape (every record's FusedMulAdd draws the same pair).
+			if depth+lv > s.plan.Depth {
+				s.plan.Depth = depth + lv
+			}
+			var r simResult
+			if s.leaf != nil {
+				r.kernel = s.leaf(m>>lv, n>>lv, k>>lv)
+			}
+			return r
 		}
 	}
 	switch resolveSchedule(s.sched, betaZero) {

@@ -61,6 +61,11 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 	if st, ok := cfg.Tracer.(SpanTracer); ok {
 		e.spans = st
 	}
+	if cfg.fusedMode() != FusedOff {
+		if fk, ok := e.kern.(fusedKernel); ok {
+			e.fk = fk
+		}
+	}
 	if e.odd == OddPadStatic {
 		e.staticPadMul(cm, av, bv, alpha, beta)
 		return
@@ -116,6 +121,10 @@ type engine struct {
 	// prof is the process-wide phase profiler captured once per DGEFMM call
 	// (nil when attribution is off). Worker engines copy it by value.
 	prof *phase.Profiler
+	// fk is the kernel narrowed to the fused hook interface (nil when the
+	// kernel lacks the hooks or the fused mode is off); the auto schedule
+	// routes its last levels through it. See fused.go.
+	fk fusedKernel
 }
 
 // mul computes c ← alpha*a*b + beta*c where a is m×k and b is k×n (both as
@@ -216,6 +225,18 @@ func (e *engine) schedule(c *matrix.Dense, a, b matrix.View, alpha, beta float64
 		e.parallelWinograd(c, a, b, alpha, beta, depth)
 		done()
 		return
+	}
+	if e.fk != nil && e.sched == ScheduleAuto {
+		if lv := e.fusedLevels(m, k, n, depth); lv > 0 {
+			action := "fused1"
+			if lv == 2 {
+				action = "fused2"
+			}
+			done := e.trace(depth, m, k, n, action)
+			e.fusedWinograd(c, a, b, alpha, beta, lv)
+			done()
+			return
+		}
 	}
 	switch e.sched {
 	case ScheduleOriginal:
