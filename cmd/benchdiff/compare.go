@@ -30,6 +30,13 @@ type Report struct {
 	// the baseline file so the noise model travels with the numbers it was
 	// measured from.
 	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+	// Noise is the host-noise fingerprint: per metric, the relative
+	// rep-to-rep spread, (max − min)/|median|, observed while this report
+	// was measured. Derived metrics (ratios of two medians) carry no entry.
+	// -update-baseline refuses to freeze a baseline whose spread exceeds
+	// the tolerance that will judge it (see NoisyMetrics); -allow-noisy
+	// overrides.
+	Noise map[string]float64 `json:"noise,omitempty"`
 	// ISA is the micro-kernel instruction set dispatched on the measuring
 	// host ("avx2+fma", "neon", "scalar"). Context for readers of the
 	// report: absolute numbers from different ISAs are not comparable, and

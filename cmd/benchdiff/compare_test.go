@@ -286,3 +286,62 @@ func TestCompareSkipsMulticoreGatedMetrics(t *testing.T) {
 		t.Fatalf("multicore host: %d regressions, want 2 (collapse + missing)", len(regs))
 	}
 }
+
+// The noise fingerprint: recordNoise captures relative rep-to-rep spread,
+// and NoisyMetrics flags exactly the metrics whose spread exceeds the
+// tolerance that would judge them — the -update-baseline refusal set.
+func TestNoiseFingerprint(t *testing.T) {
+	defer func() { noiseSpread = map[string]float64{} }()
+	noiseSpread = map[string]float64{}
+
+	recordNoise("steady.gflops", []float64{10, 10.2, 9.9, 10.1, 10})
+	recordNoise("jittery.calls_per_s", []float64{100, 140, 90, 130, 110})
+	recordNoise("derived.ratio", []float64{1.5}) // single sample: no entry
+	recordNoise("dead.metric", []float64{0, 0, 0})
+
+	noise := noiseSnapshot()
+	if _, ok := noise["derived.ratio"]; ok {
+		t.Error("single-sample metric got a noise entry")
+	}
+	if _, ok := noise["dead.metric"]; ok {
+		t.Error("zero-median metric got a noise entry")
+	}
+	if got := noise["steady.gflops"]; got < 0.02 || got > 0.04 {
+		t.Errorf("steady spread = %v, want (10.2-9.9)/10 = 0.03", got)
+	}
+	if got := noise["jittery.calls_per_s"]; got < 0.44 || got > 0.47 {
+		t.Errorf("jittery spread = %v, want (140-90)/110 ≈ 0.4545", got)
+	}
+
+	// Default tolerance 10%: only the jittery metric is unmintable.
+	bad := NoisyMetrics(noise, 0.10, nil)
+	if len(bad) != 1 || bad[0] != "jittery.calls_per_s" {
+		t.Fatalf("NoisyMetrics = %v, want [jittery.calls_per_s]", bad)
+	}
+	// A per-metric tolerance override wider than the spread clears it.
+	bad = NoisyMetrics(noise, 0.10, map[string]float64{"jittery.calls_per_s": 0.5})
+	if len(bad) != 0 {
+		t.Fatalf("NoisyMetrics with wide override = %v, want none", bad)
+	}
+	// And a narrowed override flags the steady one too.
+	bad = NoisyMetrics(noise, 0.10, map[string]float64{"steady.gflops": 0.01})
+	if len(bad) != 2 {
+		t.Fatalf("NoisyMetrics with narrow override = %v, want both", bad)
+	}
+}
+
+// medianNoise records while it measures: the spread of the samples it took
+// lands in the fingerprint under the metric's name.
+func TestMedianNoiseRecords(t *testing.T) {
+	defer func() { noiseSpread = map[string]float64{} }()
+	noiseSpread = map[string]float64{}
+	vals := []float64{4, 6, 5, 5, 5}
+	i := 0
+	got := medianNoise("m.gflops", len(vals), func() float64 { v := vals[i]; i++; return v })
+	if got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if s := noiseSnapshot()["m.gflops"]; s < 0.39 || s > 0.41 {
+		t.Fatalf("recorded spread = %v, want (6-4)/5 = 0.4", s)
+	}
+}

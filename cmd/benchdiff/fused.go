@@ -52,9 +52,14 @@ func fusedSuite(reps int) map[string]float64 {
 			fusedS = append(fusedS, flops/tf/1e9)
 			ratios = append(ratios, tg/tf)
 		}
-		out[fmt.Sprintf("kernel.simd.%d.gflops", n)] = medianOf(gemmS)
-		out[fmt.Sprintf("fused.multiply.%d.gflops", n)] = medianOf(fusedS)
-		out[fmt.Sprintf("fused.vs_kernel.%d.ratio", n)] = medianOf(ratios)
+		for name, vals := range map[string][]float64{
+			fmt.Sprintf("kernel.simd.%d.gflops", n):    gemmS,
+			fmt.Sprintf("fused.multiply.%d.gflops", n): fusedS,
+			fmt.Sprintf("fused.vs_kernel.%d.ratio", n): ratios,
+		} {
+			recordNoise(name, vals)
+			out[name] = medianOf(vals)
+		}
 	}
 	return out
 }

@@ -39,6 +39,7 @@ func main() {
 		tol      = flag.Float64("tol", 0.10, "relative drop tolerated before a metric fails (0.10 = 10%)")
 		reps     = flag.Int("reps", 5, "repetitions per metric; the median is recorded")
 		scale    = flag.Float64("scale", 1.0, "scale measured metrics before comparing (gate self-test hook)")
+		noisy    = flag.Bool("allow-noisy", false, "let -update-baseline freeze metrics whose rep-to-rep spread exceeds their tolerance")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		Metrics:  runSuite(*reps),
 		Requires: suiteRequires(),
 	}
+	report.Noise = noiseSnapshot()
 	fmt.Printf("host micro-kernel ISA: %s\n", report.ISA)
 	if *scale != 1.0 {
 		for name := range report.Metrics {
@@ -62,9 +64,13 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("measured (%s, median of %d):\n", report.Go, *reps)
+	fmt.Printf("measured (%s, median of %d, ±spread):\n", report.Go, *reps)
 	for _, name := range names {
-		fmt.Printf("  %-28s %10.2f\n", name, report.Metrics[name])
+		if spread, ok := report.Noise[name]; ok {
+			fmt.Printf("  %-28s %10.2f  ±%.1f%%\n", name, report.Metrics[name], spread*100)
+		} else {
+			fmt.Printf("  %-28s %10.2f\n", name, report.Metrics[name])
+		}
 	}
 
 	if *out != "" {
@@ -78,6 +84,21 @@ func main() {
 		// benchmark's behavior, not to one baseline's numbers.
 		if old, err := readReport(*baseline); err == nil {
 			report.Tolerances = old.Tolerances
+		}
+		// A baseline is only as good as the host it was measured on: refuse
+		// to freeze numbers whose observed spread exceeds the tolerance that
+		// will judge future runs against them.
+		if bad := NoisyMetrics(report.Noise, *tol, report.Tolerances); len(bad) > 0 && !*noisy {
+			for _, name := range bad {
+				mtol := *tol
+				if o, ok := report.Tolerances[name]; ok && o > 0 {
+					mtol = o
+				}
+				fmt.Printf("  %-28s spread ±%.1f%% exceeds its tolerance %.0f%%\n",
+					name, report.Noise[name]*100, mtol*100)
+			}
+			fmt.Printf("FAIL: host too noisy to mint a baseline for %d metric(s); rerun on a quieter host, widen tolerances, or pass -allow-noisy\n", len(bad))
+			os.Exit(1)
 		}
 		if err := writeReport(*baseline, report); err != nil {
 			fatal(err)
@@ -152,12 +173,12 @@ func fatal(err error) {
 func runSuite(reps int) map[string]float64 {
 	scalar := blas.KernelByName("packed")
 	m := map[string]float64{
-		"kernel.packed.512.gflops":  kernelGflops(scalar, 512, reps),
-		"kernel.packed.256.gflops":  kernelGflops(scalar, 256, reps),
-		"kernel.blocked.512.gflops": kernelGflops(&blas.BlockedKernel{}, 512, reps),
-		"multiply.256.gflops":       multiplyGflops(256, reps),
-		"multiply.512.gflops":       multiplyGflops(512, reps),
-		"batch.192.calls_per_s":     batchThroughput(192, 24, reps),
+		"kernel.packed.512.gflops":  kernelGflops("kernel.packed.512.gflops", scalar, 512, reps),
+		"kernel.packed.256.gflops":  kernelGflops("kernel.packed.256.gflops", scalar, 256, reps),
+		"kernel.blocked.512.gflops": kernelGflops("kernel.blocked.512.gflops", &blas.BlockedKernel{}, 512, reps),
+		"multiply.256.gflops":       multiplyGflops("multiply.256.gflops", 256, reps),
+		"multiply.512.gflops":       multiplyGflops("multiply.512.gflops", 512, reps),
+		"batch.192.calls_per_s":     batchThroughput("batch.192.calls_per_s", 192, 24, reps),
 	}
 	// The leaf-kernel speedup itself is a gated metric: the packed kernel
 	// falling back toward the legacy blocked kernel is a regression even if
@@ -176,8 +197,8 @@ func runSuite(reps int) map[string]float64 {
 		m["perf.multiply.256.ipc"] = perfIPC(256, reps)
 	}
 	if simd := blas.KernelByName("simd"); simd != nil {
-		m["kernel.simd.512.gflops"] = kernelGflops(simd, 512, reps)
-		m["kernel.simd.256.gflops"] = kernelGflops(simd, 256, reps)
+		m["kernel.simd.512.gflops"] = kernelGflops("kernel.simd.512.gflops", simd, 512, reps)
+		m["kernel.simd.256.gflops"] = kernelGflops("kernel.simd.256.gflops", simd, 256, reps)
 		// The SIMD-over-scalar speedup is the PR's headline invariant (the
 		// acceptance bar is 2x); gate the ratio, not just the absolutes.
 		m["kernel.simd_vs_packed.512.ratio"] = m["kernel.simd.512.gflops"] / m["kernel.packed.512.gflops"]
@@ -234,20 +255,6 @@ func suiteRequires() map[string]string {
 	return req
 }
 
-// median of the per-rep measurements; each rep re-times the same closure.
-func median(reps int, measure func() float64) float64 {
-	vals := make([]float64, 0, reps)
-	for i := 0; i < reps; i++ {
-		vals = append(vals, measure())
-	}
-	sort.Float64s(vals)
-	if n := len(vals); n%2 == 1 {
-		return vals[n/2]
-	} else {
-		return (vals[n/2-1] + vals[n/2]) / 2
-	}
-}
-
 func randomSquare(n int, seed int64) (a, b, c []float64) {
 	rng := rand.New(rand.NewSource(seed))
 	a = make([]float64, n*n)
@@ -261,11 +268,11 @@ func randomSquare(n int, seed int64) (a, b, c []float64) {
 }
 
 // kernelGflops times one leaf-kernel MulAdd at order n.
-func kernelGflops(k blas.Kernel, n, reps int) float64 {
+func kernelGflops(name string, k blas.Kernel, n, reps int) float64 {
 	a, b, c := randomSquare(n, 101)
 	flops := 2 * float64(n) * float64(n) * float64(n)
 	k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, c, n) // warm caches and arena
-	return median(reps, func() float64 {
+	return medianNoise(name, reps, func() float64 {
 		start := time.Now()
 		k.MulAdd(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, c, n)
 		return flops / time.Since(start).Seconds() / 1e9
@@ -274,7 +281,7 @@ func kernelGflops(k blas.Kernel, n, reps int) float64 {
 
 // multiplyGflops times a full DGEFMM call (default configuration: packed
 // kernel under the hybrid cutoff) at order n.
-func multiplyGflops(n, reps int) float64 {
+func multiplyGflops(name string, n, reps int) float64 {
 	a, b, c := randomSquare(n, 103)
 	cfg := strassen.DefaultConfig(nil)
 	flops := 2 * float64(n) * float64(n) * float64(n)
@@ -282,7 +289,7 @@ func multiplyGflops(n, reps int) float64 {
 		strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 	}
 	run() // warm
-	return median(reps, func() float64 {
+	return medianNoise(name, reps, func() float64 {
 		start := time.Now()
 		run()
 		return flops / time.Since(start).Seconds() / 1e9
@@ -291,7 +298,7 @@ func multiplyGflops(n, reps int) float64 {
 
 // batchThroughput times a pool executing `count` independent order-n
 // multiplies and reports calls per second.
-func batchThroughput(n, count, reps int) float64 {
+func batchThroughput(name string, n, count, reps int) float64 {
 	rng := rand.New(rand.NewSource(107))
 	mk := func() []float64 {
 		v := make([]float64, n*n)
@@ -314,7 +321,7 @@ func batchThroughput(n, count, reps int) float64 {
 	if err := pool.Execute(calls); err != nil { // warm plans and arenas
 		fatal(err)
 	}
-	return median(reps, func() float64 {
+	return medianNoise(name, reps, func() float64 {
 		start := time.Now()
 		if err := pool.Execute(calls); err != nil {
 			fatal(err)

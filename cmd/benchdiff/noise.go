@@ -1,0 +1,78 @@
+package main
+
+import "sort"
+
+// Host-noise fingerprint: every metric measured by repetition records its
+// rep-to-rep relative spread, (max − min)/|median|, into the report. The
+// fingerprint serves two purposes: readers of a report can judge how
+// trustworthy its numbers are without access to the host, and
+// -update-baseline refuses to freeze numbers whose observed spread exceeds
+// the tolerance that will judge future runs against them — a baseline
+// minted on a noisy host would make the gate a coin flip.
+
+var noiseSpread = map[string]float64{}
+
+// recordNoise stores the relative rep-to-rep spread of one metric's
+// samples. Derived metrics (ratios of two medians) record nothing: their
+// inputs carry the fingerprint.
+func recordNoise(name string, vals []float64) {
+	if len(vals) < 2 {
+		return
+	}
+	med := medianOf(vals)
+	if med == 0 {
+		return
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if med < 0 {
+		med = -med
+	}
+	noiseSpread[name] = (hi - lo) / med
+}
+
+// medianNoise measures a metric reps times, records its spread under the
+// metric's name, and returns the median.
+func medianNoise(name string, reps int, measure func() float64) float64 {
+	vals := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		vals = append(vals, measure())
+	}
+	recordNoise(name, vals)
+	return medianOf(vals)
+}
+
+// noiseSnapshot returns the fingerprint accumulated by the suite run.
+func noiseSnapshot() map[string]float64 {
+	out := make(map[string]float64, len(noiseSpread))
+	for k, v := range noiseSpread {
+		out[k] = v
+	}
+	return out
+}
+
+// NoisyMetrics returns, sorted, the metrics whose measured spread exceeds
+// the tolerance that would judge them (the per-metric override when
+// present, else the default): exactly the metrics a baseline refresh would
+// freeze into an unreliable gate.
+func NoisyMetrics(noise map[string]float64, tol float64, overrides map[string]float64) []string {
+	var out []string
+	for name, spread := range noise {
+		mtol := tol
+		if o, ok := overrides[name]; ok && o > 0 {
+			mtol = o
+		}
+		if spread > mtol {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -50,8 +50,8 @@ func phaseMetrics(n, depth, reps int) map[string]float64 {
 	}
 	out := make(map[string]float64, len(tracked))
 	for name, vals := range samples {
-		i := 0
-		out[name] = median(len(vals), func() float64 { v := vals[i]; i++; return v })
+		recordNoise(name, vals)
+		out[name] = medianOf(vals)
 	}
 	return out
 }
@@ -93,7 +93,7 @@ func overheadRatio(n, reps int) float64 {
 	if rounds < 5 {
 		rounds = 5
 	}
-	return median(rounds, func() float64 {
+	return medianNoise("obs.overhead.ratio", rounds, func() float64 {
 		off := sample()
 		prev := phase.SetActive(&phase.Profiler{})
 		on := sample()
@@ -112,7 +112,7 @@ func perfIPC(n, reps int) float64 {
 		strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 	}
 	run() // warm
-	return median(reps, func() float64 {
+	return medianNoise("perf.multiply.256.ipc", reps, func() float64 {
 		counts, ok := obs.MeasurePerf(run)
 		if !ok {
 			return 0

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"net/http/httptest"
-	"sort"
 	"time"
 
 	"repro/internal/serve"
@@ -50,22 +49,18 @@ func serveSuite(reps int) map[string]float64 {
 	for i := range runs {
 		runs[i] = load()
 	}
-	pick := func(f func(*serve.LoadResult) float64) float64 {
+	pick := func(name string, f func(*serve.LoadResult) float64) float64 {
 		vals := make([]float64, len(runs))
 		for i, r := range runs {
 			vals[i] = f(r)
 		}
-		sort.Float64s(vals)
-		if n := len(vals); n%2 == 1 {
-			return vals[n/2]
-		} else {
-			return (vals[n/2-1] + vals[n/2]) / 2
-		}
+		recordNoise(name, vals)
+		return medianOf(vals)
 	}
 	return map[string]float64{
-		"serve.calls_per_sec":  pick(func(r *serve.LoadResult) float64 { return r.CallsPerSec }),
-		"serve.p50_ms":         pick(func(r *serve.LoadResult) float64 { return r.P50ms }),
-		"serve.p99_ms":         pick(func(r *serve.LoadResult) float64 { return r.P99ms }),
-		"serve.coalesce_ratio": pick(func(r *serve.LoadResult) float64 { return r.CoalesceRatio }),
+		"serve.calls_per_sec":  pick("serve.calls_per_sec", func(r *serve.LoadResult) float64 { return r.CallsPerSec }),
+		"serve.p50_ms":         pick("serve.p50_ms", func(r *serve.LoadResult) float64 { return r.P50ms }),
+		"serve.p99_ms":         pick("serve.p99_ms", func(r *serve.LoadResult) float64 { return r.P99ms }),
+		"serve.coalesce_ratio": pick("serve.coalesce_ratio", func(r *serve.LoadResult) float64 { return r.CoalesceRatio }),
 	}
 }

@@ -52,6 +52,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 		fusedFlag  = cli.FusedFlag(nil)
+		algoFlag   = cli.AlgoFlag(nil)
 		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
@@ -62,6 +63,21 @@ func main() {
 		slog.Error("bad -fused", "err", err)
 		os.Exit(2)
 	}
+
+	// The sweeps build their one-level configurations internally, so an
+	// explicit -algo propagates through the DGEFMM_ALGO override; the
+	// resulting parameters install under the "<kernel>/<algo>" key the
+	// per-algorithm cutoff resolution reads.
+	algoSel, err := strassen.ParseAlgo(*algoFlag)
+	if err != nil {
+		slog.Error("bad -algo", "err", err)
+		os.Exit(2)
+	}
+	if algoSel != "" {
+		os.Setenv("DGEFMM_ALGO", algoSel)
+	}
+	algoName := (&strassen.Config{Algo: *algoFlag}).AlgoSelection()
+	slog.Info("fast algorithm", "selection", algoName)
 
 	if *blocks {
 		calibrateBlocks(*blockN, *blockReps, *seed)
@@ -112,16 +128,23 @@ func main() {
 		}
 		p := cutoff.RectParams(kern, *rectLo, *rectHi, *rectSt, *fixed, *seed+1)
 		p.Tau = tau
+		// Calibrating a non-default table installs its own τ row under
+		// "<kernel>/<algo>" (auto calibrates whichever tables the sweep
+		// shapes select, so it keeps the plain kernel key).
+		paramsKey := name
+		if algoName != "default" && algoName != strassen.AlgoAuto {
+			paramsKey = name + "/" + algoName
+		}
 		if col != nil {
-			col.Registry.Gauge("calibrate." + name + ".tau").Set(int64(p.Tau))
-			col.Registry.Gauge("calibrate." + name + ".tau_m").Set(int64(p.TauM))
-			col.Registry.Gauge("calibrate." + name + ".tau_k").Set(int64(p.TauK))
-			col.Registry.Gauge("calibrate." + name + ".tau_n").Set(int64(p.TauN))
+			col.Registry.Gauge("calibrate." + paramsKey + ".tau").Set(int64(p.Tau))
+			col.Registry.Gauge("calibrate." + paramsKey + ".tau_m").Set(int64(p.TauM))
+			col.Registry.Gauge("calibrate." + paramsKey + ".tau_k").Set(int64(p.TauK))
+			col.Registry.Gauge("calibrate." + paramsKey + ".tau_n").Set(int64(p.TauN))
 		}
 		fmt.Printf("  measured: τ=%d τm=%d τk=%d τn=%d (fixed dims %d)\n", p.Tau, p.TauM, p.TauK, p.TauN, *fixed)
 		fmt.Printf("  apply with: strassen.SetDefaultParams(%q, strassen.Params{Tau: %d, TauM: %d, TauK: %d, TauN: %d})\n",
-			name, p.Tau, p.TauM, p.TauK, p.TauN)
-		cur := strassen.DefaultParams(name)
+			paramsKey, p.Tau, p.TauM, p.TauK, p.TauN)
+		cur := strassen.DefaultParams(paramsKey)
 		fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", cur.Tau, cur.TauM, cur.TauK, cur.TauN)
 
 		// Kernels with fused packing/write-out hooks get a second sweep with

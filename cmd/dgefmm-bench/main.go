@@ -49,6 +49,7 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr     = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 		fused        = cli.FusedFlag(nil)
+		algoFlag     = cli.AlgoFlag(nil)
 		logLevel     = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
@@ -67,6 +68,19 @@ func main() {
 		os.Setenv("DGEFMM_FUSED", fusedMode.String())
 	}
 	slog.Info("fused winograd", "mode", fusedMode, "env", os.Getenv("DGEFMM_FUSED"))
+
+	// -algo propagates the same way: through the DGEFMM_ALGO override, read
+	// once on first DGEFMM call, so every internally-built Config sees it.
+	algoSel, err := strassen.ParseAlgo(*algoFlag)
+	if err != nil {
+		slog.Error("bad -algo", "err", err)
+		os.Exit(1)
+	}
+	if algoSel != "" {
+		os.Setenv("DGEFMM_ALGO", algoSel)
+	}
+	slog.Info("fast algorithm", "selection", (&strassen.Config{Algo: *algoFlag}).AlgoSelection(),
+		"env", os.Getenv("DGEFMM_ALGO"))
 
 	// The collector only exists when an observability flag asks for it; a
 	// nil collector keeps the experiments on the untraced fast path.

@@ -52,6 +52,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the recorded spans (Chrome trace-event JSON) to this file when done")
 		httpAddr   = flag.String("http", "", "serve live expvar/pprof/metrics endpoints on this address (e.g. :6060)")
 		fused      = cli.FusedFlag(nil)
+		algoFlag   = cli.AlgoFlag(nil)
 		logLevel   = cli.LogLevelFlag(nil)
 	)
 	flag.Parse()
@@ -107,6 +108,13 @@ func main() {
 	// when the fused driver is active.
 	cfg.Criterion = nil
 	slog.Info("fused winograd", "mode", fusedMode, "active", cfg.FusedActive())
+	// -algo keeps its raw spelling: "" defers to DGEFMM_ALGO, an explicit
+	// "default" beats it (the PR 5 precedence, as with -kernel and -fused).
+	if _, err := strassen.ParseAlgo(*algoFlag); err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Algo = *algoFlag
+	slog.Info("fast algorithm", "selection", cfg.AlgoSelection())
 	cfg.Parallel = *par
 	var tracer *strassen.CountTracer
 	if *trace {

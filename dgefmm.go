@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"net/http"
 
+	"repro/internal/algo"
 	"repro/internal/baselines"
 	"repro/internal/batch"
 	"repro/internal/blas"
@@ -90,6 +91,43 @@ const (
 
 // ParseFusedMode parses a -fused style flag value (auto|on|off).
 func ParseFusedMode(s string) (FusedMode, error) { return strassen.ParseFusedMode(s) }
+
+// AlgoTable is one ⟨m,k,n⟩ fast matrix-multiplication algorithm as a
+// (U, V, W) coefficient table with R products, verified against the Brent
+// equations on construction. Set Config.Algo to a registered table's name
+// (or AlgoAuto) to drive DGEFMM's recursion with it; leave it empty for
+// the default hand-tuned Winograd path. DGEFMM_ALGO=name|auto overrides
+// the default per process; an explicit Config.Algo wins over it.
+type AlgoTable = algo.Table
+
+// AlgoAuto selects a table per call shape: the registered table whose
+// split ratios best match the operand aspect.
+const AlgoAuto = strassen.AlgoAuto
+
+// NewAlgoTable builds and verifies a coefficient table (see algo.New):
+// u, v, w have m·k, k·n and m·n rows respectively and R columns each.
+// Tables failing the Brent equations are rejected.
+func NewAlgoTable(name string, m, k, n int, u, v, w [][]float64) (*AlgoTable, error) {
+	return algo.New(name, m, k, n, u, v, w)
+}
+
+// RegisterAlgo adds a verified table to the registry, making it selectable
+// by name through Config.Algo, DGEFMM_ALGO and AlgoAuto.
+func RegisterAlgo(t *AlgoTable) error { return algo.Register(t) }
+
+// AlgoByName looks up a registered table.
+func AlgoByName(name string) (*AlgoTable, bool) { return algo.ByName(name) }
+
+// AlgoTables returns the registered tables in registration order.
+func AlgoTables() []*AlgoTable { return algo.Tables() }
+
+// SelectAlgo returns the registered table auto-selection would pick for an
+// m×k · k×n product (what Config.Algo = AlgoAuto resolves to).
+func SelectAlgo(m, k, n int) *AlgoTable { return algo.Select(m, k, n) }
+
+// ParseAlgo validates a -algo style flag value: "auto", "default"/"", or a
+// registered table name.
+func ParseAlgo(s string) (string, error) { return strassen.ParseAlgo(s) }
 
 // The paper's cutoff criteria, re-exported for configuration.
 type (

@@ -1,0 +1,217 @@
+// Package algo represents fast matrix-multiplication algorithms as
+// coefficient tables, after Huang, Rice, Matthews and van de Geijn,
+// "Generating Families of Practical Fast Matrix Multiplication Algorithms".
+//
+// A ⟨m, k, n⟩ algorithm partitions A into an m×k grid of blocks, B into
+// k×n and C into m×n, and computes the product with R block
+// multiplications instead of the classical m·k·n:
+//
+//	P_r = (Σ_i U[i][r]·A_i) · (Σ_j V[j][r]·B_j)    r = 0..R-1
+//	C_l = Σ_r W[l][r]·P_r                           l = 0..m·n-1
+//
+// where A_i, B_j, C_l enumerate the blocks row-major (A block (i,k) has
+// index i·K+k, B block (k,j) index k·N+j, C block (i,j) index i·N+j).
+// The triple (U, V, W) is the algorithm: Strassen's construction is one
+// ⟨2,2,2⟩ table with R = 7, Winograd's variant another, and rectangular
+// tables such as ⟨3,2,3⟩ split lopsided operands without squaring them
+// first. Validity is decidable — the Brent equations (see Validate) hold
+// exactly when the table computes the matrix product — so a table is data
+// that can be checked in CI rather than code that must be trusted.
+//
+// The package carries the representation, the Brent-equation verifier,
+// Kronecker composition, nnz/stability metadata, a registry of built-in
+// tables and a per-shape selection heuristic. The recursion that executes
+// a table lives in internal/strassen.
+package algo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Term is one nonzero coefficient of a table column: the block it reads
+// (or writes, for W) and the scalar it contributes with.
+type Term struct {
+	// Block is the row-major block index: i·K+k into A, k·N+j into B,
+	// i·N+j into C.
+	Block int
+	// Coeff is the scalar coefficient (±1 for every built-in table).
+	Coeff float64
+}
+
+// Table is one ⟨M, K, N⟩ fast algorithm as its (U, V, W) coefficient
+// tables. Construct with New (which verifies the Brent equations) and
+// treat as immutable afterwards; a Table is safe for concurrent use.
+type Table struct {
+	// Name identifies the table in registries, flags and reports.
+	Name string
+	// M, K, N are the block-grid dimensions: A splits M×K, B splits K×N,
+	// C splits M×N.
+	M, K, N int
+	// R is the number of block products.
+	R int
+	// U is (M·K)×R: U[i][r] is block i's coefficient in product r's left
+	// operand. V is (K·N)×R and W is (M·N)×R analogously (W maps products
+	// back to C blocks).
+	U, V, W [][]float64
+
+	aTerms, bTerms, cTerms [][]Term
+}
+
+// New builds a table from its coefficient matrices, derives the per-product
+// term lists and proves validity with the Brent-equation verifier. The
+// coefficient slices are retained, not copied.
+func New(name string, m, k, n int, u, v, w [][]float64) (*Table, error) {
+	t := &Table{Name: name, M: m, K: k, N: n, U: u, V: v, W: w}
+	if m < 1 || k < 1 || n < 1 {
+		return nil, fmt.Errorf("algo %q: non-positive grid %d×%d×%d", name, m, k, n)
+	}
+	if len(u) != m*k || len(v) != k*n || len(w) != m*n {
+		return nil, fmt.Errorf("algo %q: got %d/%d/%d coefficient rows, want %d/%d/%d",
+			name, len(u), len(v), len(w), m*k, k*n, m*n)
+	}
+	t.R = -1
+	for _, rows := range [][][]float64{u, v, w} {
+		for _, row := range rows {
+			if t.R < 0 {
+				t.R = len(row)
+			}
+			if len(row) != t.R {
+				return nil, fmt.Errorf("algo %q: ragged coefficient rows (%d vs %d products)",
+					name, len(row), t.R)
+			}
+		}
+	}
+	if t.R < 1 {
+		return nil, fmt.Errorf("algo %q: no products", name)
+	}
+	t.aTerms = termLists(u, t.R)
+	t.bTerms = termLists(v, t.R)
+	t.cTerms = termLists(w, t.R)
+	for r := 0; r < t.R; r++ {
+		if len(t.aTerms[r]) == 0 || len(t.bTerms[r]) == 0 {
+			return nil, fmt.Errorf("algo %q: product %d has an empty operand", name, r)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New, panicking on error; for the built-in tables.
+func MustNew(name string, m, k, n int, u, v, w [][]float64) *Table {
+	t, err := New(name, m, k, n, u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// termLists transposes an (blocks)×R coefficient matrix into per-product
+// nonzero term lists, blocks in ascending index order.
+func termLists(rows [][]float64, r int) [][]Term {
+	out := make([][]Term, r)
+	for p := 0; p < r; p++ {
+		for b, row := range rows {
+			if g := row[p]; g != 0 {
+				out[p] = append(out[p], Term{Block: b, Coeff: g})
+			}
+		}
+	}
+	return out
+}
+
+// ATerms returns product r's left-operand terms (blocks of A, ascending
+// block index). The slice is shared; callers must not modify it.
+func (t *Table) ATerms(r int) []Term { return t.aTerms[r] }
+
+// BTerms returns product r's right-operand terms (blocks of B).
+func (t *Table) BTerms(r int) []Term { return t.bTerms[r] }
+
+// CTerms returns product r's destinations (blocks of C, ascending block
+// index — the order the executor accumulates them in).
+func (t *Table) CTerms(r int) []Term { return t.cTerms[r] }
+
+// NNZ returns the nonzero counts of U, V and W — the table's footprint in
+// operand-side and destination-side work.
+func (t *Table) NNZ() (u, v, w int) {
+	for r := 0; r < t.R; r++ {
+		u += len(t.aTerms[r])
+		v += len(t.bTerms[r])
+		w += len(t.cTerms[r])
+	}
+	return u, v, w
+}
+
+// MaxTerms returns the largest operand term count and destination fan-out
+// over all products — the quantities the fused driver's packing and
+// write-out capacity are gated on.
+func (t *Table) MaxTerms() (operands, dests int) {
+	for r := 0; r < t.R; r++ {
+		if l := len(t.aTerms[r]); l > operands {
+			operands = l
+		}
+		if l := len(t.bTerms[r]); l > operands {
+			operands = l
+		}
+		if l := len(t.cTerms[r]); l > dests {
+			dests = l
+		}
+	}
+	return operands, dests
+}
+
+// PlusMinusOne reports whether every nonzero coefficient is ±1 (true for
+// all built-ins). Such tables add and subtract blocks exactly; general
+// coefficients introduce rounding in operand formation.
+func (t *Table) PlusMinusOne() bool {
+	for _, lists := range [][][]Term{t.aTerms, t.bTerms, t.cTerms} {
+		for _, terms := range lists {
+			for _, tm := range terms {
+				if tm.Coeff != 1 && tm.Coeff != -1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Growth returns the table's one-level error-growth prefactor
+// max_l Σ_r |W[l][r]|·(Σ_i |U[i][r]|)·(Σ_j |V[j][r]|) — the stability
+// quantity of Higham's fast-multiplication analysis (classic Strassen
+// scores 12, the Winograd variant 18, the classical algorithm K). A
+// d-level recursion's error bound scales like Growth^d.
+func (t *Table) Growth() float64 {
+	absSum := func(terms []Term) float64 {
+		var s float64
+		for _, tm := range terms {
+			s += math.Abs(tm.Coeff)
+		}
+		return s
+	}
+	worst := 0.0
+	for l := 0; l < t.M*t.N; l++ {
+		var row float64
+		for r := 0; r < t.R; r++ {
+			if g := t.W[l][r]; g != 0 {
+				row += math.Abs(g) * absSum(t.aTerms[r]) * absSum(t.bTerms[r])
+			}
+		}
+		worst = math.Max(worst, row)
+	}
+	return worst
+}
+
+// Speedup returns M·K·N / R, the per-level ratio of classical block
+// products to the table's — the asymptotic rate advantage (8/7 ≈ 1.14 for
+// ⟨2,2,2⟩ with R = 7, 18/17 for the built-in ⟨3,2,3⟩).
+func (t *Table) Speedup() float64 {
+	return float64(t.M*t.K*t.N) / float64(t.R)
+}
+
+// String renders the table's signature, e.g. "winograd ⟨2,2,2⟩ R=7".
+func (t *Table) String() string {
+	return fmt.Sprintf("%s ⟨%d,%d,%d⟩ R=%d", t.Name, t.M, t.K, t.N, t.R)
+}

@@ -1,0 +1,206 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBrentVerify re-proves every registered table against the Brent
+// equations, one named subtest per table — the CI algorithm-verification
+// matrix invokes these as TestBrentVerify/<name> so a bad table fails a
+// step carrying its name.
+func TestBrentVerify(t *testing.T) {
+	if len(Tables()) < 5 {
+		t.Fatalf("only %d registered tables, want the 5 built-ins", len(Tables()))
+	}
+	for _, tab := range Tables() {
+		t.Run(tab.Name, func(t *testing.T) {
+			if err := tab.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBrentVerifyByMultiplication cross-checks the verifier itself: every
+// registered table, executed symbolically on scalar blocks (block size 1),
+// must reproduce the classical product of random M×K · K×N matrices.
+func TestBrentVerifyByMultiplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tab := range Tables() {
+		a := make([]float64, tab.M*tab.K)
+		b := make([]float64, tab.K*tab.N)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		c := make([]float64, tab.M*tab.N)
+		for r := 0; r < tab.R; r++ {
+			var sa, sb float64
+			for _, tm := range tab.ATerms(r) {
+				sa += tm.Coeff * a[tm.Block]
+			}
+			for _, tm := range tab.BTerms(r) {
+				sb += tm.Coeff * b[tm.Block]
+			}
+			for _, tm := range tab.CTerms(r) {
+				c[tm.Block] += tm.Coeff * sa * sb
+			}
+		}
+		for i := 0; i < tab.M; i++ {
+			for j := 0; j < tab.N; j++ {
+				var want float64
+				for k := 0; k < tab.K; k++ {
+					want += a[i*tab.K+k] * b[k*tab.N+j]
+				}
+				if got := c[i*tab.N+j]; math.Abs(got-want) > 1e-12*(math.Abs(want)+1) {
+					t.Errorf("%s: C(%d,%d) = %g, want %g", tab.Name, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptedTableFailsBrent proves the verifier has teeth: corrupting
+// a single coefficient of a valid table must break a Brent equation. Every
+// kind of corruption tried — sign flip, zeroing, off-by-one block — fails.
+func TestCorruptedTableFailsBrent(t *testing.T) {
+	corrupt := func(name string, mutate func(c *Table)) {
+		src := Default()
+		c := &Table{Name: "corrupted", M: src.M, K: src.K, N: src.N, R: src.R}
+		for _, pair := range []struct {
+			dst *[][]float64
+			src [][]float64
+		}{{&c.U, src.U}, {&c.V, src.V}, {&c.W, src.W}} {
+			rows := make([][]float64, len(pair.src))
+			for i, row := range pair.src {
+				rows[i] = append([]float64(nil), row...)
+			}
+			*pair.dst = rows
+		}
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: corrupted table passed the Brent check", name)
+		}
+		if _, err := New("corrupted", c.M, c.K, c.N, c.U, c.V, c.W); err == nil {
+			t.Errorf("%s: New accepted a corrupted table", name)
+		}
+	}
+	corrupt("sign-flip", func(c *Table) { c.U[0][0] = -c.U[0][0] })
+	corrupt("zeroed", func(c *Table) { c.W[0][1] = 0 })
+	corrupt("wrong-block", func(c *Table) { c.V[2][1], c.V[1][1] = 0, 1 })
+	corrupt("scaled", func(c *Table) { c.W[3][4] *= 1.5 })
+}
+
+// TestNewRejectsMalformed covers the structural validations ahead of the
+// Brent check.
+func TestNewRejectsMalformed(t *testing.T) {
+	w := Default()
+	if _, err := New("short", 2, 2, 2, w.U[:3], w.V, w.W); err == nil {
+		t.Error("New accepted a U with missing rows")
+	}
+	ragged := [][]float64{{1, 0}, {0, 1, 0}, {0, 0}, {0, 0}}
+	if _, err := New("ragged", 2, 2, 2, ragged, w.V, w.W); err == nil {
+		t.Error("New accepted ragged coefficient rows")
+	}
+	if _, err := New("empty", 1, 1, 1, [][]float64{{0}}, [][]float64{{1}}, [][]float64{{1}}); err == nil {
+		t.Error("New accepted a product with an empty operand")
+	}
+}
+
+// TestBuiltinShapes pins the signatures of the shipped tables.
+func TestBuiltinShapes(t *testing.T) {
+	want := map[string][4]int{
+		"winograd": {2, 2, 2, 7},
+		"classic":  {2, 2, 2, 7},
+		"323":      {3, 2, 3, 17},
+		"333":      {3, 3, 3, 26},
+		"424":      {4, 2, 4, 28},
+	}
+	for name, dims := range want {
+		tab, ok := ByName(name)
+		if !ok {
+			t.Errorf("table %q not registered", name)
+			continue
+		}
+		if tab.M != dims[0] || tab.K != dims[1] || tab.N != dims[2] || tab.R != dims[3] {
+			t.Errorf("%s: got ⟨%d,%d,%d⟩ R=%d, want ⟨%d,%d,%d⟩ R=%d",
+				name, tab.M, tab.K, tab.N, tab.R, dims[0], dims[1], dims[2], dims[3])
+		}
+		if !tab.PlusMinusOne() {
+			t.Errorf("%s: built-in table has non-±1 coefficients", name)
+		}
+		if sp := tab.Speedup(); sp <= 1 {
+			t.Errorf("%s: speedup %g, want > 1", name, sp)
+		}
+	}
+}
+
+// TestMetadata pins the nnz/stability numbers the docs quote.
+func TestMetadata(t *testing.T) {
+	classic, _ := ByName("classic")
+	if ops, dests := classic.MaxTerms(); ops != 2 || dests != 2 {
+		t.Errorf("classic MaxTerms = (%d, %d), want (2, 2)", ops, dests)
+	}
+	if g := classic.Growth(); g != 12 {
+		t.Errorf("classic Growth = %g, want 12", g)
+	}
+	wino := Default()
+	if ops, dests := wino.MaxTerms(); ops != 4 || dests != 4 {
+		t.Errorf("winograd MaxTerms = (%d, %d), want (4, 4)", ops, dests)
+	}
+	if g := wino.Growth(); g != 18 {
+		t.Errorf("winograd Growth = %g, want 18", g)
+	}
+	u, v, w := classic.NNZ()
+	if u != 12 || v != 12 || w != 12 {
+		t.Errorf("classic NNZ = (%d, %d, %d), want (12, 12, 12)", u, v, w)
+	}
+}
+
+// TestCompose proves composition preserves validity and multiplies
+// signatures (New re-runs the Brent check, so reaching the assertions at
+// all means the composed tables verified).
+func TestCompose(t *testing.T) {
+	classic, _ := ByName("classic")
+	s44, err := Compose("s44-test", classic, classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s44.M != 4 || s44.K != 4 || s44.N != 4 || s44.R != 49 {
+		t.Errorf("classic⊗classic = ⟨%d,%d,%d⟩ R=%d, want ⟨4,4,4⟩ R=49", s44.M, s44.K, s44.N, s44.R)
+	}
+	t424, _ := ByName("424")
+	if t424.M != 4 || t424.K != 2 || t424.N != 4 || t424.R != 28 {
+		t.Errorf("424 = ⟨%d,%d,%d⟩ R=%d, want ⟨4,2,4⟩ R=28", t424.M, t424.K, t424.N, t424.R)
+	}
+}
+
+// TestRegisterRejectsDuplicates: built-ins cannot be shadowed.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(Default()); err == nil {
+		t.Error("Register accepted a duplicate name")
+	}
+}
+
+// TestSelect exercises the aspect-matching rule.
+func TestSelect(t *testing.T) {
+	cases := []struct {
+		m, k, n int
+		want    string
+	}{
+		{512, 512, 512, "winograd"}, // square: best speedup among score-0 tables
+		{300, 200, 300, "323"},      // 3:2:3 aspect splits evenly only under ⟨3,2,3⟩
+		{400, 200, 400, "424"},      // 4:2:4 aspect
+		{900, 900, 900, "winograd"},
+		{1, 1, 1, "winograd"}, // nothing fits: the default
+	}
+	for _, tc := range cases {
+		if got := Select(tc.m, tc.k, tc.n); got.Name != tc.want {
+			t.Errorf("Select(%d, %d, %d) = %s, want %s", tc.m, tc.k, tc.n, got.Name, tc.want)
+		}
+	}
+}

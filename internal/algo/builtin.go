@@ -1,0 +1,272 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultName names the table DGEFMM executes when no algorithm is
+// selected: the ⟨2,2,2⟩ Winograd variant the paper's schedules hand-code.
+const DefaultName = "winograd"
+
+// prod is one product's nonzero coefficients as (block, coeff) pairs —
+// the construction-side mirror of the Term lists New derives.
+type prod struct {
+	u, v, w []Term
+}
+
+// fromProds expands a product list into dense (U, V, W) tables and builds
+// (and Brent-verifies) the Table.
+func fromProds(name string, m, k, n int, ps []prod) *Table {
+	u := make([][]float64, m*k)
+	v := make([][]float64, k*n)
+	w := make([][]float64, m*n)
+	fill := func(rows [][]float64, pick func(p prod) []Term) {
+		for i := range rows {
+			rows[i] = make([]float64, len(ps))
+		}
+		for r, p := range ps {
+			for _, tm := range pick(p) {
+				rows[tm.Block][r] = tm.Coeff
+			}
+		}
+	}
+	fill(u, func(p prod) []Term { return p.u })
+	fill(v, func(p prod) []Term { return p.v })
+	fill(w, func(p prod) []Term { return p.w })
+	return MustNew(name, m, k, n, u, v, w)
+}
+
+// tm abbreviates a ±1 term in the built-in constructions.
+func tm(block int, coeff float64) Term { return Term{Block: block, Coeff: coeff} }
+
+// strassenProds is Strassen's original 1969 construction over a 2×2 grid
+// (blocks indexed row-major: X11=0, X12=1, X21=2, X22=3), in the product
+// order of the materialized "original" schedule and the fused driver's
+// record table:
+//
+//	M1 = (A11+A22)(B11+B22) → C11, C22      M5 = (A11+A12)B22 → −C11, C12
+//	M2 = (A21+A22)B11       → C21, −C22     M6 = (A21−A11)(B11+B12) → C22
+//	M3 = A11(B12−B22)       → C12, C22      M7 = (A12−A22)(B21+B22) → C11
+//	M4 = A22(B21−B11)       → C11, C21
+//
+// embedded (with an index mapping) in the rectangular constructions below.
+var strassenProds = []prod{
+	{u: []Term{tm(0, 1), tm(3, 1)}, v: []Term{tm(0, 1), tm(3, 1)}, w: []Term{tm(0, 1), tm(3, 1)}},
+	{u: []Term{tm(2, 1), tm(3, 1)}, v: []Term{tm(0, 1)}, w: []Term{tm(2, 1), tm(3, -1)}},
+	{u: []Term{tm(0, 1)}, v: []Term{tm(1, 1), tm(3, -1)}, w: []Term{tm(1, 1), tm(3, 1)}},
+	{u: []Term{tm(3, 1)}, v: []Term{tm(0, -1), tm(2, 1)}, w: []Term{tm(0, 1), tm(2, 1)}},
+	{u: []Term{tm(0, 1), tm(1, 1)}, v: []Term{tm(3, 1)}, w: []Term{tm(0, -1), tm(1, 1)}},
+	{u: []Term{tm(0, -1), tm(2, 1)}, v: []Term{tm(0, 1), tm(1, 1)}, w: []Term{tm(3, 1)}},
+	{u: []Term{tm(1, 1), tm(3, -1)}, v: []Term{tm(2, 1), tm(3, 1)}, w: []Term{tm(0, 1)}},
+}
+
+// winograd222 is the Winograd variant of Strassen's algorithm — the
+// paper's seven products (Section 2), here as a table. The materialized
+// schedules (strassen1/strassen2) remain its hand-tuned executor; the
+// table records the same bilinear form for verification, planning and
+// opcounts:
+//
+//	P1 = A11·B11                      P5 = (A21+A22)(B12−B11)
+//	P2 = A12·B21                      P6 = (−A11+A21+A22)(B11−B12+B22)
+//	P3 = (A11+A12−A21−A22)·B22        P7 = (A11−A21)(B22−B12)
+//	P4 = A22·(B11−B12−B21+B22)
+//
+//	C11 = P1+P2           C12 = P1+P3+P5+P6
+//	C21 = P1−P4+P6+P7     C22 = P1+P5+P6+P7
+var winograd222 = fromProds(DefaultName, 2, 2, 2, []prod{
+	{u: []Term{tm(0, 1)}, v: []Term{tm(0, 1)}, w: []Term{tm(0, 1), tm(1, 1), tm(2, 1), tm(3, 1)}},
+	{u: []Term{tm(1, 1)}, v: []Term{tm(2, 1)}, w: []Term{tm(0, 1)}},
+	{u: []Term{tm(0, 1), tm(1, 1), tm(2, -1), tm(3, -1)}, v: []Term{tm(3, 1)}, w: []Term{tm(1, 1)}},
+	{u: []Term{tm(3, 1)}, v: []Term{tm(0, 1), tm(1, -1), tm(2, -1), tm(3, 1)}, w: []Term{tm(2, -1)}},
+	{u: []Term{tm(2, 1), tm(3, 1)}, v: []Term{tm(0, -1), tm(1, 1)}, w: []Term{tm(1, 1), tm(3, 1)}},
+	{u: []Term{tm(0, -1), tm(2, 1), tm(3, 1)}, v: []Term{tm(0, 1), tm(1, -1), tm(3, 1)}, w: []Term{tm(1, 1), tm(2, 1), tm(3, 1)}},
+	{u: []Term{tm(0, 1), tm(2, -1)}, v: []Term{tm(1, -1), tm(3, 1)}, w: []Term{tm(2, 1), tm(3, 1)}},
+})
+
+// classic222 is Strassen's original construction as a table. It is the
+// bit-parity anchor: the generic table executor run on classic222
+// reproduces the materialized "original" schedule's output exactly
+// (operand pair orders and destination orders match product for product).
+var classic222 = fromProds("classic", 2, 2, 2, strassenProds)
+
+// table323 is a verified ⟨3,2,3⟩ algorithm with R = 17 (classical: 18):
+// Strassen's seven products on the A[0..1][0..1]×B[0..1][0..1] sub-grid
+// compute C[0..1][0..1] outright (the 2-block inner dimension is fully
+// covered), and the borders are classical — C[0..1][2] takes 4 products,
+// C[2][0..2] takes 6. The partition-embedded construction trades
+// optimality (R = 15 tables exist) for coefficients that are provably
+// correct by construction and ±1 throughout; the Brent verifier re-proves
+// it on registration.
+var table323 = fromProds("323", 3, 2, 3, func() []prod {
+	// Index mappings from the 2×2 sub-grid into the 3×2 / 2×3 / 3×3 grids:
+	// A(i,k) → i·2+k (unchanged), B(k,j) → k·3+j, C(i,j) → i·3+j.
+	ps := remapProds(strassenProds, func(b int) int { return b },
+		func(b int) int { return (b/2)*3 + b%2 },
+		func(b int) int { return (b/2)*3 + b%2 })
+	// C(i,2) = Σ_k A(i,k)·B(k,2) for i ∈ {0,1}: 4 classical products.
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 2; k++ {
+			ps = append(ps, prod{
+				u: []Term{tm(i*2+k, 1)},
+				v: []Term{tm(k*3+2, 1)},
+				w: []Term{tm(i*3+2, 1)},
+			})
+		}
+	}
+	// C(2,j) = Σ_k A(2,k)·B(k,j): 6 classical products.
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 3; j++ {
+			ps = append(ps, prod{
+				u: []Term{tm(4+k, 1)},
+				v: []Term{tm(k*3+j, 1)},
+				w: []Term{tm(6+j, 1)},
+			})
+		}
+	}
+	return ps
+}())
+
+// table333 is a verified ⟨3,3,3⟩ algorithm with R = 26 (classical: 27,
+// Laderman's optimum: 23): Strassen's seven products cover the
+// A[0..1][0..1]·B[0..1][0..1] contribution to C[0..1][0..1], four
+// rank-one products add the A[0..1][2]·B[2][0..1] contribution, and the
+// C[0..1][2] / C[2][0..2] borders are classical (6 + 9 products). As with
+// ⟨3,2,3⟩ the construction is correct by construction and ±1 throughout.
+var table333 = fromProds("333", 3, 3, 3, func() []prod {
+	sub := func(b int) int { return (b/2)*3 + b%2 }
+	ps := remapProds(strassenProds, sub, sub, sub)
+	// C(i,j) += A(i,2)·B(2,j) for i, j ∈ {0,1}.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			ps = append(ps, prod{
+				u: []Term{tm(i*3+2, 1)},
+				v: []Term{tm(6+j, 1)},
+				w: []Term{tm(i*3+j, 1)},
+			})
+		}
+	}
+	// C(i,2) = Σ_k A(i,k)·B(k,2) for i ∈ {0,1}.
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 3; k++ {
+			ps = append(ps, prod{
+				u: []Term{tm(i*3+k, 1)},
+				v: []Term{tm(k*3+2, 1)},
+				w: []Term{tm(i*3+2, 1)},
+			})
+		}
+	}
+	// C(2,j) = Σ_k A(2,k)·B(k,j) for all j.
+	for j := 0; j < 3; j++ {
+		for k := 0; k < 3; k++ {
+			ps = append(ps, prod{
+				u: []Term{tm(6+k, 1)},
+				v: []Term{tm(k*3+j, 1)},
+				w: []Term{tm(6+j, 1)},
+			})
+		}
+	}
+	return ps
+}())
+
+// naive212 is the classical ⟨2,1,2⟩ algorithm (4 products), the
+// composition seed for rectangular doublings.
+var naive212 = fromProds("212", 2, 1, 2, []prod{
+	{u: []Term{tm(0, 1)}, v: []Term{tm(0, 1)}, w: []Term{tm(0, 1)}},
+	{u: []Term{tm(0, 1)}, v: []Term{tm(1, 1)}, w: []Term{tm(1, 1)}},
+	{u: []Term{tm(1, 1)}, v: []Term{tm(0, 1)}, w: []Term{tm(2, 1)}},
+	{u: []Term{tm(1, 1)}, v: []Term{tm(1, 1)}, w: []Term{tm(3, 1)}},
+})
+
+// table424 is ⟨4,2,4⟩ with R = 28 (classical: 32), the Kronecker
+// composition of Strassen's ⟨2,2,2⟩ with the classical ⟨2,1,2⟩ — the
+// package's exemplar of generating new verified tables from seeds.
+var table424 = MustCompose("424", classic222, naive212)
+
+// remapProds re-indexes a product list's blocks into larger grids.
+func remapProds(ps []prod, mapU, mapV, mapW func(int) int) []prod {
+	out := make([]prod, 0, len(ps))
+	remap := func(terms []Term, f func(int) int) []Term {
+		o := make([]Term, len(terms))
+		for i, t := range terms {
+			o[i] = Term{Block: f(t.Block), Coeff: t.Coeff}
+		}
+		return o
+	}
+	for _, p := range ps {
+		out = append(out, prod{
+			u: remap(p.u, mapU),
+			v: remap(p.v, mapV),
+			w: remap(p.w, mapW),
+		})
+	}
+	return out
+}
+
+// The registry: built-ins registered at init in a deliberate order
+// (Default first; Select's tie-break prefers earlier registrations).
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*Table
+	order  []*Table
+}{byName: make(map[string]*Table)}
+
+func init() {
+	for _, t := range []*Table{winograd222, classic222, table323, table333, table424} {
+		if err := Register(t); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register adds a table to the registry after re-proving its validity.
+// Registering a name twice is an error (built-ins cannot be shadowed).
+func Register(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[t.Name]; dup {
+		return fmt.Errorf("algo: table %q already registered", t.Name)
+	}
+	registry.byName[t.Name] = t
+	registry.order = append(registry.order, t)
+	return nil
+}
+
+// ByName returns the registered table with the given name.
+func ByName(name string) (*Table, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	t, ok := registry.byName[name]
+	return t, ok
+}
+
+// Default returns the table DGEFMM's legacy schedules implement.
+func Default() *Table {
+	t, _ := ByName(DefaultName)
+	return t
+}
+
+// Tables returns every registered table in registration order.
+func Tables() []*Table {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Table, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Names returns the registered table names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.order))
+	for _, t := range registry.order {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

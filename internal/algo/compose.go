@@ -1,0 +1,54 @@
+package algo
+
+// Compose returns the Kronecker product of two algorithms: a valid
+// ⟨M1·M2, K1·K2, N1·N2⟩ table with R1·R2 products whose product r1·R2+r2
+// multiplies outer operand combination r1 refined by inner combination r2.
+// Composition is how small verified seeds generate larger algorithms —
+// the built-in ⟨4,2,4⟩ is Strassen's ⟨2,2,2⟩ composed with the naive
+// ⟨2,1,2⟩ — and the result is re-verified by New, so a composition bug
+// cannot produce a silently wrong table.
+func Compose(name string, outer, inner *Table) (*Table, error) {
+	u := kron(outer.U, inner.U, outer.K, inner.K)
+	v := kron(outer.V, inner.V, outer.N, inner.N)
+	w := kron(outer.W, inner.W, outer.N, inner.N)
+	return New(name, outer.M*inner.M, outer.K*inner.K, outer.N*inner.N, u, v, w)
+}
+
+// MustCompose is Compose, panicking on error; for the built-in tables.
+func MustCompose(name string, outer, inner *Table) *Table {
+	t, err := Compose(name, outer, inner)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// kron forms the Kronecker product of two coefficient matrices whose rows
+// enumerate an (rows1×cols1) and (rows2×cols2) block grid row-major: the
+// composed block (row1·rows2+row2, col1·cols2+col2) gets coefficient
+// a[row][r1]·b[row'][r2] in column r1·R2+r2.
+func kron(a, b [][]float64, cols1, cols2 int) [][]float64 {
+	rows1, rows2 := len(a)/cols1, len(b)/cols2
+	r1, r2 := len(a[0]), len(b[0])
+	out := make([][]float64, rows1*rows2*cols1*cols2)
+	for i1 := 0; i1 < rows1; i1++ {
+		for j1 := 0; j1 < cols1; j1++ {
+			for i2 := 0; i2 < rows2; i2++ {
+				for j2 := 0; j2 < cols2; j2++ {
+					row := make([]float64, r1*r2)
+					ra, rb := a[i1*cols1+j1], b[i2*cols2+j2]
+					for p := 0; p < r1; p++ {
+						if ra[p] == 0 {
+							continue
+						}
+						for q := 0; q < r2; q++ {
+							row[p*r2+q] = ra[p] * rb[q]
+						}
+					}
+					out[(i1*rows2+i2)*cols1*cols2+(j1*cols2+j2)] = row
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package algo
+
+import "math"
+
+// Select picks the registered table whose split ratios best match an
+// m×k · k×n problem's aspect: a table ⟨M, K, N⟩ divides the problem into
+// m/M × k/K × n/N children, and the best table makes those child
+// quotients as mutually balanced as the parent allows (paper equation
+// (15) favors balanced sub-problems; a 3000×2000·2000×3000 product splits
+// evenly under ⟨3,2,3⟩ where ⟨2,2,2⟩ leaves the lopsidedness in place).
+//
+// The score is the total pairwise log-ratio imbalance of the child
+// quotients; among tables within ε of the best score the higher
+// per-level speedup (M·K·N/R) wins, then earlier registration order (so
+// the default Winograd table beats the classic table on square shapes).
+// Tables whose grid does not fit the problem (m < M etc.) are skipped;
+// if none fit, Select returns the default table.
+func Select(m, k, n int) *Table {
+	best := Default()
+	bestScore := math.Inf(1)
+	bestSpeedup := 0.0
+	const eps = 1e-9
+	for _, t := range Tables() {
+		if m < t.M || k < t.K || n < t.N {
+			continue
+		}
+		qm := float64(m) / float64(t.M)
+		qk := float64(k) / float64(t.K)
+		qn := float64(n) / float64(t.N)
+		score := math.Abs(math.Log(qm/qk)) + math.Abs(math.Log(qk/qn)) + math.Abs(math.Log(qm/qn))
+		if score < bestScore-eps ||
+			(score < bestScore+eps && t.Speedup() > bestSpeedup+eps) {
+			best, bestScore, bestSpeedup = t, math.Min(score, bestScore), t.Speedup()
+		}
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+)
+
+// brentTol is the tolerance on each Brent-equation residual. Every
+// built-in table has ±1 coefficients and small term counts, so its
+// residuals are exactly zero in floating point; the tolerance only
+// matters for user tables with non-integer coefficients, where a residual
+// is a sum of ≤R products of three coefficients.
+const brentTol = 1e-9
+
+// Validate proves the table computes the block matrix product by checking
+// the Brent equations:
+//
+//	Σ_r U[(i,k)][r] · V[(k',j)][r] · W[(i',j')][r] = δ(k=k')·δ(i=i')·δ(j=j')
+//
+// for every index combination — the triple (U, V, W) is a rank-R
+// decomposition of the ⟨M, K, N⟩ matrix-multiplication tensor if and only
+// if all M·K·K·N·M·N equations hold. A nil error is a proof of
+// correctness for exact (±1) tables and a proof within rounding for
+// general coefficients.
+func (t *Table) Validate() error {
+	for i := 0; i < t.M; i++ {
+		for k := 0; k < t.K; k++ {
+			for k2 := 0; k2 < t.K; k2++ {
+				for j := 0; j < t.N; j++ {
+					for i2 := 0; i2 < t.M; i2++ {
+						for j2 := 0; j2 < t.N; j2++ {
+							var s float64
+							u, v, w := t.U[i*t.K+k], t.V[k2*t.N+j], t.W[i2*t.N+j2]
+							for r := 0; r < t.R; r++ {
+								s += u[r] * v[r] * w[r]
+							}
+							want := 0.0
+							if k == k2 && i == i2 && j == j2 {
+								want = 1
+							}
+							if math.Abs(s-want) > brentTol {
+								return fmt.Errorf(
+									"algo %q: Brent equation A(%d,%d)·B(%d,%d)→C(%d,%d) sums to %g, want %g",
+									t.Name, i, k, k2, j, i2, j2, s, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package cli
+
+import "flag"
+
+// AlgoFlag registers -algo on the given FlagSet (nil means
+// flag.CommandLine) and returns the destination string. The value feeds
+// strassen.ParseAlgo after flag parsing; commands follow the same
+// precedence as the kernel dispatch policy (PR 5): an explicit flag wins,
+// otherwise the DGEFMM_ALGO environment variable, otherwise the default
+// hand-tuned Winograd path.
+func AlgoFlag(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("algo", "",
+		"fast-algorithm table: a registered ⟨m,k,n⟩ table name, auto (per-shape selection), or default (empty defers to DGEFMM_ALGO, then the built-in Winograd path)")
+}

@@ -110,6 +110,16 @@ type Config struct {
 	// kernel's fused packing/write-out hooks (see FusedMode). The zero
 	// value auto-detects; DGEFMM_FUSED overrides auto per process.
 	Fused FusedMode
+	// Algo names the fast-algorithm coefficient table driving the
+	// recursion (internal/algo): "" or "default" for the paper's ⟨2,2,2⟩
+	// Winograd variant executed by the legacy hand-tuned schedules, "auto"
+	// for per-shape selection by operand aspect, or a registered table
+	// name ("classic", "323", "333", "424", …). When empty the DGEFMM_ALGO
+	// environment variable is consulted (PR 5 precedence: Config beats
+	// environment beats default). Non-default tables run through the
+	// generic table executor with generalized dynamic peeling; the
+	// Schedule, Odd and Parallel knobs apply only to the default path.
+	Algo string
 	// Tracker, if non-nil, accounts all temporary workspace words.
 	Tracker *memtrack.Tracker
 	// Parallel, if greater than 1, computes up to Parallel of the seven
@@ -174,14 +184,31 @@ func (p Params) Hybrid() Criterion {
 // GFLOPS the products dominate so the materialized adds were nearly free,
 // while the fused packers' two-source strided reads repeat per cache
 // block; fusion only wins once the re-read panels stay resident.
+// The "<kernel>/<algo>" rows are consulted when a non-default coefficient
+// table drives the recursion (Config.Algo / DGEFMM_ALGO); they come from
+// cmd/calibrate -algo sweeps on the development host (see EXPERIMENTS.md
+// for the methodology). The pattern across the rows: a table's crossover
+// scales inversely with its per-level speedup M·K·N/R — classic ⟨2,2,2⟩
+// (8/7, like Winograd but three more C passes) sits near the kernel's own
+// τ, ⟨3,2,3⟩ (18/17) and ⟨4,2,4⟩ (32/28) need larger blocks before their
+// thinner savings clear the O(n²) grid overhead, and ⟨3,3,3⟩ (27/26) only
+// pays on the biggest shapes in the measured range.
 var defaultParams = map[string]Params{
-	"simd":         {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
-	"simd+fused":   {Tau: 448, TauM: 288, TauK: 288, TauN: 288},
-	"packed":       {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
-	"packed+fused": {Tau: 136, TauM: 40, TauK: 84, TauN: 32},
-	"blocked":      {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
-	"vector":       {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
-	"naive":        {Tau: 44, TauM: 16, TauK: 24, TauN: 16},
+	"simd":           {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
+	"simd+fused":     {Tau: 448, TauM: 288, TauK: 288, TauN: 288},
+	"simd/classic":   {Tau: 512, TauM: 256, TauK: 256, TauN: 256},
+	"simd/323":       {Tau: 576, TauM: 312, TauK: 240, TauN: 312},
+	"simd/333":       {Tau: 768, TauM: 384, TauK: 384, TauN: 384},
+	"simd/424":       {Tau: 576, TauM: 320, TauK: 224, TauN: 320},
+	"packed":         {Tau: 88, TauM: 56, TauK: 68, TauN: 44},
+	"packed+fused":   {Tau: 136, TauM: 40, TauK: 84, TauN: 32},
+	"packed/classic": {Tau: 96, TauM: 56, TauK: 68, TauN: 44},
+	"packed/323":     {Tau: 120, TauM: 66, TauK: 56, TauN: 66},
+	"packed/333":     {Tau: 168, TauM: 84, TauK: 96, TauN: 84},
+	"packed/424":     {Tau: 128, TauM: 72, TauK: 48, TauN: 72},
+	"blocked":        {Tau: 96, TauM: 48, TauK: 64, TauN: 48},
+	"vector":         {Tau: 96, TauM: 64, TauK: 96, TauN: 48},
+	"naive":          {Tau: 44, TauM: 16, TauK: 24, TauN: 16},
 }
 
 // DefaultParams returns the calibrated cutoff parameters for a kernel name,
@@ -225,11 +252,22 @@ func (cfg *Config) kernel() blas.Kernel {
 // kernel's calibrated parameters, preferring the "<name>+fused" row when
 // the fused driver is active (its lower per-level overhead moves the
 // crossover).
-func (cfg *Config) criterion() Criterion {
+func (cfg *Config) criterion() Criterion { return cfg.criterionFor("") }
+
+// criterionFor resolves the cutoff for a specific algorithm table: the
+// "<kernel>/<algo>" calibrated row when one exists (each table's per-level
+// savings-to-overhead ratio moves its crossover), falling back to the
+// kernel's default-path resolution.
+func (cfg *Config) criterionFor(algoName string) Criterion {
 	if cfg.Criterion != nil {
 		return cfg.Criterion
 	}
 	name := cfg.kernel().Name()
+	if algoName != "" {
+		if p, ok := defaultParams[name+"/"+algoName]; ok {
+			return p.Hybrid()
+		}
+	}
 	if cfg.FusedActive() {
 		if p, ok := defaultParams[name+"+fused"]; ok {
 			return p.Hybrid()

@@ -213,6 +213,7 @@ func fusedTestConfig(mode FusedMode) (*Config, *kernel.Packed) {
 // criterion predicts, the kernel counts the fused calls, and pinned
 // schedules or FusedOff never engage.
 func TestFusedEngagementTrace(t *testing.T) {
+	skipIfAlgoPinned(t)
 	rng := rand.New(rand.NewSource(61))
 	run := func(mode FusedMode, sched Schedule, n int) (*CountTracer, *kernel.Packed) {
 		cfg, pk := fusedTestConfig(mode)
@@ -259,6 +260,7 @@ func TestFusedEngagementTrace(t *testing.T) {
 // two levels — it runs a materialized level and each child fuses its last
 // level instead.
 func TestFusedDestLimitGatesLevel2(t *testing.T) {
+	skipIfAlgoPinned(t)
 	pk := &kernel.Packed{MC: 16, KC: 12, NC: 16, Mode: kernel.ModeSIMD}
 	if pk.FusedDestLimit() >= 4 {
 		t.Skip("host has no SIMD dual-scatter tile; limit gate not reachable")
@@ -390,6 +392,7 @@ func TestFusedPlanMatchesMeasured(t *testing.T) {
 // TestFusedNoTemporaries pins the headline property: a multiply served
 // entirely by the fused driver allocates zero Strassen workspace words.
 func TestFusedNoTemporaries(t *testing.T) {
+	skipIfAlgoPinned(t)
 	rng := rand.New(rand.NewSource(63))
 	cfg, _ := fusedTestConfig(FusedOn)
 	tr := memtrack.New()

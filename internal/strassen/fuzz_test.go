@@ -22,6 +22,7 @@ func FuzzPeel(f *testing.F) {
 	f.Add(int64(4), byte(63), byte(64), byte(63), byte(3), byte(1), 1.0)
 	f.Add(int64(5), byte(2), byte(95), byte(1), byte(0), byte(1), 0.25)
 	f.Fuzz(func(t *testing.T, seed int64, mb, kb, nb, schedb, oddb byte, beta float64) {
+		skipIfAlgoPinned(t)
 		m, k, n := int(mb)%96+1, int(kb)%96+1, int(nb)%96+1
 		sched := []Schedule{ScheduleAuto, ScheduleStrassen1, ScheduleStrassen2, ScheduleOriginal}[int(schedb)%4]
 		odd := []OddStrategy{OddPeel, OddPeelFirst}[int(oddb)%2]

@@ -40,6 +40,7 @@ func measurePeak(t *testing.T, sched Schedule, m, k, n int, beta float64) int64 
 }
 
 func TestStrassen2MemoryBound(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// STRASSEN2: extra space ≤ (mk + kn + mn)/3 — m² in the square case.
 	for _, m := range []int{32, 64, 128} {
 		peak := measurePeak(t, ScheduleStrassen2, m, m, m, 0.5)
@@ -67,6 +68,7 @@ func TestStrassen2MemoryBoundRectangular(t *testing.T) {
 }
 
 func TestStrassen1MemoryBound(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// STRASSEN1 (β=0): extra space ≤ (m·max(k,n) + kn)/3 — 2m²/3 square.
 	for _, m := range []int{32, 64, 128} {
 		peak := measurePeak(t, ScheduleStrassen1, m, m, m, 0)
@@ -81,6 +83,7 @@ func TestStrassen1MemoryBound(t *testing.T) {
 }
 
 func TestStrassen1MemoryBoundRectangular(t *testing.T) {
+	skipIfAlgoPinned(t)
 	for _, dims := range [][3]int{{64, 32, 96}, {32, 128, 32}, {96, 48, 48}} {
 		m, k, n := dims[0], dims[1], dims[2]
 		peak := measurePeak(t, ScheduleStrassen1, m, k, n, 0)
@@ -97,7 +100,12 @@ func TestStrassen1MemoryBoundRectangular(t *testing.T) {
 
 func TestAutoScheduleMemoryMatchesTable1(t *testing.T) {
 	// DGEFMM (auto): 2m²/3 when β = 0, m² when β ≠ 0 — the last row of
-	// Table 1 and the paper's headline memory claim.
+	// Table 1 and the paper's headline memory claim. The claim is about
+	// the Winograd schedules; a table algorithm pinned via DGEFMM_ALGO
+	// has its own (larger) workspace model, covered by TestPlanForTables.
+	if sel := (&Config{}).AlgoSelection(); sel != "default" && sel != AlgoAuto {
+		t.Skipf("DGEFMM_ALGO pins %q; Table 1 bounds apply to the Winograd schedules", sel)
+	}
 	m := 96
 	peak0 := measurePeak(t, ScheduleAuto, m, m, m, 0)
 	if bound := int64(2*m*m) / 3; peak0 > bound {
@@ -132,6 +140,7 @@ func TestPeelingAddsNoWorkspace(t *testing.T) {
 }
 
 func TestDynamicPaddingUsesMoreMemoryThanPeeling(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// The paper's motivation for peeling: "no additional memory is needed
 	// when odd dimensions are encountered", unlike padding.
 	m := 65
@@ -151,6 +160,7 @@ func TestDynamicPaddingUsesMoreMemoryThanPeeling(t *testing.T) {
 }
 
 func TestWorkspaceBoundCoversMeasuredPeaks(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// The public accessor used to size batched per-worker arenas must
 	// dominate every measured peak: WorkspaceBound is what internal/batch
 	// asserts its arenas against, per worker, so it has to agree with the

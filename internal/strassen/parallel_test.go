@@ -48,6 +48,7 @@ func TestParallelCorrectAgainstReference(t *testing.T) {
 }
 
 func TestParallelTrackerBalanced(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// The shared tracker must see every parallel worker's allocation and
 	// end balanced.
 	rng := rand.New(rand.NewSource(403))

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/algo"
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/opcount"
@@ -17,6 +18,9 @@ import (
 // tolerance. Power-of-two shapes with MaxDepth pin the recursion so the
 // analytic side is well defined (no peeling, all leaves even).
 func TestPhaseCountersMatchAnalyticCounts(t *testing.T) {
+	if sel := (&strassen.Config{}).AlgoSelection(); sel != "default" {
+		t.Skipf("DGEFMM_ALGO pins %q; this test asserts the Winograd schedules' counts", sel)
+	}
 	if !phase.Enabled {
 		t.Skip("phase accounting compiled out (-tags phaseoff)")
 	}
@@ -55,6 +59,68 @@ func TestPhaseCountersMatchAnalyticCounts(t *testing.T) {
 		}
 		if got := snap[phase.StrassenPeel].Flops; got != 0 {
 			t.Errorf("n=%d d=%d: peel FLOPs = %d on even shapes", tc.n, tc.depth, got)
+		}
+	}
+}
+
+// The table-driven recursion carries the same attribution contract as the
+// hand-coded schedules: measured per-phase FLOPs equal opcount.TableCounts
+// exactly, for every non-default built-in table, on grid-divisible shapes
+// with the depth pinned and fusion off (the analytic model's validity
+// window).
+func TestTablePhaseCountersMatchAnalytic(t *testing.T) {
+	if !phase.Enabled {
+		t.Skip("phase accounting compiled out (-tags phaseoff)")
+	}
+	for _, tc := range []struct {
+		algo    string
+		m, k, n int
+		depth   int
+	}{
+		{"classic", 16, 16, 16, 2},
+		{"323", 18, 8, 18, 1},
+		{"323", 18, 8, 18, 2},
+		{"333", 18, 18, 18, 2},
+		{"424", 32, 8, 32, 2},
+	} {
+		tbl, ok := algo.ByName(tc.algo)
+		if !ok {
+			t.Fatalf("table %s not registered", tc.algo)
+		}
+		prof := &phase.Profiler{}
+		prev := phase.SetActive(prof)
+
+		rng := rand.New(rand.NewSource(13))
+		a := matrix.NewRandom(tc.m, tc.k, rng)
+		b := matrix.NewRandom(tc.k, tc.n, rng)
+		c := matrix.NewDense(tc.m, tc.n)
+		cfg := &strassen.Config{
+			Criterion: strassen.Always{},
+			MaxDepth:  tc.depth,
+			Fused:     strassen.FusedOff,
+			Algo:      tc.algo,
+		}
+		strassen.Multiply(cfg, c, blas.NoTrans, blas.NoTrans, 1, a, b, 0)
+		phase.SetActive(prev)
+
+		snap := prof.Snapshot()
+		want := opcount.TableCounts(tbl, tc.depth, tc.m, tc.k, tc.n)
+		mul := snap[phase.KernelMicro].Flops + snap[phase.KernelFringe].Flops
+		if mul != want.Mul {
+			t.Errorf("%s (%d,%d,%d) d=%d: kernel FLOPs = %d, analytic %d",
+				tc.algo, tc.m, tc.k, tc.n, tc.depth, mul, want.Mul)
+		}
+		if got := snap[phase.StrassenAddSub].Flops; got != want.AddSub {
+			t.Errorf("%s (%d,%d,%d) d=%d: addsub FLOPs = %d, analytic %d",
+				tc.algo, tc.m, tc.k, tc.n, tc.depth, got, want.AddSub)
+		}
+		if got := snap[phase.StrassenQuadrant].Flops; got != want.Quadrant {
+			t.Errorf("%s (%d,%d,%d) d=%d: quadrant FLOPs = %d, analytic %d",
+				tc.algo, tc.m, tc.k, tc.n, tc.depth, got, want.Quadrant)
+		}
+		if got := snap[phase.StrassenPeel].Flops; got != 0 {
+			t.Errorf("%s (%d,%d,%d) d=%d: peel FLOPs = %d on divisible shapes",
+				tc.algo, tc.m, tc.k, tc.n, tc.depth, got)
 		}
 	}
 }

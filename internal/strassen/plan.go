@@ -1,5 +1,7 @@
 package strassen
 
+import "repro/internal/algo"
+
 // This file adds shape plans on top of the recursion: a Plan freezes every
 // decision DGEFMM would make for one (m, k, n, β-class) shape — the cutoff
 // verdict at each level, the peel/pad actions, the recursion depth and the
@@ -80,8 +82,14 @@ type Plan struct {
 	// workspace (naive, vector, blocked).
 	KernelWords int64
 	// TopSchedule is the schedule the top level resolves to (auto resolved
-	// to STRASSEN1 or STRASSEN2 by β).
+	// to STRASSEN1 or STRASSEN2 by β). On a table-driven plan it reports
+	// the schedule the default path would have used; the executor is the
+	// table named in Algo instead.
 	TopSchedule Schedule
+	// Algo is the coefficient table the plan simulates ("" for the default
+	// hand-coded Winograd path), resolved from the planned Config exactly
+	// as DGEFMM resolves it (including per-shape auto-selection).
+	Algo string
 
 	decisions map[[3]int]bool
 	fallback  Criterion
@@ -98,11 +106,19 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 	if cfg.Parallel > 1 && parLevels == 0 {
 		parLevels = 1
 	}
+	tbl := cfg.resolveAlgo(m, k, n)
+	crit := cfg.criterion()
+	if tbl != nil {
+		crit = cfg.criterionFor(tbl.Name)
+	}
 	p := &Plan{
 		M: m, N: n, K: k, BetaZero: betaZero,
 		TopSchedule: resolveSchedule(cfg.Schedule, betaZero),
 		decisions:   make(map[[3]int]bool),
-		fallback:    cfg.criterion(),
+		fallback:    crit,
+	}
+	if tbl != nil {
+		p.Algo = tbl.Name
 	}
 	s := &planSim{
 		crit:      p.fallback,
@@ -111,6 +127,7 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 		maxDepth:  cfg.MaxDepth,
 		parallel:  cfg.Parallel,
 		parLevels: parLevels,
+		tbl:       tbl,
 		plan:      p,
 		memo:      make(map[planKey]simResult),
 	}
@@ -127,9 +144,12 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 		}
 	}
 	var r simResult
-	if cfg.Odd == OddPadStatic {
+	switch {
+	case tbl != nil:
+		r = s.simTable(m, k, n, betaZero, 0)
+	case cfg.Odd == OddPadStatic:
 		r = s.simStatic(m, k, n, betaZero)
-	} else {
+	default:
 		r = s.sim(m, k, n, betaZero, 0)
 	}
 	p.Words, p.KernelWords = r.words, r.kernel
@@ -218,6 +238,7 @@ type planSim struct {
 	maxDepth  int
 	parallel  int
 	parLevels int
+	tbl       *algo.Table // non-nil for a table-driven plan (simTable runs)
 	plan      *Plan
 	leaf      func(m, n, k int) int64 // nil for kernels without accounted workspace
 	fused     bool                    // kernel has the fused hooks and the mode is not off
@@ -367,6 +388,72 @@ func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) simResult {
 		}
 		return simResult{words: own + w1.words, kernel: w1.kernel}
 	}
+}
+
+// tableRecurse mirrors engine.tableRecurse on the recorded decision table.
+func (s *planSim) tableRecurse(m, k, n, depth int) bool {
+	return m >= s.tbl.M && k >= s.tbl.K && n >= s.tbl.N &&
+		(s.maxDepth == 0 || depth < s.maxDepth) &&
+		s.decide(m, k, n)
+}
+
+// simTable mirrors engine.tableMul: cutoff test, generalized peeling,
+// then one table level — with the same memoized exact accounting as sim.
+// A table level allocates the S/T/P triple (mq·kq + kq·nq + mq·nq) unless
+// it fuses (no Strassen temporaries, one kernel leaf at the block shape);
+// wide peel remainders add base-case GEMM leaves on the kernel axis (the
+// rank-one DGER/DGEMV fixups draw nothing, as on the default path).
+func (s *planSim) simTable(m, k, n int, betaZero bool, depth int) simResult {
+	if m == 0 || n == 0 || k == 0 {
+		return simResult{}
+	}
+	key := planKey{m: m, k: k, n: n, betaZero: betaZero, depth: depth}
+	if r, ok := s.memo[key]; ok {
+		return r
+	}
+	var r simResult
+	if !s.tableRecurse(m, k, n, depth) {
+		if s.leaf != nil {
+			r.kernel = s.leaf(m, n, k)
+		}
+		s.memo[key] = r
+		return r
+	}
+	if depth+1 > s.plan.Depth {
+		s.plan.Depth = depth + 1
+	}
+	t := s.tbl
+	me, ke, ne := m-m%t.M, k-k%t.K, n-n%t.N
+	mq, kq, nq := me/t.M, ke/t.K, ne/t.N
+	if s.fused && s.sched == ScheduleAuto && !s.tableRecurse(mq, kq, nq, depth+1) &&
+		tableFusable(t, s.destLimit) {
+		if s.leaf != nil {
+			r.kernel = s.leaf(mq, nq, kq)
+		}
+	} else {
+		own := int64(mq)*int64(kq) + int64(kq)*int64(nq) + int64(mq)*int64(nq)
+		child := s.simTable(mq, kq, nq, true, depth+1)
+		r.words = own + child.words
+		r.kernel = child.kernel
+	}
+	if s.leaf != nil {
+		// The wide peel fixups run after the core level's temporaries are
+		// freed; each is one kernel leaf, so only the kernel peak can move.
+		// A remainder of exactly 1 repairs with DGER/DGEMV (no draw).
+		for _, fix := range []struct{ rem, m, n, k int }{
+			{k - ke, me, ne, k - ke}, // inner-dimension repair into the core
+			{n - ne, me, n - ne, k},  // peeled columns
+			{m - me, m - me, n, k},   // peeled rows
+		} {
+			if fix.rem > 1 {
+				if w := s.leaf(fix.m, fix.n, fix.k); w > r.kernel {
+					r.kernel = w
+				}
+			}
+		}
+	}
+	s.memo[key] = r
+	return r
 }
 
 // simStatic mirrors staticPadMul: predict the depth, pad once to a multiple

@@ -43,6 +43,7 @@ func runCounted(t *testing.T, m, k, n int, crit Criterion, maxDepth int, beta fl
 }
 
 func TestSevenMultipliesPerLevel(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// Power-of-two sizes, no peeling: exactly 7^d base multiplies.
 	for d := 1; d <= 3; d++ {
 		m := 8 << uint(d)
@@ -64,6 +65,7 @@ func TestSevenMultipliesPerLevel(t *testing.T) {
 }
 
 func TestSevenMultipliesGeneralBeta(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// STRASSEN2 (β≠0) must also use exactly 7 multiplies per level.
 	ck := runCounted(t, 32, 32, 32, Always{}, 1, 0.5)
 	if ck.calls != 7 {
@@ -82,6 +84,7 @@ func TestNoCutoffMeansOneBaseCall(t *testing.T) {
 }
 
 func TestPeelingKeepsSevenCoreMultiplies(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// Odd size at depth 1: the even core splits into 7 products; the
 	// peeled borders are handled by DGER/DGEMV, NOT by extra kernel calls.
 	ck := runCounted(t, 33, 33, 33, Always{}, 1, 0)
@@ -96,6 +99,7 @@ func TestPeelingKeepsSevenCoreMultiplies(t *testing.T) {
 }
 
 func TestOriginalVariantAlsoSevenMultiplies(t *testing.T) {
+	skipIfAlgoPinned(t)
 	ck := &countingKernel{inner: blas.NaiveKernel{}}
 	cfg := &Config{Kernel: ck, Criterion: Always{}, MaxDepth: 1, Schedule: ScheduleOriginal}
 	rng := rand.New(rand.NewSource(9))
@@ -110,6 +114,7 @@ func TestOriginalVariantAlsoSevenMultiplies(t *testing.T) {
 }
 
 func TestRectangularRecursionDims(t *testing.T) {
+	skipIfAlgoPinned(t)
 	// A rectangular one-level split must produce products of exactly
 	// (m/2, k/2, n/2).
 	ck := runCounted(t, 16, 24, 40, Always{}, 1, 0)

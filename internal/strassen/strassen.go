@@ -1,6 +1,7 @@
 package strassen
 
 import (
+	"repro/internal/algo"
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
@@ -46,9 +47,14 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 	if cfg.Parallel > 1 && parLevels == 0 {
 		parLevels = 1
 	}
+	tbl := cfg.resolveAlgo(m, k, n)
+	crit := cfg.criterion()
+	if tbl != nil {
+		crit = cfg.criterionFor(tbl.Name)
+	}
 	e := &engine{
 		kern:      cfg.kernel(),
-		crit:      cfg.criterion(),
+		crit:      crit,
 		sched:     cfg.Schedule,
 		odd:       cfg.Odd,
 		maxDepth:  cfg.MaxDepth,
@@ -57,6 +63,7 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 		parLevels: parLevels,
 		tracer:    cfg.Tracer,
 		prof:      phase.Active(),
+		tbl:       tbl,
 	}
 	if st, ok := cfg.Tracer.(SpanTracer); ok {
 		e.spans = st
@@ -65,6 +72,12 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 		if fk, ok := e.kern.(fusedKernel); ok {
 			e.fk = fk
 		}
+	}
+	if e.tbl != nil {
+		// Table-driven recursion (see table.go): generalized peeling only —
+		// the pad strategies and parallel schedule stay default-path.
+		e.tableMul(cm, av, bv, alpha, beta, 0)
+		return
 	}
 	if e.odd == OddPadStatic {
 		e.staticPadMul(cm, av, bv, alpha, beta)
@@ -125,6 +138,10 @@ type engine struct {
 	// kernel lacks the hooks or the fused mode is off); the auto schedule
 	// routes its last levels through it. See fused.go.
 	fk fusedKernel
+	// tbl is the coefficient table driving a non-default recursion (nil on
+	// the default path, where the hand-coded Winograd schedules run). See
+	// table.go.
+	tbl *algo.Table
 }
 
 // mul computes c ← alpha*a*b + beta*c where a is m×k and b is k×n (both as

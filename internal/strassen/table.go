@@ -1,0 +1,311 @@
+package strassen
+
+// Table-driven recursion: the generalization of the hand-coded Winograd
+// schedules to any verified ⟨M, K, N⟩ coefficient table (internal/algo).
+// One level splits A into an M×K block grid, B into K×N and C into M×N,
+// forms each product's operands from the table's U/V columns, recurses,
+// and accumulates through the W column — structurally the "original"
+// schedule (three temporaries, β applied once up front) with the seven
+// hard-coded products replaced by the table's R. The default path (no
+// algorithm selected) never enters this file: the legacy schedules remain
+// the ⟨2,2,2⟩ Winograd executor, and the classic ⟨2,2,2⟩ table run
+// through this executor reproduces the original schedule bit for bit
+// (table_test.go pins it), which is the proof the machinery is faithful.
+//
+// Odd dimensions use generalized dynamic peeling: strip m mod M rows,
+// k mod K inner terms and n mod N columns, then repair with the legacy
+// DGER/DGEMV fixups when the remainder is a single row/column (bitwise
+// the paper's Section 3.3 fixups) and with base-case GEMM calls for the
+// wider remainders rectangular grids produce.
+
+import (
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/blas"
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/phase"
+)
+
+// tableRecurse is the recursion test of the table-driven path: the grid
+// must fit and the criterion (and depth bound) must ask for recursion —
+// engine.mul's test with the 2×2×2 grid floor generalized to the table's.
+func (e *engine) tableRecurse(m, k, n, depth int) bool {
+	return m >= e.tbl.M && k >= e.tbl.K && n >= e.tbl.N &&
+		(e.maxDepth == 0 || depth < e.maxDepth) &&
+		e.crit.Recurse(m, k, n)
+}
+
+// tableMul mirrors engine.mul for the table-driven recursion: cutoff
+// test, then generalized peeling, then one table level. The pad
+// strategies and the parallel schedule apply only to the default path.
+func (e *engine) tableMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		scaleInPlace(c, beta)
+		return
+	}
+	if !e.tableRecurse(m, k, n, depth) {
+		done := e.trace(depth, m, k, n, "base")
+		e.baseGemm(c, a, b, alpha, beta)
+		done()
+		return
+	}
+	done := noopDone
+	if m%e.tbl.M|k%e.tbl.K|n%e.tbl.N != 0 {
+		done = e.trace(depth, m, k, n, "peel")
+	}
+	e.tablePeelMul(c, a, b, alpha, beta, depth)
+	done()
+}
+
+// tablePeelMul generalizes dynamic peeling to an M×K×N grid: one table
+// level on the largest grid-divisible core, then border repairs in the
+// legacy fixup order (inner dimension into the core, peeled columns,
+// peeled rows). A remainder of exactly 1 reuses the paper's DGER/DGEMV
+// fixups bit for bit; wider remainders run one base-case GEMM each.
+func (e *engine) tablePeelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	me := m - m%e.tbl.M
+	ke := k - k%e.tbl.K
+	ne := n - n%e.tbl.N
+
+	coreA := a.Slice(0, 0, me, ke)
+	coreB := b.Slice(0, 0, ke, ne)
+	coreC := c.Slice(0, 0, me, ne)
+	e.tableLevel(coreC, coreA, coreB, alpha, beta, depth)
+
+	if k != ke {
+		if k-ke == 1 {
+			done := e.trace(depth, m, k, n, "fixup-ger")
+			s := e.prof.Begin(phase.StrassenPeel)
+			x, incX := colVec(a, ke)
+			y, incY := rowVec(b, ke)
+			blas.Dger(me, ne, alpha, x, incX, y, incY, coreC.Data, coreC.Stride)
+			s.End(2*int64(me)*int64(ne), 8*(int64(me)+int64(ne)+2*int64(me)*int64(ne)))
+			done()
+		} else {
+			done := e.trace(depth, m, k, n, "fixup-gemm-k")
+			e.baseGemm(coreC, a.Slice(0, ke, me, k-ke), b.Slice(ke, 0, k-ke, ne), alpha, 1)
+			done()
+		}
+	}
+	if n != ne {
+		if n-ne == 1 {
+			done := e.trace(depth, m, k, n, "fixup-col")
+			s := e.prof.Begin(phase.StrassenPeel)
+			aTop := a.Slice(0, 0, me, k)
+			x, incX := colVec(b, ne)
+			e.gemvN(aTop, alpha, x, incX, beta, c.Data[ne*c.Stride:], 1)
+			s.End(2*int64(me)*int64(k), 8*(int64(me)*int64(k)+int64(k)+2*int64(me)))
+			done()
+		} else {
+			done := e.trace(depth, m, k, n, "fixup-gemm-n")
+			e.baseGemm(c.Slice(0, ne, me, n-ne), a.Slice(0, 0, me, k), b.Slice(0, ne, k, n-ne), alpha, beta)
+			done()
+		}
+	}
+	if m != me {
+		if m-me == 1 {
+			done := e.trace(depth, m, k, n, "fixup-row")
+			s := e.prof.Begin(phase.StrassenPeel)
+			x, incX := rowVec(a, me)
+			e.gemvT(b, alpha, x, incX, beta, c.Data[me:], c.Stride)
+			s.End(2*int64(k)*int64(n), 8*(int64(k)*int64(n)+int64(k)+2*int64(n)))
+			done()
+		} else {
+			done := e.trace(depth, m, k, n, "fixup-gemm-m")
+			e.baseGemm(c.Slice(me, 0, m-me, n), a.Slice(me, 0, m-me, k), b.Slice(0, 0, k, n), alpha, beta)
+			done()
+		}
+	}
+}
+
+// tableLevel applies one level of the table on a grid-divisible problem:
+// pre-scale C by β once, then for each product form the operands (S and
+// T temporaries, or a raw block view for single +1 terms), recurse with
+// β = 0 into the product buffer, and accumulate it into the W column's
+// destinations — the original schedule's structure for arbitrary tables.
+// When the children are base cases and the kernel's fused hooks can carry
+// the table's term counts and fan-out, the whole level streams through
+// FusedMulAdd instead and allocates nothing.
+func (e *engine) tableLevel(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
+	t := e.tbl
+	m, k, n := a.Rows, a.Cols, b.Cols
+	mq, kq, nq := m/t.M, k/t.K, n/t.N
+
+	if e.fk != nil && e.sched == ScheduleAuto && !e.tableRecurse(mq, kq, nq, depth+1) &&
+		tableFusable(t, e.fusedDestLimit()) {
+		done := e.trace(depth, m, k, n, "fused1")
+		e.fusedTable(c, a, b, alpha, beta, mq, kq, nq)
+		done()
+		return
+	}
+	done := e.trace(depth, m, k, n, "table")
+	defer done()
+
+	aBlk := func(i int) matrix.View { return a.Slice(i/t.K*mq, i%t.K*kq, mq, kq) }
+	bBlk := func(i int) matrix.View { return b.Slice(i/t.N*kq, i%t.N*nq, kq, nq) }
+	quads := make([]*matrix.Dense, t.M*t.N)
+	for i := range quads {
+		quads[i] = c.Slice(i/t.N*mq, i%t.N*nq, mq, nq)
+	}
+	e.phScaleQuads(quads, beta)
+
+	s := e.allocMat(mq, kq)
+	defer e.freeMat(s)
+	tt := e.allocMat(kq, nq)
+	defer e.freeMat(tt)
+	p := e.allocMat(mq, nq)
+	defer e.freeMat(p)
+
+	d := depth + 1
+	sv, tv, pv := matrix.ViewOf(s), matrix.ViewOf(tt), matrix.ViewOf(p)
+	for r := 0; r < t.R; r++ {
+		av := e.formOperand(s, sv, t.ATerms(r), aBlk)
+		bw := e.formOperand(tt, tv, t.BTerms(r), bBlk)
+		e.tableMul(p, av, bw, alpha, 0, d)
+		for _, tm := range t.CTerms(r) {
+			switch tm.Coeff {
+			case 1:
+				e.phAddAssign(phQ, quads[tm.Block], pv)
+			case -1:
+				e.phSubAssign(phQ, quads[tm.Block], pv)
+			default:
+				e.phAccum(phQ, quads[tm.Block], tm.Coeff, pv)
+			}
+		}
+	}
+}
+
+// formOperand materializes one table column's linear combination of
+// blocks into dst, or returns the block view directly for a single +1
+// term (zero-cost, as the hand-coded schedules pass bare quadrants). Two
+// leading ±1 terms start with one Add/Sub pass — a +1/−1 pair computes
+// plus − minus regardless of column order, matching the hand-coded
+// phSub call sites exactly — and every further term is one accumulate
+// pass (two ops per element for a general coefficient).
+// internal/opcount's operandPasses mirrors these choices pass for pass;
+// change them together.
+func (e *engine) formOperand(dst *matrix.Dense, dstView matrix.View, terms []algo.Term, blk func(int) matrix.View) matrix.View {
+	if len(terms) == 1 && terms[0].Coeff == 1 {
+		return blk(terms[0].Block)
+	}
+	i := 1
+	switch {
+	case len(terms) >= 2 && terms[0].Coeff == 1 && terms[1].Coeff == 1:
+		e.phAdd(phAS, dst, blk(terms[0].Block), blk(terms[1].Block))
+		i = 2
+	case len(terms) >= 2 && terms[0].Coeff == 1 && terms[1].Coeff == -1:
+		e.phSub(phAS, dst, blk(terms[0].Block), blk(terms[1].Block))
+		i = 2
+	case len(terms) >= 2 && terms[0].Coeff == -1 && terms[1].Coeff == 1:
+		e.phSub(phAS, dst, blk(terms[1].Block), blk(terms[0].Block))
+		i = 2
+	default:
+		e.phScaleCopy(phAS, dst, terms[0].Coeff, blk(terms[0].Block))
+	}
+	for ; i < len(terms); i++ {
+		switch terms[i].Coeff {
+		case 1:
+			e.phAddAssign(phAS, dst, blk(terms[i].Block))
+		case -1:
+			e.phSubAssign(phAS, dst, blk(terms[i].Block))
+		default:
+			e.phAccum(phAS, dst, terms[i].Coeff, blk(terms[i].Block))
+		}
+	}
+	return dstView
+}
+
+// phScaleCopy brackets dst ← g·x (one multiply per element; a pure copy
+// when g = 1).
+func (e *engine) phScaleCopy(id phase.ID, dst *matrix.Dense, g float64, x matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.Axpby(dst, g, x, 0)
+	flops := elems(dst)
+	if g == 1 {
+		flops = 0
+	}
+	s.End(flops, 16*elems(dst))
+}
+
+// phAccum brackets dst ← g·x + dst (a multiply and an add per element).
+func (e *engine) phAccum(id phase.ID, dst *matrix.Dense, g float64, x matrix.View) {
+	s := e.prof.Begin(id)
+	matrix.Axpby(dst, g, x, 1)
+	s.End(2*elems(dst), 24*elems(dst))
+}
+
+// tableFusable reports whether a table's products fit the kernel's fused
+// hooks: ±1 coefficients (the hooks' bitwise contract), at most 4 operand
+// terms (the packers' capacity) and a destination fan-out within the
+// kernel's native write-out limit.
+func tableFusable(t *algo.Table, destLimit int) bool {
+	ops, dests := t.MaxTerms()
+	if destLimit > 4 {
+		destLimit = 4
+	}
+	return ops <= 4 && dests <= destLimit && t.PlusMinusOne()
+}
+
+// tableRecords caches each table's fused record list (derived once; the
+// records only depend on the table, which is immutable).
+var tableRecords sync.Map // *algo.Table → []fusedRecord
+
+// tableFusedRecords derives the fused record list from a table's term
+// lists: block indices become grid coordinates on the table's own grids
+// (fusedLevel1 is exactly this derivation applied to the classic table).
+func tableFusedRecords(t *algo.Table) []fusedRecord {
+	if recs, ok := tableRecords.Load(t); ok {
+		return recs.([]fusedRecord)
+	}
+	grid := func(terms []algo.Term, cols int) []fusedTerm {
+		out := make([]fusedTerm, len(terms))
+		for i, tm := range terms {
+			out[i] = fusedTerm{r: tm.Block / cols, c: tm.Block % cols, g: tm.Coeff}
+		}
+		return out
+	}
+	recs := make([]fusedRecord, t.R)
+	for r := 0; r < t.R; r++ {
+		recs[r] = fusedRecord{
+			a:   grid(t.ATerms(r), t.K),
+			b:   grid(t.BTerms(r), t.N),
+			dst: grid(t.CTerms(r), t.N),
+		}
+	}
+	tableRecords.Store(t, recs)
+	return recs
+}
+
+// fusedTable streams one table level through the kernel's fused hooks —
+// fusedWinograd generalized from the 2^levels square grid to the table's
+// M×K / K×N / M×N grids. β is applied once up front; no Strassen
+// temporaries are allocated.
+func (e *engine) fusedTable(c *matrix.Dense, a, b matrix.View, alpha, beta float64, mq, kq, nq int) {
+	e.phScaleQuads([]*matrix.Dense{c}, beta)
+	var at, bt [4]kernel.Term
+	var dt [4]kernel.Dest
+	aOp := kernel.Operand{Ld: a.Stride, Trans: a.Trans}
+	bOp := kernel.Operand{Ld: b.Stride, Trans: b.Trans}
+	for _, rec := range tableFusedRecords(e.tbl) {
+		for i, t := range rec.a {
+			at[i] = kernel.Term{Data: a.Slice(t.r*mq, t.c*kq, mq, kq).Data, Coeff: t.g}
+		}
+		for i, t := range rec.b {
+			bt[i] = kernel.Term{Data: b.Slice(t.r*kq, t.c*nq, kq, nq).Data, Coeff: t.g}
+		}
+		for i, t := range rec.dst {
+			q := c.Slice(t.r*mq, t.c*nq, mq, nq)
+			dt[i] = kernel.Dest{Data: q.Data, Ld: q.Stride, Coeff: t.g}
+		}
+		aOp.Terms = at[:len(rec.a)]
+		bOp.Terms = bt[:len(rec.b)]
+		e.fk.FusedMulAdd(mq, nq, kq, alpha, aOp, bOp, dt[:len(rec.dst)])
+	}
+}

@@ -32,6 +32,7 @@ func TestTraceBaseOnly(t *testing.T) {
 }
 
 func TestTraceOneLevelEven(t *testing.T) {
+	skipIfAlgoPinned(t)
 	tr := tracedRun(t, 32, 32, 32, &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1})
 	if tr.Count("strassen1") != 1 {
 		t.Fatalf("want 1 schedule event: %s", tr)
@@ -48,6 +49,7 @@ func TestTraceOneLevelEven(t *testing.T) {
 }
 
 func TestTraceOddFixups(t *testing.T) {
+	skipIfAlgoPinned(t)
 	tr := tracedRun(t, 33, 33, 33, &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1})
 	if tr.Count("peel") != 1 {
 		t.Fatalf("want a peel event: %s", tr)
@@ -60,6 +62,7 @@ func TestTraceOddFixups(t *testing.T) {
 }
 
 func TestTraceOnlyKOdd(t *testing.T) {
+	skipIfAlgoPinned(t)
 	tr := tracedRun(t, 32, 33, 32, &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1})
 	if tr.Count("fixup-ger") != 1 || tr.Count("fixup-col") != 0 || tr.Count("fixup-row") != 0 {
 		t.Fatalf("k-odd should fire only the rank-one fixup: %s", tr)
@@ -67,6 +70,7 @@ func TestTraceOnlyKOdd(t *testing.T) {
 }
 
 func TestTraceDepthTwo(t *testing.T) {
+	skipIfAlgoPinned(t)
 	tr := tracedRun(t, 64, 64, 64, &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 2})
 	if tr.Count("base") != 49 {
 		t.Fatalf("want 49 base products at depth 2: %s", tr)
@@ -80,6 +84,7 @@ func TestTraceDepthTwo(t *testing.T) {
 }
 
 func TestTraceSchedulesNamed(t *testing.T) {
+	skipIfAlgoPinned(t)
 	cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1, Schedule: ScheduleOriginal}
 	tr := tracedRun(t, 16, 16, 16, cfg)
 	if tr.Count("original") != 1 {
@@ -99,6 +104,7 @@ func TestTraceSchedulesNamed(t *testing.T) {
 }
 
 func TestTraceParallelEvents(t *testing.T) {
+	skipIfAlgoPinned(t)
 	cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1, Parallel: 4}
 	tr := tracedRun(t, 32, 32, 32, cfg)
 	if tr.Count("parallel") != 1 {
@@ -110,6 +116,7 @@ func TestTraceParallelEvents(t *testing.T) {
 }
 
 func TestLogTracerOrderSequential(t *testing.T) {
+	skipIfAlgoPinned(t)
 	lt := &LogTracer{}
 	cfg := &Config{Kernel: blas.NaiveKernel{}, Criterion: Always{}, MaxDepth: 1, Tracer: lt}
 	rng := rand.New(rand.NewSource(6))
