@@ -196,6 +196,14 @@ func runSuite(reps int) map[string]float64 {
 	if obs.PerfAvailable() {
 		m["perf.multiply.256.ipc"] = perfIPC(256, reps)
 	}
+	// The multi-core task-runtime family exists only where the host can
+	// actually run tasks in parallel; a 1-CPU measurement would freeze
+	// scheduler overhead as if it were parallel throughput.
+	if runtime.NumCPU() > 1 {
+		for name, v := range parSuite(reps) {
+			m[name] = v
+		}
+	}
 	if simd := blas.KernelByName("simd"); simd != nil {
 		m["kernel.simd.512.gflops"] = kernelGflops("kernel.simd.512.gflops", simd, 512, reps)
 		m["kernel.simd.256.gflops"] = kernelGflops("kernel.simd.256.gflops", simd, 256, reps)
@@ -241,6 +249,13 @@ func suiteRequires() map[string]string {
 		"serve.p50_ms":         "multicore",
 		"serve.p99_ms":         "multicore",
 		"serve.coalesce_ratio": "multicore",
+		// The task-runtime family is only measured on multicore hosts (see
+		// runSuite); a single-core host SKIPs it against any baseline.
+		"par.multiply.256.gflops": "multicore",
+		"par.multiply.512.gflops": "multicore",
+		"par.scale.1.gflops":      "multicore",
+		"par.scale.2.speedup":     "multicore",
+		"par.scale.4.speedup":     "multicore",
 	}
 	if blas.KernelByName("simd") != nil {
 		req["multiply.256.gflops"] = "simd"

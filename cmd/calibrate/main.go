@@ -24,6 +24,9 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/blas"
@@ -47,6 +50,7 @@ func main() {
 		rectHi     = flag.Int("rect-hi", 128, "rectangular sweep: high value")
 		rectSt     = flag.Int("rect-step", 4, "rectangular sweep: step")
 		fixed      = flag.Int("fixed", 512, "rectangular sweep: the two fixed (large) dimensions")
+		coresFlag  = flag.String("cores", "", "comma-separated worker counts for the parallel crossover sweep (or \"auto\" = powers of two up to GOMAXPROCS); rows install under \"<kernel>@<cores>\"")
 		seed       = flag.Int64("seed", 1, "RNG seed for the test matrices")
 		verbose    = flag.Bool("v", false, "print the full square ratio curve (Figure 2 data)")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file when done")
@@ -61,6 +65,12 @@ func main() {
 	fusedMode, err := strassen.ParseFusedMode(*fusedFlag)
 	if err != nil {
 		slog.Error("bad -fused", "err", err)
+		os.Exit(2)
+	}
+
+	coreCounts, err := parseCores(*coresFlag)
+	if err != nil {
+		slog.Error("bad -cores", "err", err)
 		os.Exit(2)
 	}
 
@@ -147,6 +157,40 @@ func main() {
 		cur := strassen.DefaultParams(paramsKey)
 		fmt.Printf("  current defaults: τ=%d τm=%d τk=%d τn=%d\n", cur.Tau, cur.TauM, cur.TauK, cur.TauN)
 
+		// The -cores sweep re-measures the square crossover with both arms
+		// parallel — the threaded kernel against a one-level seven-product
+		// DAG on a c-worker runtime — because τ is a function of the worker
+		// count: the DAG arm's speedup saturates at 7 tasks while the
+		// threaded kernel's keeps scaling, so the crossover moves with c.
+		// Rows install under "<kernel>@<cores>"; the rectangular parameters
+		// are carried over from the sequential sweep above (the thin-
+		// dimension crossovers are kernel-bound, not schedule-bound).
+		for _, c := range coreCounts {
+			if c < 2 {
+				continue // the sequential row above covers one core
+			}
+			ctau, cpts := cutoff.SquareCutoffCores(kern, c, *sqLo, *sqHi, *sqStep, *seed+int64(c))
+			if *verbose {
+				for _, pt := range cpts {
+					marker := ""
+					if pt.Ratio > 1 {
+						marker = "  <- parallel Strassen wins"
+					}
+					fmt.Printf("  m=%4d  DGEMM(%d cores)/DGEFMM(1 level, %d workers) = %.4f%s\n", pt.Dim, c, c, pt.Ratio, marker)
+				}
+			}
+			coresKey := fmt.Sprintf("%s@%d", name, c)
+			if algoName != "default" && algoName != strassen.AlgoAuto {
+				coresKey += "/" + algoName
+			}
+			if col != nil {
+				col.Registry.Gauge("calibrate." + coresKey + ".tau").Set(int64(ctau))
+			}
+			fmt.Printf("  @%d cores: τ=%d (τm/τk/τn carried from the sequential sweep)\n", c, ctau)
+			fmt.Printf("  apply with: strassen.SetDefaultParams(%q, strassen.Params{Tau: %d, TauM: %d, TauK: %d, TauN: %d})\n",
+				coresKey, ctau, p.TauM, p.TauK, p.TauN)
+		}
+
 		// Kernels with fused packing/write-out hooks get a second sweep with
 		// the one-level arm running fused; its (lower) crossover installs
 		// under the "<kernel>+fused" parameter key.
@@ -192,6 +236,35 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// parseCores parses the -cores list: a comma-separated set of worker
+// counts, or "auto" for powers of two up to GOMAXPROCS (always including
+// GOMAXPROCS itself when it is above one).
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "auto" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for c := 2; c < max; c *= 2 {
+			out = append(out, c)
+		}
+		if max > 1 {
+			out = append(out, max)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // calibrateBlocks times the packed kernel over a grid of (MC, KC)

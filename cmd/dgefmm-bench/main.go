@@ -13,7 +13,7 @@
 //	                                 # batched-pool vs sequential-loop throughput
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4
-// fig5 fig6 ablations.
+// fig5 fig6 model stability parallel ablations.
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, ablations) or 'all'")
+		expFlag      = flag.String("exp", "all", "comma-separated experiments (table1..table6, fig2..fig6, model, stability, parallel, ablations) or 'all'")
 		quick        = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		mFlag        = flag.Int("m", 0, "matrix order override for table1")
 		nFlag        = flag.Int("n", 0, "matrix order override for table6 (eigensolver)")
@@ -147,6 +147,15 @@ func main() {
 		"table6":    func() { experiments.Table6(w, *nFlag, sc) },
 		"model":     func() { experiments.Model(w, sc) },
 		"stability": func() { experiments.Stability(w, 0, 0, sc) },
+		"parallel": func() {
+			rows := experiments.ParallelScaling(w, *mFlag, sc)
+			if col == nil {
+				return
+			}
+			for _, r := range rows {
+				col.Registry.FloatGauge(fmt.Sprintf("parallel.speedup.w%d", r.Workers)).Set(r.Speedup)
+			}
+		},
 		"ablations": func() {
 			experiments.AblationKernels(w, sc)
 			fmt.Fprintln(w)
@@ -164,7 +173,7 @@ func main() {
 		},
 	}
 	order := []string{"table1", "fig2", "table2", "table3", "table4", "table5",
-		"fig3", "fig4", "fig5", "fig6", "table6", "model", "stability", "ablations"}
+		"fig3", "fig4", "fig5", "fig6", "table6", "model", "stability", "parallel", "ablations"}
 
 	var selected []string
 	if *expFlag == "all" {

@@ -19,7 +19,11 @@
 //   - Core budgeting: the pool divides GOMAXPROCS between inter-call
 //     workers and intra-call parallelism (Config.Parallel and
 //     blas.ParallelKernel worker counts are scaled down) so the two levels
-//     of concurrency do not oversubscribe the machine.
+//     of concurrency do not oversubscribe the machine. With a work-stealing
+//     runtime attached (Options.Sched or Config.Sched) the budget is
+//     structural instead: every call executes as a task DAG on the runtime,
+//     whose worker count caps tasks in flight regardless of how many pool
+//     workers submit concurrently.
 //
 // Observability: give Options.Collector an obs.Collector and the pool
 // maintains a queue-depth gauge ("batch.queue_depth"), a call counter
@@ -44,6 +48,7 @@ import (
 	"repro/internal/memtrack"
 	"repro/internal/obs"
 	"repro/internal/phase"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -67,13 +72,13 @@ type Call struct {
 	Ldb int
 	C   []float64
 	Ldc int
-	// Ctx, if non-nil, is checked immediately before a worker starts the
-	// call: a context that is already done cancels the call, which is
-	// skipped and reported failed with the context's error, without
-	// disturbing the rest of the batch. Cancellation is admission-time
-	// only — a call that has begun executing runs to completion (the
-	// recursion has no safe interruption points once workspace aliases
-	// the output).
+	// Ctx, if non-nil, cancels the call: a context already done when a
+	// worker picks the call up skips it outright, and one that expires
+	// mid-execution stops the running multiply at the next product
+	// boundary (the recursion polls the context between products, and the
+	// task DAG drains its remaining bodies). Either way the call reports
+	// the context's error without disturbing the rest of the batch; its C
+	// may hold a partial result the caller must discard.
 	Ctx context.Context
 }
 
@@ -120,6 +125,16 @@ type Options struct {
 	// Collector, if non-nil, receives the pool's metrics and the worker
 	// arenas' workspace accounting (see the package comment for names).
 	Collector *obs.Collector
+	// Sched, if non-nil, routes every call through this work-stealing
+	// runtime: a pool worker submits its call as a task and the runtime's
+	// workers execute the call's product DAG and threaded leaves, so
+	// intra-call parallelism across all concurrent calls shares the
+	// runtime's single core budget (tasks in flight never exceed its
+	// worker count, however many pool workers submit). Equivalent to
+	// setting Config.Sched; when both are set, Options.Sched wins. Nil
+	// (with a nil Config.Sched) keeps the pool's legacy direct execution
+	// with the GOMAXPROCS/Workers core split.
+	Sched *sched.Runtime
 }
 
 // Pool is a batched-DGEFMM execution engine. Create with NewPool, submit
@@ -128,6 +143,7 @@ type Options struct {
 type Pool struct {
 	base    strassen.Config // worker template: Kernel/Tracker filled per worker
 	kern    blas.Kernel     // re-budgeted kernel template workers clone
+	sched   *sched.Runtime  // non-nil: calls run as tasks on this runtime
 	jobs    chan job
 	workers []*worker
 	done    sync.WaitGroup
@@ -241,17 +257,28 @@ func NewPool(opts *Options) *Pool {
 	}
 	p.base.Tracker = nil // workers install their own arenas
 
-	// Core budget: threads per call = GOMAXPROCS / workers, so inter-call
-	// and intra-call parallelism together never exceed the machine.
+	// Core budget. With a task runtime (Options.Sched or Config.Sched) the
+	// budget is structural: calls run as tasks on the runtime, which never
+	// has more tasks in flight than workers, so pool workers are pure
+	// submitters and no per-call scaling is needed. Without one, the
+	// legacy split applies: threads per call = GOMAXPROCS / workers, so
+	// inter-call and intra-call parallelism together never exceed the
+	// machine.
+	if o.Sched != nil {
+		p.base.Sched = o.Sched
+	}
+	p.sched = p.base.Sched
 	perCall := runtime.GOMAXPROCS(0) / workers
 	if perCall < 1 {
 		perCall = 1
 	}
-	if p.base.Parallel > perCall {
-		p.base.Parallel = perCall
-	}
-	if p.base.Parallel <= 1 {
-		p.base.Parallel, p.base.ParallelLevels = 0, 0
+	if p.sched == nil {
+		if p.base.Parallel > perCall {
+			p.base.Parallel = perCall
+		}
+		if p.base.Parallel <= 1 {
+			p.base.Parallel, p.base.ParallelLevels = 0, 0
+		}
 	}
 	p.kern = p.base.Kernel
 	if p.kern == nil {
@@ -408,8 +435,32 @@ func (p *Pool) run(w *worker, j job) {
 		start = time.Now()
 	}
 	c := j.call
-	strassen.DGEFMM(&cfg, c.TransA, c.TransB, c.M, c.N, c.K, c.Alpha,
-		c.A, c.Lda, c.B, c.Ldb, c.Beta, c.C, c.Ldc)
+	var err error
+	if p.sched != nil {
+		// Routed execution: the pool worker is a pure submitter. The call
+		// runs as a task DAG on the shared runtime, so intra-call
+		// parallelism across every concurrent call draws from the
+		// runtime's single worker budget.
+		rctx := c.Ctx
+		if rctx == nil {
+			rctx = context.Background()
+		}
+		d := sched.NewDAG()
+		d.Add(func(wk *sched.Worker) {
+			err = strassen.DGEFMMTask(rctx, wk, &cfg, c.TransA, c.TransB,
+				c.M, c.N, c.K, c.Alpha, c.A, c.Lda, c.B, c.Ldb, c.Beta, c.C, c.Ldc)
+		})
+		if rerr := p.sched.Run(rctx, d); err == nil {
+			err = rerr
+		}
+	} else {
+		err = strassen.DGEFMMCtx(c.Ctx, &cfg, c.TransA, c.TransB, c.M, c.N, c.K, c.Alpha,
+			c.A, c.Lda, c.B, c.Ldb, c.Beta, c.C, c.Ldc)
+	}
+	if err != nil {
+		j.fail(fmt.Errorf("batch: call m=%d n=%d k=%d: %w", c.M, c.N, c.K, err))
+		return
+	}
 	if j.bkt.hist != nil {
 		j.bkt.hist.Observe(time.Since(start))
 	}

@@ -6,12 +6,14 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -451,6 +453,107 @@ func TestPoolCoreBudget(t *testing.T) {
 		if d := matrix.MaxAbsDiff(cb[i], cs[i]); d != 0 {
 			t.Fatalf("call %d: core-budgeted result differs by %g", i, d)
 		}
+	}
+}
+
+func TestPoolSchedRoutedNoOversubscription(t *testing.T) {
+	// Regression for the core-oversubscription bug: a pool with more
+	// workers than the attached runtime must not run more strassen tasks
+	// concurrently than the runtime has workers. Routed pool workers are
+	// pure submitters; the runtime's worker count is the structural cap,
+	// which Stats().MaxRunning records as a high-water mark.
+	rt := sched.New(2, 11)
+	defer rt.Close()
+	mkCfg := func() *strassen.Config {
+		return &strassen.Config{Kernel: blas.NaiveKernel{}, Criterion: strassen.Simple{Tau: 8}}
+	}
+	pool := NewPool(&Options{Workers: 8, Config: mkCfg(), Sched: rt})
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(81))
+	specs := make([]caseSpec, 12)
+	for i := range specs {
+		specs[i] = caseSpec{m: 64, n: 64, k: 64, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1, beta: 0.5}
+	}
+	calls, seq, cb, cs := buildCalls(specs, rng)
+	runSequential(mkCfg(), seq)
+	if err := pool.Execute(calls); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cb {
+		if d := matrix.MaxAbsDiff(cb[i], cs[i]); d > 1e-8 {
+			t.Fatalf("call %d: routed result differs from sequential by %g", i, d)
+		}
+	}
+	st := rt.Stats()
+	if st.TasksRun == 0 {
+		t.Fatal("no tasks reached the runtime: calls were not routed")
+	}
+	if st.MaxRunning > int64(rt.Workers()) {
+		t.Fatalf("%d tasks ran concurrently on a %d-worker runtime", st.MaxRunning, rt.Workers())
+	}
+}
+
+// cancelKernel wraps a leaf kernel and, once armed, cancels the stored
+// context on its Nth MulAdd call — a deterministic way to land a
+// cancellation in the middle of a running multiply (the engine polls the
+// context between products, so the call must abort shortly after).
+type cancelKernel struct {
+	blas.Kernel
+	calls  atomic.Int64
+	armed  atomic.Bool
+	after  int64
+	cancel atomic.Value // context.CancelFunc
+}
+
+func (k *cancelKernel) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if seen := k.calls.Add(1); k.armed.Load() && seen == k.after {
+		k.cancel.Load().(context.CancelFunc)()
+	}
+	k.Kernel.MulAdd(transA, transB, m, n, kk, alpha, a, lda, b, ldb, c, ldc)
+}
+
+func TestExecuteEachCancelMidExecution(t *testing.T) {
+	kern := &cancelKernel{Kernel: blas.NaiveKernel{}}
+	cfg := &strassen.Config{Kernel: kern, Criterion: strassen.Simple{Tau: 8}}
+	p := NewPool(&Options{Workers: 1, Config: cfg})
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(82))
+	mk := func() []Call {
+		calls, _, _, _ := buildCalls([]caseSpec{
+			{m: 64, n: 64, k: 64, transA: blas.NoTrans, transB: blas.NoTrans, alpha: 1},
+		}, rng)
+		return calls
+	}
+	// Run 1 warms the shape bucket; run 2 runs against the warm plan, so
+	// its delta is the deterministic leaf-multiply count of one call.
+	if errs := p.ExecuteEach(mk()); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	before := kern.calls.Load()
+	if errs := p.ExecuteEach(mk()); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	perCall := kern.calls.Load() - before
+	if perCall < 2 {
+		t.Fatalf("kernel saw %d leaf multiplies per call; cannot land mid-execution", perCall)
+	}
+
+	// Arm: cancel halfway through the next call's leaf multiplies, while
+	// the call is running. The pool's admission check has already passed
+	// by then, so this exercises the mid-execution polling path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	kern.after = kern.calls.Load() + perCall/2
+	kern.cancel.Store(cancel)
+	kern.armed.Store(true)
+	calls := mk()
+	calls[0].Ctx = ctx
+	errs := p.ExecuteEach(calls)
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("mid-execution cancel: err = %v, want context.Canceled", errs[0])
 	}
 }
 

@@ -3,6 +3,8 @@ package blas
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sched"
 )
 
 // Cloner is implemented by kernels that keep internal state (packing
@@ -117,11 +119,30 @@ func (p *ParallelKernel) release(k Kernel) {
 // spawn overhead dominates.
 const minParallelCols = 32
 
-// MulAdd implements Kernel.
+// taskThreader is the structural interface of a base whose own loop nest
+// can thread through the work-stealing runtime (kernel.Packed's
+// MulAddTasks). Structural because blas cannot import internal/kernel
+// (kernel builds on blas).
+type taskThreader interface {
+	Kernel
+	MulAddTasks(sub sched.Submitter, threads int, transA, transB Transpose, m, n, k int, alpha float64,
+		a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
+}
+
+// MulAdd implements Kernel. A base that can thread its own MC loop
+// (taskThreader) runs on the process-shared work-stealing runtime —
+// per-block work distribution with stealing, one core budget shared with
+// every other runtime user, and bit-for-bit the base's sequential results.
+// Other bases keep the legacy goroutine-per-column-panel split, whose
+// per-element arithmetic is also identical to the base's.
 func (p *ParallelKernel) MulAdd(transA, transB Transpose, m, n, k int, alpha float64,
 	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	st := p.statsRef()
 	st.dispatches.Add(1)
+	if tt, ok := p.Base.(taskThreader); ok && p.Workers > 1 {
+		tt.MulAddTasks(sched.Shared(), p.Workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
 	workers := p.Workers
 	if workers > n/minParallelCols {
 		workers = n / minParallelCols

@@ -13,6 +13,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -199,6 +200,51 @@ func squareCutoff(kern blas.Kernel, fused strassen.FusedMode, lo, hi, step int, 
 		dims = append(dims, m)
 	}
 	pts := squareRatioCurve(kern, fused, dims, 1, 0, seed)
+	return ChooseCrossover(pts), pts
+}
+
+// timePairCores measures the parallel pair of Figure 2 on an m×m×m problem:
+// the threaded kernel (blas.ParallelKernel over the base) against one
+// parallel Strassen level whose seven-product DAG runs on a cores-worker
+// runtime. Both arms are budgeted to the same core count, so the ratio
+// isolates where the parallel Strassen level starts beating a parallel
+// DGEMM — the crossover that moves with the worker count.
+func timePairCores(kern blas.Kernel, rt *sched.Runtime, cores, m int, rng *rand.Rand) (tGemm, tOneLevel float64) {
+	a := matrix.NewRandom(m, m, rng)
+	b := matrix.NewRandom(m, m, rng)
+	c := matrix.NewRandom(m, m, rng)
+	cw := c.Clone()
+	pk := &blas.ParallelKernel{Workers: cores, Base: kern}
+	cfg := oneLevelConfig(kern, strassen.FusedOff)
+	cfg.Sched = rt
+	cfg.SchedLevels = 1
+	tGemm = bench.BestOf(2, func() {
+		blas.DgemmKernel(pk, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+			a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	})
+	tOneLevel = bench.BestOf(2, func() {
+		strassen.DGEFMM(cfg, blas.NoTrans, blas.NoTrans, m, m, m, 1,
+			a.Data, a.Stride, b.Data, b.Stride, 0, cw.Data, cw.Stride)
+	})
+	return tGemm, tOneLevel
+}
+
+// SquareCutoffCores measures the square crossover τ of one parallel
+// Strassen level executed on a cores-worker work-stealing runtime against
+// the equally-budgeted threaded kernel — the per-core-count analogue of
+// SquareCutoff whose result installs under the "<kernel>@<cores>"
+// parameter key that Config resolution consults when a runtime is
+// attached. Meaningful only when the host actually has that many cores;
+// on a smaller machine the ratio degenerates toward the sequential curve.
+func SquareCutoffCores(kern blas.Kernel, cores, lo, hi, step int, seed int64) (int, []RatioPoint) {
+	rt := sched.New(cores, seed)
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(seed))
+	var pts []RatioPoint
+	for m := lo; m <= hi; m += step {
+		tg, ts := timePairCores(kern, rt, cores, m, rng)
+		pts = append(pts, RatioPoint{Dim: m, Ratio: tg / ts})
+	}
 	return ChooseCrossover(pts), pts
 }
 

@@ -210,3 +210,24 @@ func TestCalibrateSmokeTest(t *testing.T) {
 		t.Fatalf("calibration incomplete: %+v", p)
 	}
 }
+
+func TestSquareCutoffCoresSmokeTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	// The timings carry no meaning on a loaded or single-core test host;
+	// the test pins only that the parallel sweep runs both arms and yields
+	// a curve point per order plus a crossover in the sweep's range.
+	tau, pts := SquareCutoffCores(blas.NaiveKernel{}, 2, 16, 48, 16, 29)
+	if len(pts) != 3 {
+		t.Fatalf("want 3 curve points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Ratio <= 0 {
+			t.Fatalf("nonpositive ratio at m=%d", p.Dim)
+		}
+	}
+	if tau < 0 || tau > 48 {
+		t.Fatalf("crossover %d outside the swept range", tau)
+	}
+}

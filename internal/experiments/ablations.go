@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/blas"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -128,6 +129,12 @@ func AblationParallel(w io.Writer, sc Scale) []AblationRow {
 	par.Parallel = 4
 	par.ParallelLevels = 1
 	rows = append(rows, AblationRow{Name: "task-parallel products (4)", Seconds: timeConfig(par, m, 1, 0, 293)})
+
+	rt := sched.New(4, 293)
+	defer rt.Close()
+	dag := configFor(kern)
+	dag.Sched = rt
+	rows = append(rows, AblationRow{Name: "work-stealing DAG runtime (4)", Seconds: timeConfig(dag, m, 1, 0, 293)})
 
 	pk := configFor(&blas.ParallelKernel{Workers: 4, Base: kern})
 	rows = append(rows, AblationRow{Name: "column-parallel kernel (4)", Seconds: timeConfig(pk, m, 1, 0, 293)})

@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -186,6 +187,26 @@ func TestTable6Quick(t *testing.T) {
 	}
 }
 
+func TestParallelScalingQuick(t *testing.T) {
+	rows := ParallelScaling(io.Discard, 48, quick)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if last := rows[len(rows)-1].Workers; last != runtime.GOMAXPROCS(0) {
+		t.Errorf("last worker count %d, want GOMAXPROCS %d", last, runtime.GOMAXPROCS(0))
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if r.Seconds <= 0 || r.Speedup <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+		if seen[r.Workers] {
+			t.Errorf("duplicate worker count %d", r.Workers)
+		}
+		seen[r.Workers] = true
+	}
+}
+
 func TestAblationsQuick(t *testing.T) {
 	if rows := AblationSchedules(io.Discard, quick); len(rows) != 4 {
 		t.Fatal("schedules rows")
@@ -202,8 +223,8 @@ func TestAblationsQuick(t *testing.T) {
 	if rows := AblationPeeling(io.Discard, quick); len(rows) != 2 {
 		t.Fatal("peeling rows")
 	}
-	if rows := AblationParallel(io.Discard, quick); len(rows) != 3 {
-		t.Fatal("parallel rows")
+	if rows := AblationParallel(io.Discard, quick); len(rows) != 4 {
+		t.Fatal("parallel rows: want sequential, task-parallel, DAG runtime, column-parallel")
 	}
 	rows := AblationKernels(io.Discard, quick)
 	if len(rows) != len(blas.KernelNames()) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/memtrack"
 	"repro/internal/phase"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -28,9 +29,10 @@ const (
 // strassen.SpanTracer: every recursion event increments a named counter,
 // and every node's span is recorded (timed, parented) and its latency fed
 // to a per-action histogram. Bridges pull workspace accounting from
-// memtrack.Tracker, goroutine dispatch counts from blas.ParallelKernel, and
+// memtrack.Tracker, goroutine dispatch counts from blas.ParallelKernel,
 // packing-work counters plus arena accounting from packed-style kernels
-// (internal/kernel) into every Snapshot.
+// (internal/kernel), and scheduler counters from work-stealing runtimes
+// (internal/sched) into every Snapshot.
 //
 // A Collector is safe for concurrent use; attach one to many configs to
 // aggregate, or one per call to isolate.
@@ -44,6 +46,7 @@ type Collector struct {
 	trackers []*memtrack.Tracker
 	kernels  []*blas.ParallelKernel
 	packed   []packedKernel
+	scheds   []*sched.Runtime
 	phases   *phase.Profiler
 }
 
@@ -94,6 +97,23 @@ func (c *Collector) ObserveTracker(t *memtrack.Tracker) {
 		}
 	}
 	c.trackers = append(c.trackers, t)
+}
+
+// ObserveSched registers a work-stealing runtime whose scheduler counters
+// (tasks run, steals, idle time, concurrency high-water mark) fold into
+// every Snapshot. Observing the same runtime twice is a no-op.
+func (c *Collector) ObserveSched(rt *sched.Runtime) {
+	if rt == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.scheds {
+		if have == rt {
+			return
+		}
+	}
+	c.scheds = append(c.scheds, rt)
 }
 
 // ObserveKernel registers a kernel for Snapshot reporting. Two kernel
@@ -152,6 +172,7 @@ func (c *Collector) Attach(cfg *strassen.Config) *strassen.Config {
 	}
 	c.ObserveTracker(cfg.Tracker)
 	c.ObserveKernel(cfg.Kernel)
+	c.ObserveSched(cfg.Sched)
 	return cfg
 }
 
@@ -264,6 +285,7 @@ type Snapshot struct {
 	Memory  memtrack.Stats  `json:"memory"`
 	Kernels []KernelStats   `json:"kernels,omitempty"`
 	Packed  []PackedStats   `json:"packed,omitempty"`
+	Sched   []sched.Stats   `json:"sched,omitempty"`
 	Phases  []phase.Stat    `json:"phases,omitempty"`
 	Spans   SpanStats       `json:"spans"`
 }
@@ -276,6 +298,7 @@ func (c *Collector) Snapshot() Snapshot {
 	trackers := append([]*memtrack.Tracker(nil), c.trackers...)
 	kernels := append([]*blas.ParallelKernel(nil), c.kernels...)
 	packed := append([]packedKernel(nil), c.packed...)
+	scheds := append([]*sched.Runtime(nil), c.scheds...)
 	prof := c.phases
 	c.mu.Unlock()
 
@@ -307,6 +330,9 @@ func (c *Collector) Snapshot() Snapshot {
 			ps.FusedMulAdds = fk.FusedCounters()
 		}
 		s.Packed = append(s.Packed, ps)
+	}
+	for _, rt := range scheds {
+		s.Sched = append(s.Sched, rt.Stats())
 	}
 
 	spans := c.Spans.Spans()
@@ -353,6 +379,26 @@ func (c *Collector) Snapshot() Snapshot {
 		c.Registry.Gauge("kernel.packed.arena_peak_words").Set(arenaPeak)
 		c.Registry.Gauge("kernel.packed.simd_tiles").Set(simdTiles)
 		c.Registry.Gauge("kernel.packed.scalar_tiles").Set(scalarTiles)
+	}
+	if len(s.Sched) > 0 {
+		// sched.* gauge family: counters sum across observed runtimes;
+		// max_running takes the max (it is a per-runtime invariant bound by
+		// that runtime's worker count, not an additive figure).
+		var workers, tasks, steals, idle, maxRun int64
+		for _, ss := range s.Sched {
+			workers += int64(ss.Workers)
+			tasks += ss.TasksRun
+			steals += ss.Steals
+			idle += ss.IdleNS
+			if ss.MaxRunning > maxRun {
+				maxRun = ss.MaxRunning
+			}
+		}
+		c.Registry.Gauge("sched.workers").Set(workers)
+		c.Registry.Gauge("sched.tasks_run").Set(tasks)
+		c.Registry.Gauge("sched.steals").Set(steals)
+		c.Registry.Gauge("sched.idle_ns").Set(idle)
+		c.Registry.Gauge("sched.max_running").Set(maxRun)
 	}
 	if prof != nil {
 		s.Phases = prof.Snapshot()

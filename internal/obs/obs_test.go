@@ -13,6 +13,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
+	"repro/internal/sched"
 	"repro/internal/strassen"
 )
 
@@ -309,6 +310,38 @@ func TestCollectorKernelBridge(t *testing.T) {
 	}
 	if snap.Metrics.Gauges["kernel.parallel.goroutines"] != ks.Goroutines {
 		t.Error("goroutine gauge not folded into metrics")
+	}
+}
+
+func TestCollectorSchedBridge(t *testing.T) {
+	rt := sched.New(2, 5)
+	defer rt.Close()
+	col := NewCollector()
+	cfg := col.Attach(strassen.DefaultConfig(nil))
+	cfg.Sched = rt
+	cfg.Criterion = strassen.Simple{Tau: 16}
+	col.ObserveSched(cfg.Sched)
+	col.ObserveSched(cfg.Sched) // dedupe: still one entry
+	run(cfg, 64, 64, 64, 13)
+	snap := col.Snapshot()
+	if len(snap.Sched) != 1 {
+		t.Fatalf("want 1 observed runtime, got %d", len(snap.Sched))
+	}
+	ss := snap.Sched[0]
+	if ss.Workers != 2 {
+		t.Errorf("workers = %d, want 2", ss.Workers)
+	}
+	if ss.TasksRun == 0 {
+		t.Error("no scheduler tasks recorded for a DAG-routed multiply")
+	}
+	if ss.MaxRunning < 1 || ss.MaxRunning > int64(ss.Workers) {
+		t.Errorf("max_running = %d outside [1, %d]", ss.MaxRunning, ss.Workers)
+	}
+	if snap.Metrics.Gauges["sched.tasks_run"] != ss.TasksRun {
+		t.Error("tasks_run gauge not folded into metrics")
+	}
+	if snap.Metrics.Gauges["sched.max_running"] != ss.MaxRunning {
+		t.Error("max_running gauge not folded into metrics")
 	}
 }
 

@@ -74,6 +74,18 @@ const (
 	// in KernelMicro/KernelFringe, keeping those comparable to the unfused
 	// kernel).
 	KernelFusedWriteout
+	// SchedTaskRun is time a scheduler worker spends executing task bodies
+	// (count = tasks run; flops/bytes belong to the phases the bodies
+	// bracket themselves, so they stay zero here to avoid double counting).
+	SchedTaskRun
+	// SchedSteal is time spent in steal attempts — scanning victim deques
+	// and the injector — whether or not a task was found (count = successful
+	// steals).
+	SchedSteal
+	// SchedIdle is time a worker spends parked with no runnable task; the
+	// work-conservation property says this stays near zero while tasks
+	// outnumber workers.
+	SchedIdle
 
 	// NumPhases is the number of defined phases.
 	NumPhases int = iota
@@ -92,6 +104,9 @@ var names = [NumPhases]string{
 	"arena.draw",
 	"kernel.fused_pack",
 	"kernel.fused_writeout",
+	"sched.task_run",
+	"sched.steal",
+	"sched.idle",
 }
 
 // String returns the phase's stable report name.

@@ -84,6 +84,7 @@ func TestNamesStableAndComplete(t *testing.T) {
 		"strassen.addsub", "strassen.quadrant", "strassen.peel",
 		"batch.queue_wait", "arena.draw",
 		"kernel.fused_pack", "kernel.fused_writeout",
+		"sched.task_run", "sched.steal", "sched.idle",
 	}
 	got := Names()
 	if len(got) != len(want) {

@@ -12,10 +12,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/strassen"
 )
 
 // newTestServer builds a Server and an httptest front end; both are torn
@@ -162,6 +164,97 @@ func TestServeDeadline(t *testing.T) {
 	// Close flushes the still-pending group; the canceled call must be
 	// skipped by the worker (batch.Call.Ctx), not executed or paniced on.
 	srv.Close()
+}
+
+// slowKernel delays every leaf multiply, so a recursing request takes far
+// longer than its deadline and the expiry lands while the multiply runs.
+type slowKernel struct {
+	blas.Kernel
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (k *slowKernel) MulAdd(transA, transB blas.Transpose, m, n, kk int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	k.calls.Add(1)
+	time.Sleep(k.delay)
+	k.Kernel.MulAdd(transA, transB, m, n, kk, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// TestServeDeadlineCancelsRunningMultiply: a deadline that expires while
+// the multiply is EXECUTING (not parked in a coalesce window or queue)
+// must cancel it mid-flight — the engine polls the call's context between
+// products, so the worker abandons the remaining leaf multiplies instead
+// of running the batch to completion after the client is gone.
+func TestServeDeadlineCancelsRunningMultiply(t *testing.T) {
+	kern := &slowKernel{Kernel: blas.NaiveKernel{}, delay: 2 * time.Millisecond}
+	srv, ts := newTestServer(t, &Options{
+		Workers:        1,
+		CoalesceWindow: time.Millisecond,
+		Config:         &strassen.Config{Kernel: kern, Criterion: strassen.Simple{Tau: 8}},
+	})
+	rng := rand.New(rand.NewSource(44))
+	a, b := randFloats(rng, 64*64), randFloats(rng, 64*64)
+	encode := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		h := ReqHeader{M: 64, N: 64, K: 64, Alpha: 1}
+		if err := EncodeRequest(&buf, &h, a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	// Control run without a deadline: measures the full leaf-multiply count
+	// of this shape (and warms the pool's plan bucket).
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/gemm", encode())
+	req.Header.Set("Content-Type", ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control run status %d", resp.StatusCode)
+	}
+	total := kern.calls.Load()
+
+	// Deadline run: 60ms expires a few dozen leaves in (~2ms each), well
+	// before the full count is reached.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/gemm", encode())
+	req.Header.Set("Content-Type", ContentType)
+	req.Header.Set("X-Deadline-Ms", "60")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if n := srv.Collector().Registry.Counter("serve.errors.deadline").Value(); n < 1 {
+		t.Fatalf("deadline counter = %d, want ≥ 1", n)
+	}
+
+	// The worker must abandon the multiply: the leaf count stabilizes far
+	// below the control run's total instead of grinding to completion.
+	var last int64 = -1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur := kern.calls.Load()
+		if cur == last {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leaf multiplies never stabilized after cancellation")
+		}
+		last = cur
+		time.Sleep(30 * time.Millisecond)
+	}
+	if ran := kern.calls.Load() - total; ran >= total/2 {
+		t.Fatalf("canceled multiply still ran %d of %d leaf multiplies", ran, total)
+	}
 }
 
 // TestServeBackpressure: past the admission high-water mark requests are

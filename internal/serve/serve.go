@@ -297,7 +297,9 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 
 	// Deadline propagation: the client's X-Deadline-Ms budget joins the
 	// connection context; the combined context rides on the batch call,
-	// where an expired deadline cancels the call before it starts.
+	// where an expired deadline cancels the call — before it starts if it
+	// is still queued, or mid-execution via the engine's between-product
+	// polling if it is already running.
 	ctx := r.Context()
 	if ms := r.Header.Get("X-Deadline-Ms"); ms != "" {
 		d, err := strconv.ParseInt(ms, 10, 64)

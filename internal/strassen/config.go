@@ -18,9 +18,12 @@
 package strassen
 
 import (
+	"strconv"
+
 	"repro/internal/blas"
 	"repro/internal/kernel"
 	"repro/internal/memtrack"
+	"repro/internal/sched"
 )
 
 // Schedule selects the Winograd computation schedule.
@@ -122,13 +125,30 @@ type Config struct {
 	Algo string
 	// Tracker, if non-nil, accounts all temporary workspace words.
 	Tracker *memtrack.Tracker
-	// Parallel, if greater than 1, computes up to Parallel of the seven
-	// products concurrently at the top ParallelLevels recursion levels (the
-	// paper's Section 5 parallelism extension). The parallel schedule
-	// trades workspace for concurrency; see parallelWinograd.
+	// Sched, if non-nil, executes the recursion on this work-stealing task
+	// runtime (internal/sched): the top SchedLevels recursion levels expand
+	// their products into a dependency DAG and the packed kernel's MC loop
+	// threads at the leaves. Multiple Configs may share one runtime — tasks
+	// from concurrent calls interleave under a single core budget.
+	Sched *sched.Runtime
+	// SchedLevels bounds how many top levels expand into task DAGs; 0 picks
+	// enough levels that the product fan-out covers the runtime's workers
+	// (capped at 3). Ignored when no task runtime is active.
+	SchedLevels int
+	// Parallel caps the products in flight per DAG level (the lane width).
+	//
+	// Deprecated compat shim: Parallel predates the task runtime, where it
+	// sized a flat goroutine fan-out. Parallel > 1 with a nil Sched now
+	// executes on the process-shared runtime (sched.Shared()) with Parallel
+	// as the lane cap, preserving the documented concurrency bound and
+	// workspace accounting of the legacy schedule. New code should set
+	// Sched and leave Parallel zero (lanes default to the worker count).
 	Parallel int
 	// ParallelLevels bounds how many top levels use the parallel schedule;
 	// 0 means one level when Parallel > 1.
+	//
+	// Deprecated: use SchedLevels with an explicit Sched runtime; this
+	// field remains as the legacy default when SchedLevels is zero.
 	ParallelLevels int
 	// Tracer, if non-nil, receives one TraceEvent per recursion decision
 	// (base-case, schedule level, peel/pad action, fixup). A Tracer that
@@ -274,4 +294,31 @@ func (cfg *Config) criterionFor(algoName string) Criterion {
 		}
 	}
 	return DefaultParams(name).Hybrid()
+}
+
+// criterionCores resolves the cutoff for a call executing on a cores-worker
+// task runtime. τ is a function of the core count: threading the recursion
+// shrinks a Strassen level's effective O(n²) overhead per core while the
+// leaf GEMM rate scales with the cores too, so the crossover measured at one
+// core does not transfer (cmd/calibrate's -cores sweep measures it and
+// installs "<kernel>@<cores>" rows, optionally refined per algorithm as
+// "<kernel>@<cores>/<algo>"). With no calibrated row for this core count the
+// resolution falls back to the single-core chain — calibrate before trusting
+// multi-core cutoffs.
+func (cfg *Config) criterionCores(algoName string, cores int) Criterion {
+	if cfg.Criterion != nil {
+		return cfg.Criterion
+	}
+	if cores > 1 {
+		name := cfg.kernel().Name() + "@" + strconv.Itoa(cores)
+		if algoName != "" {
+			if p, ok := defaultParams[name+"/"+algoName]; ok {
+				return p.Hybrid()
+			}
+		}
+		if p, ok := defaultParams[name]; ok {
+			return p.Hybrid()
+		}
+	}
+	return cfg.criterionFor(algoName)
 }

@@ -1,124 +1,26 @@
 package strassen
 
-import (
-	"sync"
+import "repro/internal/blas"
 
-	"repro/internal/blas"
-	"repro/internal/matrix"
-)
-
-// This file implements the task-parallel Winograd schedule — the paper's
-// Section 5 future-work item ("extend our implementation to use ...
-// parallelism") realized at the algorithm level: once the stage (1)/(2)
-// sums S1..S4 and T1..T4 are formed, the seven products P1..P7 are
-// mutually independent and can run concurrently, each recursing with the
-// sequential memory-lean schedules below.
+// The task-parallel Winograd schedule — the paper's Section 5 future-work
+// item ("extend our implementation to use ... parallelism") — lives in
+// taskdag.go: the seven products P1..P7 (all R products, for table
+// algorithms) run as a dependency DAG on the work-stealing runtime
+// (internal/sched), with the S/T operand formations and the C write-backs
+// as predecessor and successor tasks.
 //
-// The price is workspace: the products need their own buffers instead of
-// sharing three temporaries, costing mk/2 + kn/2 + 7mn/4 words at each
-// parallel level (close to the "straightforward implementation" figure the
-// paper's Section 3.2 starts from). The parallel schedule is therefore
-// applied only at the top ParallelLevels levels.
+// This file keeps the compat surface of the original flat-goroutine
+// implementation. Config.Parallel and Config.ParallelLevels predate the
+// runtime; they now map onto the DAG's lane cap and level count and execute
+// on the process-shared runtime (sched.Shared()) — see Config.schedParams.
+// The price in workspace is unchanged from the legacy schedule: concurrent
+// products need their own buffers instead of sharing three temporaries,
+// costing mk + kn + 7mn/4 words per parallel level (the four S and four T
+// buffers plus seven products), which is why the DAG applies only at the
+// top levels.
 
-// parallelWinograd computes C ← alpha·A·B + beta·C with one level of the
-// task-parallel Winograd schedule. All dimensions must be even.
-func (e *engine) parallelWinograd(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
-	m, k, n := a.Rows, a.Cols, b.Cols
-	m2, k2, n2 := m/2, k/2, n/2
-
-	a11 := a.Slice(0, 0, m2, k2)
-	a12 := a.Slice(0, k2, m2, k2)
-	a21 := a.Slice(m2, 0, m2, k2)
-	a22 := a.Slice(m2, k2, m2, k2)
-	b11 := b.Slice(0, 0, k2, n2)
-	b12 := b.Slice(0, n2, k2, n2)
-	b21 := b.Slice(k2, 0, k2, n2)
-	b22 := b.Slice(k2, n2, k2, n2)
-	c11 := c.Slice(0, 0, m2, n2)
-	c12 := c.Slice(0, n2, m2, n2)
-	c21 := c.Slice(m2, 0, m2, n2)
-	c22 := c.Slice(m2, n2, m2, n2)
-
-	// Stage (1)/(2) sums into fresh buffers (S2 and S4 share a buffer with
-	// S1's chain in the sequential schedules; here every operand of a
-	// concurrent product must be independent).
-	s1 := e.allocMat(m2, k2)
-	s2 := e.allocMat(m2, k2)
-	s3 := e.allocMat(m2, k2)
-	s4 := e.allocMat(m2, k2)
-	t1 := e.allocMat(k2, n2)
-	t2 := e.allocMat(k2, n2)
-	t3 := e.allocMat(k2, n2)
-	t4 := e.allocMat(k2, n2)
-	defer func() {
-		for _, mt := range []*matrix.Dense{s1, s2, s3, s4, t1, t2, t3, t4} {
-			e.freeMat(mt)
-		}
-	}()
-	e.phAdd(phAS, s1, a21, a22)
-	e.phSub(phAS, s2, matrix.ViewOf(s1), a11)
-	e.phSub(phAS, s3, a11, a21)
-	e.phSub(phAS, s4, a12, matrix.ViewOf(s2))
-	e.phSub(phAS, t1, b12, b11)
-	e.phSub(phAS, t2, b22, matrix.ViewOf(t1))
-	e.phSub(phAS, t3, b22, b12)
-	e.phSub(phAS, t4, matrix.ViewOf(t2), b21)
-
-	p := make([]*matrix.Dense, 7)
-	for i := range p {
-		p[i] = e.allocMat(m2, n2)
-	}
-	defer func() {
-		for _, mt := range p {
-			e.freeMat(mt)
-		}
-	}()
-
-	// The seven independent products (alpha folded in, β=0).
-	tasks := []struct {
-		dst  *matrix.Dense
-		l, r matrix.View
-	}{
-		{p[0], a11, b11},                             // P1
-		{p[1], a12, b21},                             // P2
-		{p[2], matrix.ViewOf(s4), b22},               // P3
-		{p[3], a22, matrix.ViewOf(t4)},               // P4
-		{p[4], matrix.ViewOf(s1), matrix.ViewOf(t1)}, // P5
-		{p[5], matrix.ViewOf(s2), matrix.ViewOf(t2)}, // P6
-		{p[6], matrix.ViewOf(s3), matrix.ViewOf(t3)}, // P7
-	}
-
-	sem := make(chan struct{}, e.parallel)
-	var wg sync.WaitGroup
-	for _, task := range tasks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(dst *matrix.Dense, l, r matrix.View) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sub := e.workerEngine()
-			sub.mul(dst, l, r, alpha, 0, depth+1)
-		}(task.dst, task.l, task.r)
-	}
-	wg.Wait()
-
-	// Stage (4) combinations (sequential; O(n²)).
-	v := func(i int) matrix.View { return matrix.ViewOf(p[i]) }
-	e.phAddAssign(phQ, p[5], v(0))  // P6 ← U2 = P1+P6
-	e.phAddAssign(phQ, p[6], v(5))  // P7 ← U3 = U2+P7
-	e.phAxpby(phQ, c11, v(0), beta) // C11 = βC11 + αP1
-	e.phAddAssign(phQ, c11, v(1))   // + αP2
-	e.phAxpby(phQ, c12, v(5), beta) // C12 = βC12 + αU2
-	e.phAddAssign(phQ, c12, v(4))   // + αP5
-	e.phAddAssign(phQ, c12, v(2))   // + αP3
-	e.phAxpby(phQ, c21, v(6), beta) // C21 = βC21 + αU3
-	e.phSubAssign(phQ, c21, v(3))   // − αP4
-	e.phAxpby(phQ, c22, v(6), beta) // C22 = βC22 + αU3
-	e.phAddAssign(phQ, c22, v(4))   // + αP5
-}
-
-// workerEngine returns an engine for one product goroutine: same policy,
-// its own kernel state. The tracker is shared (it is concurrency-safe).
+// workerEngine returns an engine for one product task: same policy, its
+// own kernel state. The tracker is shared (it is concurrency-safe).
 func (e *engine) workerEngine() *engine {
 	sub := *e
 	sub.kern = blas.CloneKernel(e.kern)

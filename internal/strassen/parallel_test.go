@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/blas"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 )
@@ -96,6 +97,27 @@ func TestParallelKernelMatchesBase(t *testing.T) {
 		if !c1.Equal(c2) {
 			t.Fatalf("tb=%c: parallel kernel differs from base", tb)
 		}
+	}
+}
+
+func TestParallelKernelDelegatesToTaskThreader(t *testing.T) {
+	// A base that can thread its own MC loop (kernel.Packed) runs through
+	// MulAddTasks on the shared runtime; results stay bit-for-bit the
+	// base's (MulAddTasks preserves block edges and KC order).
+	rng := rand.New(rand.NewSource(407))
+	m, k, n := 96, 48, 64
+	a := matrix.NewRandom(m, k, rng)
+	b := matrix.NewRandom(k, n, rng)
+	c1 := matrix.NewRandom(m, n, rng)
+	c2 := c1.Clone()
+	base := &kernel.Packed{MC: 16, KC: 12, NC: 20}
+	blas.DgemmKernel(base, blas.NoTrans, blas.NoTrans, m, n, k, 1.5,
+		a.Data, a.Stride, b.Data, b.Stride, 0.5, c1.Data, c1.Stride)
+	pk := &blas.ParallelKernel{Workers: 4, Base: &kernel.Packed{MC: 16, KC: 12, NC: 20}}
+	blas.DgemmKernel(pk, blas.NoTrans, blas.NoTrans, m, n, k, 1.5,
+		a.Data, a.Stride, b.Data, b.Stride, 0.5, c2.Data, c2.Stride)
+	if !c1.Equal(c2) {
+		t.Fatal("delegated parallel kernel differs from its base")
 	}
 }
 

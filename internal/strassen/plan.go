@@ -102,20 +102,22 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 	if cfg == nil {
 		cfg = DefaultConfig(nil)
 	}
-	parLevels := cfg.ParallelLevels
-	if cfg.Parallel > 1 && parLevels == 0 {
-		parLevels = 1
-	}
 	tbl := cfg.resolveAlgo(m, k, n)
-	crit := cfg.criterion()
+	prodR := 7
 	if tbl != nil {
-		crit = cfg.criterionFor(tbl.Name)
+		prodR = tbl.R
+	}
+	lanes, levels, dag := cfg.schedParams(prodR)
+	cores := cfg.schedCores()
+	algoName := ""
+	if tbl != nil {
+		algoName = tbl.Name
 	}
 	p := &Plan{
 		M: m, N: n, K: k, BetaZero: betaZero,
 		TopSchedule: resolveSchedule(cfg.Schedule, betaZero),
 		decisions:   make(map[[3]int]bool),
-		fallback:    crit,
+		fallback:    cfg.criterionCores(algoName, cores),
 	}
 	if tbl != nil {
 		p.Algo = tbl.Name
@@ -125,14 +127,24 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 		sched:     cfg.Schedule,
 		odd:       cfg.Odd,
 		maxDepth:  cfg.MaxDepth,
-		parallel:  cfg.Parallel,
-		parLevels: parLevels,
+		parallel:  lanes,
+		parLevels: levels,
+		dag:       dag,
 		tbl:       tbl,
 		plan:      p,
 		memo:      make(map[planKey]simResult),
 	}
 	if ls, ok := cfg.kernel().(leafSizer); ok {
 		s.leaf = ls.LeafWorkspace
+	}
+	if dag && cores > 1 {
+		// A multi-worker runtime threads the plan's leaves (MulAddTasks):
+		// each leaf's arena draw grows to the parallel figure.
+		if pls, ok := cfg.kernel().(parallelLeafSizer); ok {
+			s.leaf = func(m, n, k int) int64 {
+				return pls.LeafWorkspaceParallel(m, n, k, cores)
+			}
+		}
 	}
 	if cfg.fusedMode() != FusedOff {
 		if _, ok := cfg.kernel().(fusedKernel); ok {
@@ -163,6 +175,14 @@ func PlanFor(cfg *Config, m, n, k int, betaZero bool) *Plan {
 // implementation for its callers.
 type leafSizer interface {
 	LeafWorkspace(m, n, k int) int64
+}
+
+// parallelLeafSizer is the threaded-leaf analogue (kernel.Packed's
+// LeafWorkspaceParallel): the words one MulAddTasks draws when its MC loop
+// splits across the given thread count. Structural for the same reason as
+// leafSizer.
+type parallelLeafSizer interface {
+	LeafWorkspaceParallel(m, n, k, threads int) int64
 }
 
 // Criterion returns a cutoff criterion that replays the plan's cached
@@ -236,8 +256,9 @@ type planSim struct {
 	sched     Schedule
 	odd       OddStrategy
 	maxDepth  int
-	parallel  int
-	parLevels int
+	parallel  int         // lane cap of the task DAG (products in flight per level)
+	parLevels int         // top levels expanded into task DAGs
+	dag       bool        // a task runtime is active (Config.Sched or Parallel > 1)
 	tbl       *algo.Table // non-nil for a table-driven plan (simTable runs)
 	plan      *Plan
 	leaf      func(m, n, k int) int64 // nil for kernels without accounted workspace
@@ -321,14 +342,18 @@ func (s *planSim) sim(m, k, n int, betaZero bool, depth int) simResult {
 // problem: the level's own temporaries plus the worst concurrent child.
 func (s *planSim) schedWords(m, k, n int, betaZero bool, depth int) simResult {
 	m2, k2, n2 := m/2, k/2, n/2
-	if s.parallel > 1 && depth < s.parLevels {
-		// parallelWinograd: S1..S4 (4·mk/4), T1..T4 (4·kn/4), P1..P7
-		// (7·mn/4), with up to min(parallel, 7) β = 0 children live at once
-		// — each of which can be inside a kernel MulAdd simultaneously.
+	if s.dag && depth < s.parLevels {
+		// dagLevel on the builtin Winograd table: S1..S4 (4·mk/4), T1..T4
+		// (4·kn/4), P1..P7 (7·mn/4), with up to min(lanes, 7) β = 0
+		// children live at once (the lane edges make the cap structural) —
+		// each of which can be inside a kernel MulAdd simultaneously.
 		own := 4*int64(m2)*int64(k2) + 4*int64(k2)*int64(n2) + 7*int64(m2)*int64(n2)
 		conc := s.parallel
 		if conc > 7 {
 			conc = 7
+		}
+		if conc < 1 {
+			conc = 1
 		}
 		child := s.sim(m2, k2, n2, true, depth+1)
 		return simResult{
@@ -425,7 +450,24 @@ func (s *planSim) simTable(m, k, n int, betaZero bool, depth int) simResult {
 	t := s.tbl
 	me, ke, ne := m-m%t.M, k-k%t.K, n-n%t.N
 	mq, kq, nq := me/t.M, ke/t.K, ne/t.N
-	if s.fused && s.sched == ScheduleAuto && !s.tableRecurse(mq, kq, nq, depth+1) &&
+	if s.dag && depth < s.parLevels {
+		// dagLevel on the table: one buffer per multi-term operand column
+		// plus all R products, with up to min(lanes, R) β = 0 children
+		// live at once under the lane edges.
+		sB, tB := dagBuffers(t)
+		own := int64(sB)*int64(mq)*int64(kq) + int64(tB)*int64(kq)*int64(nq) +
+			int64(t.R)*int64(mq)*int64(nq)
+		conc := s.parallel
+		if conc > t.R {
+			conc = t.R
+		}
+		if conc < 1 {
+			conc = 1
+		}
+		child := s.simTable(mq, kq, nq, true, depth+1)
+		r.words = own + int64(conc)*child.words
+		r.kernel = int64(conc) * child.kernel
+	} else if s.fused && s.sched == ScheduleAuto && !s.tableRecurse(mq, kq, nq, depth+1) &&
 		tableFusable(t, s.destLimit) {
 		if s.leaf != nil {
 			r.kernel = s.leaf(mq, nq, kq)
@@ -484,6 +526,7 @@ func (s *planSim) simStatic(m, k, n int, betaZero bool) simResult {
 		maxDepth:  d,
 		parallel:  s.parallel,
 		parLevels: s.parLevels,
+		dag:       s.dag,
 		plan:      s.plan,
 		leaf:      s.leaf,
 		memo:      make(map[planKey]simResult),

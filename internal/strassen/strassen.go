@@ -1,11 +1,14 @@
 package strassen
 
 import (
+	"context"
+
 	"repro/internal/algo"
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/memtrack"
 	"repro/internal/phase"
+	"repro/internal/sched"
 )
 
 // DGEFMM computes C ← alpha*op(A)*op(B) + beta*C with the paper's Strassen
@@ -16,6 +19,35 @@ import (
 func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float64,
 	a []float64, lda int, b []float64, ldb int, beta float64,
 	c []float64, ldc int) {
+	_ = dgefmm(nil, nil, cfg, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DGEFMMCtx is DGEFMM with mid-execution cancellation: the recursion polls
+// ctx between products (and the task DAG drains its remaining bodies), so
+// an expired deadline stops a running multiply instead of only gating
+// admission. On a non-nil error C holds a partial result the caller must
+// discard; A and B are never written.
+func DGEFMMCtx(ctx context.Context, cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) error {
+	return dgefmm(ctx, nil, cfg, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DGEFMMTask is DGEFMMCtx for callers already running inside a sched task:
+// sub must be the *sched.Worker the task body received (or an external
+// *sched.Runtime), and the call's DAG levels and threaded leaves submit
+// through it — nesting by helping on the worker's own deque rather than
+// blocking the pool from outside, which is how internal/batch routes calls
+// through one shared core budget without deadlock.
+func DGEFMMTask(ctx context.Context, sub sched.Submitter, cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) error {
+	return dgefmm(ctx, sub, cfg, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+func dgefmm(ctx context.Context, outer sched.Submitter, cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64,
+	c []float64, ldc int) error {
 	if cfg == nil {
 		cfg = DefaultConfig(nil)
 	}
@@ -31,39 +63,56 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 	}
 	validate(transA, transB, m, n, k, lda, ldb, ldc, rowsA, colsA, rowsB, colsB, a, b, c)
 	if m == 0 || n == 0 {
-		return
+		return ctxErr(ctx)
 	}
 
 	cm := matrix.FromColMajor(m, n, ldc, c)
 	if alpha == 0 || k == 0 {
 		scaleInPlace(cm, beta)
-		return
+		return ctxErr(ctx)
 	}
 
 	av := matrix.View{Rows: m, Cols: k, Stride: lda, Trans: transA.IsTrans(), Data: a}
 	bv := matrix.View{Rows: k, Cols: n, Stride: ldb, Trans: transB.IsTrans(), Data: b}
 
-	parLevels := cfg.ParallelLevels
-	if cfg.Parallel > 1 && parLevels == 0 {
-		parLevels = 1
-	}
 	tbl := cfg.resolveAlgo(m, k, n)
-	crit := cfg.criterion()
+	prodR := 7
 	if tbl != nil {
-		crit = cfg.criterionFor(tbl.Name)
+		prodR = tbl.R
+	}
+	lanes, levels, dag := cfg.schedParams(prodR)
+	sub := outer
+	if sub == nil && dag {
+		if cfg.Sched != nil {
+			sub = cfg.Sched
+		} else {
+			sub = sched.Shared()
+		}
+	}
+	cores := 0
+	if sub != nil {
+		cores = sub.Workers()
+	}
+	algoName := ""
+	if tbl != nil {
+		algoName = tbl.Name
 	}
 	e := &engine{
-		kern:      cfg.kernel(),
-		crit:      crit,
-		sched:     cfg.Schedule,
-		odd:       cfg.Odd,
-		maxDepth:  cfg.MaxDepth,
-		tracker:   cfg.Tracker,
-		parallel:  cfg.Parallel,
-		parLevels: parLevels,
-		tracer:    cfg.Tracer,
-		prof:      phase.Active(),
-		tbl:       tbl,
+		kern:       cfg.kernel(),
+		crit:       cfg.criterionCores(algoName, cores),
+		sched:      cfg.Schedule,
+		odd:        cfg.Odd,
+		maxDepth:   cfg.MaxDepth,
+		tracker:    cfg.Tracker,
+		sub:        sub,
+		schedLanes: lanes,
+		tracer:     cfg.Tracer,
+		prof:       phase.Active(),
+		tbl:        tbl,
+		ctx:        ctx,
+	}
+	if dag {
+		e.schedLevels = levels
 	}
 	if st, ok := cfg.Tracer.(SpanTracer); ok {
 		e.spans = st
@@ -73,17 +122,26 @@ func DGEFMM(cfg *Config, transA, transB blas.Transpose, m, n, k int, alpha float
 			e.fk = fk
 		}
 	}
-	if e.tbl != nil {
+	switch {
+	case e.tbl != nil:
 		// Table-driven recursion (see table.go): generalized peeling only —
-		// the pad strategies and parallel schedule stay default-path.
+		// the pad strategies stay default-path, but the task DAG applies
+		// (all R products of the table run as scheduler tasks).
 		e.tableMul(cm, av, bv, alpha, beta, 0)
-		return
-	}
-	if e.odd == OddPadStatic {
+	case e.odd == OddPadStatic:
 		e.staticPadMul(cm, av, bv, alpha, beta)
-		return
+	default:
+		e.mul(cm, av, bv, alpha, beta, 0)
 	}
-	e.mul(cm, av, bv, alpha, beta, 0)
+	return ctxErr(ctx)
+}
+
+// ctxErr adapts the optional context to the error DGEFMMCtx reports.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Multiply is a convenience wrapper over DGEFMM for *matrix.Dense values:
@@ -116,15 +174,25 @@ func validate(transA, transB blas.Transpose, m, n, k, lda, ldb, ldc, rowsA, cols
 
 // engine carries the resolved configuration through the recursion.
 type engine struct {
-	kern      blas.Kernel
-	crit      Criterion
-	sched     Schedule
-	odd       OddStrategy
-	maxDepth  int
-	tracker   *memtrack.Tracker
-	parallel  int
-	parLevels int
-	tracer    Tracer
+	kern     blas.Kernel
+	crit     Criterion
+	sched    Schedule
+	odd      OddStrategy
+	maxDepth int
+	tracker  *memtrack.Tracker
+	// sub is the task runtime this call submits to (nil for a purely
+	// sequential call): an external *sched.Runtime at the top, or the
+	// executing *sched.Worker inside a product task so nested DAGs help on
+	// the worker's own deque. schedLevels is the number of top recursion
+	// levels expanded into task DAGs (0 when only the leaves may thread),
+	// and schedLanes caps the products in flight per level via lane edges.
+	// ctx, when non-nil, is polled between products for mid-execution
+	// cancellation. See taskdag.go.
+	sub         sched.Submitter
+	schedLevels int
+	schedLanes  int
+	ctx         context.Context
+	tracer      Tracer
 	// spans is tracer narrowed to SpanTracer (nil when the tracer does not
 	// record spans); curSpan is the innermost open span on this engine's
 	// goroutine — worker engines copy it, so spans opened inside a parallel
@@ -149,7 +217,7 @@ type engine struct {
 // then the odd-dimension strategy, then one level of the selected schedule.
 func (e *engine) mul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	if m == 0 || n == 0 {
+	if m == 0 || n == 0 || e.canceled() {
 		return
 	}
 	if k == 0 || alpha == 0 {
@@ -237,9 +305,9 @@ func (e *engine) peelMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64,
 // all-even (m, k, n) problem.
 func (e *engine) schedule(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	if e.parallel > 1 && depth < e.parLevels {
+	if e.schedActive(depth) {
 		done := e.trace(depth, m, k, n, "parallel")
-		e.parallelWinograd(c, a, b, alpha, beta, depth)
+		e.dagLevel(c, a, b, alpha, beta, depth)
 		done()
 		return
 	}
@@ -288,6 +356,10 @@ func (e *engine) schedule(c *matrix.Dense, a, b matrix.View, alpha, beta float64
 }
 
 // baseGemm performs the standard-algorithm multiplication below the cutoff.
+// With a multi-worker task runtime attached and a kernel that supports it,
+// the leaf threads its MC loop through the runtime (see kernel.MulAddTasks):
+// the adapter still routes through blas.DgemmKernel so argument validation
+// and the beta pass stay identical to the sequential leaf.
 func (e *engine) baseGemm(c *matrix.Dense, a, b matrix.View, alpha, beta float64) {
 	ta, tb := blas.NoTrans, blas.NoTrans
 	if a.Trans {
@@ -296,8 +368,35 @@ func (e *engine) baseGemm(c *matrix.Dense, a, b matrix.View, alpha, beta float64
 	if b.Trans {
 		tb = blas.Trans
 	}
-	blas.DgemmKernel(e.kern, ta, tb, c.Rows, c.Cols, a.Cols, alpha,
+	kern := e.kern
+	if e.sub != nil && e.sub.Workers() > 1 {
+		if tk, ok := kern.(taskLeafKernel); ok {
+			kern = taskKernel{tk, e.sub, e.sub.Workers()}
+		}
+	}
+	blas.DgemmKernel(kern, ta, tb, c.Rows, c.Cols, a.Cols, alpha,
 		a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}
+
+// taskLeafKernel is the structural interface of a kernel whose leaf loop
+// nest can run as scheduler tasks (kernel.Packed implements it).
+type taskLeafKernel interface {
+	blas.Kernel
+	MulAddTasks(sub sched.Submitter, threads int, transA, transB blas.Transpose, m, n, k int, alpha float64,
+		a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
+}
+
+// taskKernel adapts a taskLeafKernel so its MulAdd threads through the
+// engine's submitter; embedding forwards every other Kernel method.
+type taskKernel struct {
+	taskLeafKernel
+	sub     sched.Submitter
+	threads int
+}
+
+func (t taskKernel) MulAdd(transA, transB blas.Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	t.MulAddTasks(t.sub, t.threads, transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 }
 
 // gemvN computes y ← alpha*V*x + beta*y for a logical view V (y has V.Rows

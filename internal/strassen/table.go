@@ -39,10 +39,11 @@ func (e *engine) tableRecurse(m, k, n, depth int) bool {
 
 // tableMul mirrors engine.mul for the table-driven recursion: cutoff
 // test, then generalized peeling, then one table level. The pad
-// strategies and the parallel schedule apply only to the default path.
+// strategies apply only to the default path; the task DAG (taskdag.go)
+// applies here too, running all R products as scheduler tasks.
 func (e *engine) tableMul(c *matrix.Dense, a, b matrix.View, alpha, beta float64, depth int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	if m == 0 || n == 0 {
+	if m == 0 || n == 0 || e.canceled() {
 		return
 	}
 	if k == 0 || alpha == 0 {
@@ -138,6 +139,12 @@ func (e *engine) tableLevel(c *matrix.Dense, a, b matrix.View, alpha, beta float
 	m, k, n := a.Rows, a.Cols, b.Cols
 	mq, kq, nq := m/t.M, k/t.K, n/t.N
 
+	if e.schedActive(depth) {
+		done := e.trace(depth, m, k, n, "parallel")
+		e.dagLevel(c, a, b, alpha, beta, depth)
+		done()
+		return
+	}
 	if e.fk != nil && e.sched == ScheduleAuto && !e.tableRecurse(mq, kq, nq, depth+1) &&
 		tableFusable(t, e.fusedDestLimit()) {
 		done := e.trace(depth, m, k, n, "fused1")
